@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints the
+rows/series it produced (run with ``-s`` to see them), while pytest-benchmark
+records how long the regeneration takes.  Heavy end-to-end grids run exactly
+once per benchmark (``rounds=1``) -- the interesting output is the table, not a
+timing distribution.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a benchmark body exactly once and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

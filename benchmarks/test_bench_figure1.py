@@ -1,0 +1,42 @@
+"""Figure 1 benchmarks: memory fragmentation and the swapping opportunity."""
+
+from conftest import run_once
+
+from repro.experiments.figure1 import (
+    crossover_sequence_length_k,
+    run_figure1a,
+    run_figure1b,
+)
+
+
+def test_figure1a_fragmentation(benchmark):
+    """Figure 1(a): allocated vs reserved memory of the caching allocator."""
+    result = run_once(
+        benchmark, run_figure1a, per_gpu_tokens=16 * 1024, capacity_gib=72.0, num_iterations=6,
+    )
+    print("\n=== Figure 1(a): caching-allocator fragmentation (7B, 512K-equivalent shard) ===")
+    print(f"peak allocated            : {result.peak_allocated_gib:6.1f} GiB")
+    print(f"peak reserved             : {result.peak_reserved_gib:6.1f} GiB")
+    print(f"fragmentation under load  : {result.fragmentation_under_load_gib:6.1f} GiB")
+    print(f"reorganisations           : {result.num_reorganizations}")
+    print(f"out of memory             : {result.oom}")
+    print(f"planned-allocator peak    : {result.planned_peak_gib:6.1f} GiB (no fragmentation)")
+    assert result.peak_reserved_gib >= result.peak_allocated_gib
+    assert result.fragmentation_exceeds_4gib
+
+
+def test_figure1b_offload_overlap(benchmark):
+    """Figure 1(b): FlashAttention / layer forward / full offload time vs length."""
+    curves = run_once(benchmark, run_figure1b, sequence_lengths_k=[64, 128, 192, 256, 320])
+    print("\n=== Figure 1(b): per-layer times (7B, 8 GPUs, TP=8) ===")
+    print(f"{'SeqLen':>8} {'FlashAttention':>16} {'Layer fwd':>12} {'Full offload':>14}")
+    for index in range(len(curves["layer_forward"])):
+        print(
+            f"{int(curves['layer_forward'].x[index]):>7}K"
+            f" {curves['flash_attention'].y[index]:>15.3f}s"
+            f" {curves['layer_forward'].y[index]:>11.3f}s"
+            f" {curves['full_offload'].y[index]:>13.3f}s"
+        )
+    crossover = crossover_sequence_length_k(curves)
+    print(f"offload fully overlaps compute from ~{crossover}K tokens (paper: 192K)")
+    assert crossover is not None and 128 <= crossover <= 320

@@ -1,0 +1,24 @@
+"""Figure 6 benchmark: FlashAttention's share of a layer's forward time."""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_figure6_attention_share(benchmark):
+    curves = run_once(
+        benchmark, run_figure6,
+        sequence_lengths_k=[64, 128, 192, 256, 320, 384, 448, 512, 576, 640],
+    )
+    print("\n=== Figure 6: FlashAttention share of forward time (7B, 8 GPUs, TP=8) ===")
+    print(f"{'SeqLen':>8} {'attn time':>11} {'other time':>11} {'share':>8}")
+    share = curves["attention_share"]
+    for index in range(len(share)):
+        print(
+            f"{int(share.x[index]):>7}K"
+            f" {curves['attention_time'].y[index]:>10.3f}s"
+            f" {curves['others_time'].y[index]:>10.3f}s"
+            f" {share.y[index]:>7.1%}"
+        )
+    assert share.y == sorted(share.y)
+    assert share.y[-1] > 0.9  # paper: >90% beyond 576K

@@ -1,0 +1,109 @@
+"""Design-choice ablations: DSA solvers, bi-level planning and the allocators.
+
+These benchmarks cover the design decisions DESIGN.md calls out:
+
+* exact branch-and-bound vs best-fit / first-fit-decreasing heuristics for the
+  per-layer DSA problem (solution quality and planning time);
+* bi-level planning vs flat single-level planning over the whole iteration;
+* the caching allocator vs the plan-driven allocator on the same trace
+  (fragmentation and reorganisations vs a flat reserved footprint).
+"""
+
+from conftest import run_once
+
+from repro.config import GiB
+from repro.memory.caching_allocator import CachingAllocator, OutOfMemoryError
+from repro.memory.planned_allocator import PlannedAllocator
+from repro.model.specs import get_model_config
+from repro.model.trace import full_model_trace, layer_forward_trace
+from repro.planner.bilevel import BiLevelPlanner
+from repro.planner.dsa import problem_from_trace
+from repro.planner.exact import solve_exact
+from repro.planner.heuristics import solve_best_fit, solve_first_fit_decreasing
+
+
+def test_dsa_solver_quality(benchmark):
+    """Exact vs heuristic DSA on one transformer layer's transient tensors."""
+    model = get_model_config("7B")
+    trace = layer_forward_trace(model, 1, 16 * 1024, include_skeletal=False)
+    problem = problem_from_trace(trace)
+
+    exact = run_once(benchmark, solve_exact, problem)
+    best_fit = solve_best_fit(problem)
+    ffd = solve_first_fit_decreasing(problem)
+    lower = problem.lower_bound_bytes()
+
+    print("\n=== DSA solver ablation (one 7B layer, 16K tokens per GPU) ===")
+    print(f"live-bytes lower bound : {lower / GiB:.3f} GiB")
+    print(f"exact branch-and-bound : {exact.peak_bytes / GiB:.3f} GiB "
+          f"(+{(exact.peak_bytes / lower - 1) * 100:.1f}%)")
+    print(f"best fit               : {best_fit.peak_bytes / GiB:.3f} GiB "
+          f"(+{(best_fit.peak_bytes / lower - 1) * 100:.1f}%)")
+    print(f"first fit decreasing   : {ffd.peak_bytes / GiB:.3f} GiB "
+          f"(+{(ffd.peak_bytes / lower - 1) * 100:.1f}%)")
+    assert exact.peak_bytes <= best_fit.peak_bytes
+    assert exact.peak_bytes <= ffd.peak_bytes
+    assert exact.peak_bytes == lower
+
+
+def test_bilevel_vs_flat_planning(benchmark):
+    """Bi-level planning must match flat whole-trace planning at a fraction of the cost."""
+    model = get_model_config("7B")
+
+    def plan_bilevel():
+        return BiLevelPlanner(model, 1, 4096, use_exact=False).plan()
+
+    bilevel = run_once(benchmark, plan_bilevel)
+
+    flat_trace = full_model_trace(model, 1, 4096, include_skeletal=False)
+    flat_problem = problem_from_trace(flat_trace)
+    flat_plan = solve_best_fit(flat_problem)
+
+    print("\n=== Bi-level vs flat planning (7B, 4K tokens per GPU) ===")
+    print(f"bi-level tensors planned : {len(bilevel.full_plan)} "
+          f"(level-1 problem size: {len(problem_from_trace(layer_forward_trace(model, 1, 4096, include_skeletal=False)).tensors)} tensors)")
+    print(f"flat problem size        : {flat_problem.num_tensors} tensors")
+    print(f"bi-level peak            : {bilevel.total_peak_bytes / GiB:.3f} GiB")
+    print(f"flat single-level peak   : {flat_plan.peak_bytes / GiB:.3f} GiB")
+    print("(the gap is the classifier working set, which the flat plan can fold into "
+          "addresses of dead layer transients but the pseudo-block abstraction cannot; "
+          "at long sequence lengths the layer transients dominate and the gap shrinks)")
+    # The bi-level plan trades a bounded peak-memory overhead for a problem two
+    # orders of magnitude smaller (the level-1 instance vs the flat instance).
+    assert bilevel.total_peak_bytes <= 1.6 * flat_plan.peak_bytes
+    assert flat_problem.num_tensors > 20 * len(
+        problem_from_trace(layer_forward_trace(model, 1, 4096, include_skeletal=False)).tensors
+    )
+
+
+def test_caching_vs_planned_allocator(benchmark):
+    """The fragmentation ablation: same trace, dynamic vs planned addresses."""
+    model = get_model_config("7B")
+    trace = full_model_trace(model, 1, 12 * 1024, include_skeletal=True)
+    capacity = int(72 * GiB)
+
+    def replay_caching():
+        allocator = CachingAllocator(capacity_bytes=capacity)
+        oom = False
+        try:
+            for _ in range(3):
+                allocator.replay(trace)
+        except OutOfMemoryError:
+            oom = True
+        return allocator, oom
+
+    allocator, oom = run_once(benchmark, replay_caching)
+
+    plan = BiLevelPlanner(model, 1, 12 * 1024, use_exact=False).plan()
+    planned = PlannedAllocator(plan=plan.full_plan)
+    memo_trace = full_model_trace(model, 1, 12 * 1024, include_skeletal=False)
+    for _ in range(3):
+        planned.replay(memo_trace)
+
+    print("\n=== Caching allocator vs planned allocator (7B, 12K tokens per GPU) ===")
+    print(f"caching: peak reserved {allocator.stats.peak_reserved_bytes / GiB:.1f} GiB, "
+          f"peak allocated {allocator.stats.peak_allocated_bytes / GiB:.1f} GiB, "
+          f"reorganisations {allocator.stats.num_reorganizations}, oom {oom}")
+    print(f"planned: reserved {planned.reserved_bytes / GiB:.3f} GiB (constant), "
+          f"reorganisations 0")
+    assert planned.reserved_bytes < allocator.stats.peak_reserved_bytes

@@ -1,0 +1,63 @@
+"""Table 3 benchmark: end-to-end MFU / TGS / wall-clock of the three systems.
+
+The full paper grid (4 model scales x 16 sequence lengths x 3 systems) is
+regenerated in one benchmark; a second, smaller benchmark covers just the
+7B/8-GPU column for quick runs.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table3 import TABLE3_SEQUENCE_LENGTHS_K, TABLE3_WORKLOADS, run_table3
+
+
+def _print_result(result):
+    for metric in ("mfu", "tgs", "wall_clock"):
+        print()
+        print(result.to_table(metric).render())
+    print()
+    print(f"average MFU   : Memo {result.average_mfu('Memo'):.2%}, "
+          f"Megatron-LM {result.average_mfu('Mega'):.2%}, "
+          f"DeepSpeed {result.average_mfu('DS'):.2%}")
+    print(f"MFU ratio     : Memo / Megatron-LM = {result.mfu_ratio('Memo', 'Mega'):.2f}x "
+          f"(paper: 1.97x), Memo / DeepSpeed = {result.mfu_ratio('Memo', 'DS'):.2f}x "
+          f"(paper: 1.80x)")
+    for model_name, num_gpus in TABLE3_WORKLOADS:
+        if not any(cell.model_name == model_name for cell in result.cells):
+            continue
+        print(
+            f"max seqlen {model_name}/{num_gpus}GPU: "
+            f"DS {result.max_sequence_length_k(model_name, 'DS')}K, "
+            f"Mega {result.max_sequence_length_k(model_name, 'Mega')}K, "
+            f"Memo {result.max_sequence_length_k(model_name, 'Memo')}K"
+        )
+
+
+def test_table3_7b_column(benchmark):
+    """The 7B / 8 GPU column of Table 3 over the paper's sequence lengths."""
+    lengths = [4, 8, 16, 32, 64, 128, 256, 384, 512, 640, 768, 896, 1024, 1152]
+    result = run_once(
+        benchmark, run_table3, workloads=[("7B", 8)], sequence_lengths_k=lengths,
+    )
+    print("\n=== Table 3 (7B on 8 GPUs) ===")
+    _print_result(result)
+    memo_max = result.max_sequence_length_k("7B", "Memo")
+    assert memo_max >= 1024
+    assert result.max_sequence_length_k("7B", "Mega") < memo_max
+    assert result.max_sequence_length_k("7B", "DS") < result.max_sequence_length_k("7B", "Mega")
+    assert result.mfu_ratio("Memo", "Mega") > 1.2
+    assert result.mfu_ratio("Memo", "DS") > 1.2
+
+
+def test_table3_full_grid(benchmark):
+    """The complete Table 3 grid (all model scales and sequence lengths)."""
+    result = run_once(
+        benchmark, run_table3,
+        workloads=TABLE3_WORKLOADS, sequence_lengths_k=TABLE3_SEQUENCE_LENGTHS_K,
+    )
+    print("\n=== Table 3 (full grid) ===")
+    _print_result(result)
+    assert result.average_mfu("Memo") > 0.45
+    assert result.average_mfu("Memo") > result.average_mfu("Mega")
+    assert result.average_mfu("Memo") > result.average_mfu("DS")
+    for model_name, _ in TABLE3_WORKLOADS:
+        assert result.max_sequence_length_k(model_name, "Memo") >= 1024

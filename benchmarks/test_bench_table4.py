@@ -1,0 +1,39 @@
+"""Table 4 benchmark: ablation of memory planning and token-wise management."""
+
+from conftest import run_once
+
+from repro.experiments.table4 import TABLE4_SEQUENCE_LENGTHS_K, run_table4
+
+
+def test_table4_ablation(benchmark):
+    result = run_once(benchmark, run_table4, sequence_lengths_k=TABLE4_SEQUENCE_LENGTHS_K)
+    print("\n=== Table 4 (ablation, 7B on 8 GPUs, TP=4 CP=2) ===\n")
+    print(result.to_table().render())
+    memo = "Memo (Fine-grained Management + Memory Plan)"
+    no_plan = "Full Recomputation"
+    with_plan = "Full Recomputation + Memory Plan"
+    full_swap = "Full Swapping + Memory Plan"
+
+    # Memory planning helps full recomputation (paper: 1.51x average MFU).
+    gains = []
+    for length in TABLE4_SEQUENCE_LENGTHS_K:
+        base = result.mfu(no_plan, length)
+        planned = result.mfu(with_plan, length)
+        if base is not None and planned is not None:
+            gains.append(planned / base)
+    print(f"\nmemory planning gain over plain full recomputation: "
+          f"{sum(gains) / len(gains):.2f}x average (paper: 1.51x)")
+    assert sum(gains) / len(gains) > 1.02
+
+    # Full swapping runs out of host memory at long context; MEMO does not.
+    assert result.max_sequence_length_k(full_swap) <= 384
+    assert result.max_sequence_length_k(memo) == max(TABLE4_SEQUENCE_LENGTHS_K)
+
+    # MEMO matches or beats every ablation at every feasible length.
+    for length in TABLE4_SEQUENCE_LENGTHS_K:
+        memo_mfu = result.mfu(memo, length)
+        assert memo_mfu is not None
+        for label in (no_plan, with_plan, full_swap):
+            other = result.mfu(label, length)
+            if other is not None:
+                assert memo_mfu >= other - 1e-9

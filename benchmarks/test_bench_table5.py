@@ -1,0 +1,34 @@
+"""Table 5 benchmark: the impact of the offload fraction alpha."""
+
+from conftest import run_once
+
+from repro.experiments.table5 import TABLE5_ALPHAS, TABLE5_SEQUENCE_LENGTHS_K, run_table5
+
+
+def test_table5_alpha_sweep(benchmark):
+    result = run_once(
+        benchmark, run_table5,
+        sequence_lengths_k=TABLE5_SEQUENCE_LENGTHS_K, alphas=TABLE5_ALPHAS,
+    )
+    print("\n=== Table 5 (MFU vs offload fraction alpha, 7B on 8 GPUs, TP=4 CP=2) ===\n")
+    print(result.to_table().render())
+    for length in TABLE5_SEQUENCE_LENGTHS_K:
+        print(f"{length}K: best alpha {result.best_alpha(length):.3f}, "
+              f"largest feasible alpha {result.largest_feasible_alpha(length):.3f}")
+
+    # Offloading more helps (up to the point where it stalls compute or
+    # exhausts host memory).
+    for length in TABLE5_SEQUENCE_LENGTHS_K:
+        assert result.mfu(length, 0.5) > result.mfu(length, 0.0)
+
+    # 192K: the peak lies strictly below alpha = 1 (offloading everything
+    # would stall the compute stream) -- the paper's non-monotone row.
+    assert result.best_alpha(192) < 1.0
+
+    # 256K: computation fully covers the transfer, so more offloading is
+    # always better.
+    assert result.best_alpha(256) == 1.0
+
+    # 320K / 384K: host memory caps the feasible alpha (paper: %oohm cells).
+    assert result.largest_feasible_alpha(320) < 1.0
+    assert result.largest_feasible_alpha(384) < result.largest_feasible_alpha(320) + 1e-9

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""How MEMO chooses the offload fraction alpha (Section 4.1 / Table 5).
+
+For a range of sequence lengths the script prints the two constraint-implied
+bounds of the offload-fraction LP (overlap with compute, host-memory budget),
+the alpha MEMO picks, and the resulting MFU; it then sweeps alpha manually at
+one sequence length to show the efficiency peak the LP is aiming for.
+
+Run with:  python examples/alpha_tuning.py
+"""
+
+from repro.config import GiB, tokens
+from repro.core.profiler import JobProfiler
+from repro.experiments.report import Table
+from repro.experiments.table4 import ablation_parallel_config
+from repro.hardware.cluster import make_a800_cluster
+from repro.model.specs import get_model_config
+from repro.swap.alpha import solve_alpha
+from repro.systems.base import Workload
+from repro.systems.memo import MemoSystem, MemoVariant
+
+
+def main() -> None:
+    model = get_model_config("7B")
+    cluster = make_a800_cluster(8)
+    parallel = ablation_parallel_config()
+    profiler = JobProfiler(model=model, cluster=cluster, parallel=parallel)
+
+    table = Table(
+        title="Offload-fraction LP for the 7B model on 8 GPUs (TP=4, CP=2)",
+        columns=["SeqLen", "bandwidth bound", "CPU-memory bound", "chosen alpha",
+                 "offload/layer (GiB)", "host use (GiB)"],
+    )
+    for length_k in (64, 128, 192, 256, 320, 384, 512, 768, 1024):
+        profile = profiler.profile(tokens(length_k))
+        solution = solve_alpha(profile.alpha_problem())
+        table.add_row([
+            f"{length_k}K",
+            f"{solution.bandwidth_bound:.3f}",
+            f"{solution.cpu_memory_bound:.3f}",
+            f"{solution.alpha:.3f}",
+            f"{profile.alpha_problem().offloaded_bytes(solution.alpha) / GiB:.2f}",
+            f"{solution.cpu_bytes_used / GiB:.1f}",
+        ])
+    print(table.render())
+
+    print("\n=== Manual alpha sweep at 192K (the efficiency peak) ===\n")
+    workload = Workload("7B", tokens(192), 8)
+    sweep = Table(title="MFU vs alpha, 7B at 192K", columns=["alpha", "MFU", "stalls (s)"])
+    for alpha in (0.0, 0.25, 0.5, 0.75, 0.875, 1.0):
+        system = MemoSystem(variant=MemoVariant.FULL, fixed_alpha=alpha, fixed_parallel=parallel)
+        report = system.run(workload)
+        stalls = f"{report.timeline.total_stall_s:.2f}" if report.feasible and report.timeline else "-"
+        sweep.add_row([f"{alpha:.3f}", report.cell("mfu"), stalls])
+    print(sweep.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The paper's headline scenario: a 7B model with a 1-million-token context on 8 GPUs.
+
+Sweeps the sequence length from 128K to 1.4M tokens and shows where each system
+(DeepSpeed-Ulysses, Megatron-LM, MEMO) stops working and what efficiency MEMO
+sustains, including the decomposition of where MEMO's iteration time goes.
+
+Run with:  python examples/million_token_training.py
+"""
+
+from repro.config import GiB, tokens
+from repro.experiments.report import Table
+from repro.systems.base import Workload
+from repro.systems.deepspeed import DeepSpeedSystem
+from repro.systems.megatron import MegatronSystem
+from repro.systems.memo import MemoSystem
+
+SEQUENCE_LENGTHS_K = (128, 256, 384, 512, 640, 768, 896, 1024, 1152, 1280, 1408)
+
+
+def main() -> None:
+    table = Table(
+        title="7B GPT on 8 x A800: MFU by sequence length",
+        columns=["SeqLen", "DeepSpeed", "Megatron-LM", "MEMO", "MEMO alpha", "MEMO strategy"],
+    )
+    memo_reports = {}
+    for length_k in SEQUENCE_LENGTHS_K:
+        workload = Workload("7B", tokens(length_k), 8)
+        ds = DeepSpeedSystem().run(workload)
+        mega = MegatronSystem().run(workload)
+        memo = MemoSystem().run(workload)
+        memo_reports[length_k] = memo
+        table.add_row([
+            f"{length_k}K",
+            ds.cell("mfu"),
+            mega.cell("mfu"),
+            memo.cell("mfu"),
+            f"{memo.alpha:.2f}" if memo.feasible and memo.alpha is not None else "-",
+            memo.parallel.describe() if memo.feasible and memo.parallel else "-",
+        ])
+    print(table.render())
+
+    million = memo_reports[1024]
+    if million.feasible:
+        print("\n=== MEMO at one million tokens ===")
+        print(f"MFU                 : {million.mfu * 100:.2f} %")
+        print(f"Tokens/GPU/second   : {million.tgs:.1f}")
+        print(f"Iteration wall clock: {million.wall_clock}")
+        memory = million.memory
+        if memory is not None:
+            print(f"Model states        : {memory.model_state_bytes / GiB:.1f} GiB")
+            print(f"Rounding buffers    : {memory.rounding_buffer_bytes / GiB:.1f} GiB")
+            print(f"Transient (planned) : {memory.transient_bytes / GiB:.1f} GiB")
+            print(f"Host offload        : {memory.host_offload_bytes / GiB:.1f} GiB per GPU")
+    else:
+        print("\nMEMO did not fit the 1M-token workload in this configuration.")
+
+
+if __name__ == "__main__":
+    main()

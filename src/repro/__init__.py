@@ -1,0 +1,61 @@
+"""Reproduction of MEMO: Fine-grained Tensor Management For Ultra-long Context LLM Training.
+
+The package is organised around the systems the paper describes:
+
+* :mod:`repro.model` -- GPT model configurations, FLOPs formulas and the
+  activation-tensor catalogue (skeletal vs transient tensors).
+* :mod:`repro.hardware` -- GPU, link and cluster specifications.
+* :mod:`repro.memory` -- a PyTorch-style caching allocator simulator and a
+  plan-driven static allocator, plus fragmentation metrics.
+* :mod:`repro.planner` -- the offline Dynamic Storage Allocation (DSA) problem,
+  exact and heuristic solvers and the bi-level memory planner.
+* :mod:`repro.swap` -- the token-wise recomputation/swapping mechanism and the
+  offload-fraction (alpha) optimisation.
+* :mod:`repro.sim` -- the discrete-event training simulator (compute / D2H /
+  H2D streams) and the per-layer cost model.
+* :mod:`repro.parallel` -- distributed parallelism strategies (DP/TP/SP/CP/PP,
+  ZeRO) as memory and communication models, plus strategy search.
+* :mod:`repro.systems` -- end-to-end training systems: MEMO and the
+  Megatron-LM / DeepSpeed-Ulysses baselines, with MFU/TGS/wall-clock metrics.
+* :mod:`repro.core` -- the MEMO framework facade (job profiler, memory planner,
+  runtime executor).
+* :mod:`repro.train` -- a NumPy mini-GPT with a real activation
+  offload/recompute engine, used for the convergence-equivalence experiment.
+* :mod:`repro.experiments` -- one module per paper table/figure that
+  regenerates the corresponding rows or series.
+"""
+
+from repro.config import PrecisionConfig, CalibrationConstants, DEFAULT_CALIBRATION
+from repro.model.specs import ModelConfig, MODEL_REGISTRY, get_model_config
+from repro.hardware.gpu import GPUSpec, A800, A100_80GB, H100_SXM
+from repro.hardware.cluster import NodeSpec, ClusterSpec
+from repro.parallel.strategy import ParallelismConfig
+from repro.systems.base import TrainingReport
+from repro.systems.memo import MemoSystem
+from repro.systems.megatron import MegatronSystem
+from repro.systems.deepspeed import DeepSpeedSystem
+from repro.core.framework import MemoFramework
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrecisionConfig",
+    "CalibrationConstants",
+    "DEFAULT_CALIBRATION",
+    "ModelConfig",
+    "MODEL_REGISTRY",
+    "get_model_config",
+    "GPUSpec",
+    "A800",
+    "A100_80GB",
+    "H100_SXM",
+    "NodeSpec",
+    "ClusterSpec",
+    "ParallelismConfig",
+    "TrainingReport",
+    "MemoSystem",
+    "MegatronSystem",
+    "DeepSpeedSystem",
+    "MemoFramework",
+    "__version__",
+]

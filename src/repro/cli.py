@@ -1,0 +1,218 @@
+"""Command-line interface for the MEMO reproduction.
+
+Usage::
+
+    python -m repro.cli estimate --model 7B --gpus 8 --seqlen-k 1024
+    python -m repro.cli plan     --model 7B --gpus 8 --seqlen-k 256 --tp 4 --cp 2
+    python -m repro.cli table3   --models 7B --seqlens-k 64,256,1024
+    python -m repro.cli table4
+    python -m repro.cli table5
+    python -m repro.cli figure1
+    python -m repro.cli figure6
+    python -m repro.cli figure11a
+    python -m repro.cli convergence
+
+Each experiment subcommand prints the regenerated table or an ASCII rendering
+of the figure's series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.config import GiB, tokens
+from repro.core.framework import MemoFramework
+from repro.experiments.figure1 import crossover_sequence_length_k, run_figure1a, run_figure1b
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure11 import max_loss_divergence, run_figure11a, run_figure11d
+from repro.experiments.plotting import ascii_plot, sparkline
+from repro.experiments.table3 import TABLE3_SEQUENCE_LENGTHS_K, TABLE3_WORKLOADS, run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.systems.base import Workload
+from repro.systems.deepspeed import DeepSpeedSystem
+from repro.systems.megatron import MegatronSystem
+from repro.systems.memo import MemoSystem
+
+
+def _parse_int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MEMO (SIGMOD 2025) reproduction experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    estimate = subparsers.add_parser(
+        "estimate", help="estimate MFU/TGS of the three systems on one workload",
+    )
+    estimate.add_argument("--model", default="7B", choices=["7B", "13B", "30B", "65B"])
+    estimate.add_argument("--gpus", type=int, default=8)
+    estimate.add_argument("--seqlen-k", type=int, default=256)
+
+    plan = subparsers.add_parser("plan", help="run the MEMO pipeline (profiler/planner/alpha)")
+    plan.add_argument("--model", default="7B", choices=["7B", "13B", "30B", "65B"])
+    plan.add_argument("--gpus", type=int, default=8)
+    plan.add_argument("--seqlen-k", type=int, default=256)
+    plan.add_argument("--tp", type=int, default=4)
+    plan.add_argument("--cp", type=int, default=2)
+
+    table3 = subparsers.add_parser("table3", help="regenerate Table 3 (or a subset)")
+    table3.add_argument("--models", default="7B",
+                        help="comma-separated subset of 7B,13B,30B,65B or 'all'")
+    table3.add_argument("--seqlens-k", default="64,256,1024",
+                        help="comma-separated sequence lengths in K tokens or 'all'")
+    table3.add_argument("--metric", default="mfu", choices=["mfu", "tgs", "wall_clock"])
+
+    subparsers.add_parser("table4", help="regenerate the Table 4 ablation")
+    subparsers.add_parser("table5", help="regenerate the Table 5 alpha sweep")
+    subparsers.add_parser("figure1", help="regenerate Figure 1 (fragmentation + crossover)")
+    subparsers.add_parser("figure6", help="regenerate Figure 6 (attention share)")
+    subparsers.add_parser("figure11a", help="regenerate Figure 11(a) (scalability)")
+
+    convergence = subparsers.add_parser(
+        "convergence", help="regenerate Figure 11(d) (loss-curve equivalence)",
+    )
+    convergence.add_argument("--iterations", type=int, default=25)
+    return parser
+
+
+def _command_estimate(args) -> int:
+    workload = Workload(args.model, tokens(args.seqlen_k), args.gpus)
+    print(f"Workload: {args.model} GPT, {args.seqlen_k}K tokens, {args.gpus} GPUs, "
+          f"global batch {workload.global_batch_samples} sequences\n")
+    header = f"{'system':<14} {'MFU':>8} {'TGS':>10} {'wall clock':>12}  strategy"
+    print(header)
+    print("-" * len(header))
+    for system in (DeepSpeedSystem(), MegatronSystem(), MemoSystem()):
+        report = system.run(workload)
+        if report.feasible:
+            print(f"{report.system:<14} {report.mfu * 100:>7.2f}% {report.tgs:>10.1f} "
+                  f"{report.wall_clock:>12}  {report.parallel.describe()}")
+        else:
+            print(f"{report.system:<14} {report.wall_clock:>8}")
+    return 0
+
+
+def _command_plan(args) -> int:
+    framework = MemoFramework.for_workload(
+        args.model, tokens(args.seqlen_k), args.gpus,
+        tensor_parallel=args.tp, context_parallel=args.cp, use_exact_planner=False,
+    )
+    plan = framework.prepare()
+    result = framework.execute(plan)
+    print(f"MEMO plan for {args.model} at {args.seqlen_k}K on {args.gpus} GPUs "
+          f"(TP={args.tp}, CP={args.cp})")
+    print(f"  offload fraction alpha : {plan.schedule.alpha:.3f} "
+          f"(bandwidth bound {plan.alpha.bandwidth_bound:.3f}, "
+          f"CPU bound {plan.alpha.cpu_memory_bound:.3f})")
+    print(f"  rounding buffers       : 2 x {plan.schedule.buffers.buffer_bytes / GiB:.2f} GiB")
+    print(f"  planned transient peak : {plan.planning.total_peak_bytes / GiB:.2f} GiB "
+          f"({len(plan.planning.plan)} tensors, solver {plan.planning.solver})")
+    print(f"  host memory used       : {plan.schedule.host_bytes_used / GiB:.1f} GiB "
+          f"of {plan.schedule.host_capacity_bytes / GiB:.1f} GiB")
+    print(f"  iteration time         : {result.iteration_time_s:.2f} s "
+          f"(stalls {result.stalls_s:.3f} s, overlap {result.overlap_efficiency:.1%})")
+    return 0
+
+
+def _command_table3(args) -> int:
+    if args.models == "all":
+        workloads = TABLE3_WORKLOADS
+    else:
+        names = [name.strip() for name in args.models.split(",")]
+        workloads = [pair for pair in TABLE3_WORKLOADS if pair[0] in names]
+    lengths = (
+        TABLE3_SEQUENCE_LENGTHS_K if args.seqlens_k == "all" else _parse_int_list(args.seqlens_k)
+    )
+    result = run_table3(workloads=workloads, sequence_lengths_k=lengths)
+    print(result.to_table(args.metric).render())
+    print()
+    print(f"average MFU: Memo {result.average_mfu('Memo'):.2%}, "
+          f"Megatron-LM {result.average_mfu('Mega'):.2%}, "
+          f"DeepSpeed {result.average_mfu('DS'):.2%}")
+    return 0
+
+
+def _command_table4(_args) -> int:
+    print(run_table4().to_table().render())
+    return 0
+
+
+def _command_table5(_args) -> int:
+    print(run_table5().to_table().render())
+    return 0
+
+
+def _command_figure1(_args) -> int:
+    fragmentation = run_figure1a()
+    print("Figure 1(a): caching-allocator fragmentation")
+    print(f"  peak allocated {fragmentation.peak_allocated_gib:.1f} GiB, "
+          f"peak reserved {fragmentation.peak_reserved_gib:.1f} GiB, "
+          f"fragmentation under load {fragmentation.fragmentation_under_load_gib:.1f} GiB, "
+          f"reorganisations {fragmentation.num_reorganizations}")
+    curves = run_figure1b()
+    print()
+    print(ascii_plot(
+        list(curves.values()), title="Figure 1(b): per-layer time vs sequence length",
+        x_label="sequence length (K tokens)", y_label="seconds", height=16,
+    ))
+    print(f"\noffload fully overlaps compute from ~{crossover_sequence_length_k(curves)}K tokens")
+    return 0
+
+
+def _command_figure6(_args) -> int:
+    curves = run_figure6()
+    print(ascii_plot(
+        [curves["attention_share"]],
+        title="Figure 6: FlashAttention share of a layer's forward time",
+        x_label="sequence length (K tokens)", y_label="share", height=14,
+    ))
+    return 0
+
+
+def _command_figure11a(_args) -> int:
+    series = run_figure11a(length_grid_k=[256 * i for i in range(1, 33)])
+    print(ascii_plot(
+        list(series.values()),
+        title="Figure 11(a): longest supported sequence length (7B)",
+        x_label="GPUs", y_label="K tokens", height=16,
+    ))
+    return 0
+
+
+def _command_convergence(args) -> int:
+    runs = run_figure11d(num_iterations=args.iterations)
+    print("Figure 11(d): loss curves under different offload fractions\n")
+    for label, run in runs.items():
+        print(f"{label:<26} {sparkline(run.losses)}  final {run.final_loss:.4f}")
+    print(f"\nmaximum divergence between curves: {max_loss_divergence(runs):.3e}")
+    return 0
+
+
+COMMANDS = {
+    "estimate": _command_estimate,
+    "plan": _command_plan,
+    "table3": _command_table3,
+    "table4": _command_table4,
+    "table5": _command_table5,
+    "figure1": _command_figure1,
+    "figure6": _command_figure6,
+    "figure11a": _command_figure11a,
+    "convergence": _command_convergence,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

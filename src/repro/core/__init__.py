@@ -1,0 +1,17 @@
+"""The MEMO framework facade: job profiler, memory planner and runtime executor."""
+
+from repro.core.profiler import JobProfile, JobProfiler
+from repro.core.memory_planner import MemoryPlanner, MemoryPlanningResult
+from repro.core.runtime import RuntimeExecutor, RuntimeResult
+from repro.core.framework import MemoFramework, TrainingPlan
+
+__all__ = [
+    "JobProfile",
+    "JobProfiler",
+    "MemoryPlanner",
+    "MemoryPlanningResult",
+    "RuntimeExecutor",
+    "RuntimeResult",
+    "MemoFramework",
+    "TrainingPlan",
+]

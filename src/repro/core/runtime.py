@@ -1,0 +1,88 @@
+"""The runtime executor (Section 4.3.4).
+
+Takes the memory plan, the swap schedule and the layer costs, and executes a
+training iteration on the simulated device: transient tensors are placed by
+the planned allocator, skeletal activations cycle through the two rounding
+buffers, and compute/offload/prefetch are scheduled on three streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.memory.planned_allocator import PlannedAllocator
+from repro.planner.plan import MemoryPlan
+from repro.sim.costs import LayerCosts
+from repro.sim.executor import IterationTimeline, LayerTask, simulate_iteration
+from repro.swap.schedule import SwapSchedule
+
+
+@dataclass(frozen=True)
+class RuntimeResult:
+    """Result of executing one (simulated) training iteration."""
+
+    timeline: IterationTimeline
+    iteration_time_s: float
+    gpu_transient_peak_bytes: int
+    rounding_buffer_bytes: int
+    host_bytes_used: float
+    stalls_s: float
+
+    @property
+    def overlap_efficiency(self) -> float:
+        return self.timeline.overlap_efficiency
+
+
+@dataclass
+class RuntimeExecutor:
+    """Executes the per-iteration schedule produced by the MEMO components."""
+
+    plan: MemoryPlan
+    schedule: SwapSchedule
+    layer_costs: LayerCosts
+    pcie_bandwidth_bytes_per_s: float
+    boundary_compute_s: float = 0.0
+    serial_overhead_s: float = 0.0
+    gpu_memory_bytes: Optional[int] = None
+
+    def build_tasks(self) -> List[LayerTask]:
+        """Convert the swap schedule into the executor's per-layer tasks."""
+        tasks: List[LayerTask] = []
+        for layer_plan in self.schedule.layers:
+            recompute_fraction = self.schedule.recompute_fraction(layer_plan.layer_index)
+            tasks.append(
+                LayerTask(
+                    forward_compute_s=self.layer_costs.forward_total_s,
+                    backward_compute_s=self.layer_costs.backward_total_s,
+                    offload_bytes=layer_plan.offload_bytes,
+                    prefetch_bytes=layer_plan.prefetch_bytes,
+                    recompute_s=recompute_fraction * self.layer_costs.partial_recompute_s,
+                    resident=layer_plan.offload_bytes == 0 and layer_plan.recompute_bytes == 0,
+                )
+            )
+        return tasks
+
+    def execute(self) -> RuntimeResult:
+        """Run one iteration: validate the memory plan and simulate the timeline.
+
+        The planned allocator is constructed against the GPU capacity so an
+        infeasible plan fails here, before any "compute" happens -- matching
+        the real system, where planning happens before training starts.
+        """
+        allocator = PlannedAllocator(plan=self.plan, capacity_bytes=self.gpu_memory_bytes)
+        timeline = simulate_iteration(
+            self.build_tasks(),
+            pcie_bandwidth_bytes_per_s=self.pcie_bandwidth_bytes_per_s,
+            num_buffers=self.schedule.buffers.num_buffers,
+            boundary_compute_s=self.boundary_compute_s,
+            serial_overhead_s=self.serial_overhead_s,
+        )
+        return RuntimeResult(
+            timeline=timeline,
+            iteration_time_s=timeline.total_s,
+            gpu_transient_peak_bytes=allocator.reserved_bytes,
+            rounding_buffer_bytes=self.schedule.buffers.total_bytes,
+            host_bytes_used=self.schedule.host_bytes_used,
+            stalls_s=timeline.total_stall_s,
+        )

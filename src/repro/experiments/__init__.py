@@ -1,0 +1,31 @@
+"""Experiment drivers: one module per table / figure of the paper's evaluation."""
+
+from repro.experiments.report import Table, Series, format_table
+from repro.experiments.figure1 import run_figure1a, run_figure1b
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.table3 import run_table3, TABLE3_WORKLOADS
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.figure11 import (
+    run_figure11a,
+    run_figure11b,
+    run_figure11c,
+    run_figure11d,
+)
+
+__all__ = [
+    "Table",
+    "Series",
+    "format_table",
+    "run_figure1a",
+    "run_figure1b",
+    "run_figure6",
+    "run_table3",
+    "TABLE3_WORKLOADS",
+    "run_table4",
+    "run_table5",
+    "run_figure11a",
+    "run_figure11b",
+    "run_figure11c",
+    "run_figure11d",
+]

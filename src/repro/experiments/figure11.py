@@ -1,0 +1,138 @@
+"""Figure 11: scalability and convergence.
+
+* (a) longest supported sequence length of DeepSpeed, Megatron-LM and MEMO when
+  training the 7B model on 8-64 GPUs;
+* (b) MFU at that longest sequence length;
+* (c) MFU of the three systems when training the 7B model on 64 GPUs with
+  sequence lengths from 1M to 8M tokens;
+* (d) loss curves of the mini-GPT trained with different offload fractions,
+  which must coincide with the all-resident baseline (numerical equivalence of
+  the activation-management strategies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import tokens
+from repro.experiments.report import Series
+from repro.systems.base import Workload
+from repro.systems.deepspeed import DeepSpeedSystem
+from repro.systems.megatron import MegatronSystem
+from repro.systems.memo import MemoSystem
+from repro.train.gpt import MiniGPTConfig
+from repro.train.data import SyntheticTextDataset
+from repro.train.trainer import TrainingRun, train_with_alpha
+
+SYSTEMS = {
+    "DeepSpeed": DeepSpeedSystem,
+    "Megatron-LM": MegatronSystem,
+    "MEMO": MemoSystem,
+}
+
+#: GPU counts of the scalability experiment.
+FIGURE11_GPU_COUNTS = (8, 16, 32, 64)
+
+#: Default search grid (K tokens) for the longest supported sequence length.
+DEFAULT_LENGTH_GRID_K = tuple(256 * i for i in range(1, 33))
+
+
+@dataclass
+class ScalabilityPoint:
+    """Longest supported length and its MFU for one (system, GPU count) pair."""
+
+    system: str
+    num_gpus: int
+    max_sequence_length_k: int
+    mfu_at_max: float
+
+
+def run_figure11a(
+    model_name: str = "7B",
+    gpu_counts: Sequence[int] = FIGURE11_GPU_COUNTS,
+    length_grid_k: Sequence[int] = DEFAULT_LENGTH_GRID_K,
+) -> Dict[str, Series]:
+    """Longest supported sequence length vs number of GPUs, per system."""
+    series = {name: Series(name) for name in SYSTEMS}
+    for name, system_cls in SYSTEMS.items():
+        system = system_cls()
+        for num_gpus in gpu_counts:
+            longest = system.max_sequence_length(model_name, num_gpus, list(length_grid_k))
+            series[name].add(num_gpus, longest)
+    return series
+
+
+def run_figure11b(
+    model_name: str = "7B",
+    gpu_counts: Sequence[int] = FIGURE11_GPU_COUNTS,
+    length_grid_k: Sequence[int] = DEFAULT_LENGTH_GRID_K,
+) -> List[ScalabilityPoint]:
+    """MFU at the longest supported sequence length, per system and GPU count."""
+    points: List[ScalabilityPoint] = []
+    for name, system_cls in SYSTEMS.items():
+        system = system_cls()
+        for num_gpus in gpu_counts:
+            longest = system.max_sequence_length(model_name, num_gpus, list(length_grid_k))
+            mfu = 0.0
+            if longest > 0:
+                report = system.run(Workload(model_name, tokens(longest), num_gpus))
+                mfu = report.mfu if report.feasible else 0.0
+            points.append(ScalabilityPoint(name, num_gpus, longest, mfu))
+    return points
+
+
+def run_figure11c(
+    model_name: str = "7B",
+    num_gpus: int = 64,
+    sequence_lengths_k: Sequence[int] = (1024, 2048, 4096, 6144, 8192),
+) -> Dict[str, Series]:
+    """MFU of the three systems for very long sequences on 64 GPUs."""
+    series = {name: Series(name) for name in SYSTEMS}
+    for name, system_cls in SYSTEMS.items():
+        system = system_cls()
+        for length_k in sequence_lengths_k:
+            report = system.run(Workload(model_name, tokens(length_k), num_gpus))
+            series[name].add(length_k, report.mfu if report.feasible else 0.0)
+    return series
+
+
+def run_figure11d(
+    alphas: Sequence[Optional[float]] = (None, 0.0, 0.125, 0.25, 0.5, 1.0),
+    num_iterations: int = 40,
+    config: Optional[MiniGPTConfig] = None,
+) -> Dict[str, TrainingRun]:
+    """Loss curves for different offload fractions (None = all-resident baseline).
+
+    Every run uses the same initial weights and the same data stream, so the
+    curves must coincide; the baseline plays the role of the Megatron-LM curve
+    in the paper's Figure 11(d).
+    """
+    config = config if config is not None else MiniGPTConfig(
+        vocab_size=128, hidden_size=64, ffn_hidden_size=128, num_layers=4,
+        num_heads=4, max_sequence_length=128,
+    )
+    dataset = SyntheticTextDataset(
+        vocab_size=config.vocab_size, sequence_length=min(96, config.max_sequence_length),
+        batch_size=2,
+    )
+    runs: Dict[str, TrainingRun] = {}
+    for alpha in alphas:
+        label = "Megatron-LM (resident)" if alpha is None else f"MEMO (alpha={alpha})"
+        runs[label] = train_with_alpha(
+            alpha, num_iterations=num_iterations, config=config, dataset=dataset,
+        )
+    return runs
+
+
+def max_loss_divergence(runs: Dict[str, TrainingRun]) -> float:
+    """Largest absolute per-iteration loss difference between any two runs."""
+    labels = list(runs)
+    reference = runs[labels[0]].losses
+    worst = 0.0
+    for label in labels[1:]:
+        losses = runs[label].losses
+        if len(losses) != len(reference):
+            raise ValueError("runs have different lengths")
+        worst = max(worst, max(abs(a - b) for a, b in zip(reference, losses)))
+    return worst

@@ -1,0 +1,52 @@
+"""Figure 6: the share of a layer's forward time spent in FlashAttention.
+
+As the sequence grows, FlashAttention's quadratic FLOPs dominate the linear
+dense FLOPs; beyond roughly half a million tokens it exceeds 90% of a layer's
+forward time, which is why MEMO always offloads (and never recomputes) the
+attention output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import tokens
+from repro.hardware.cluster import make_a800_cluster
+from repro.model.flops import attention_flops_fraction
+from repro.model.specs import get_model_config
+from repro.parallel.strategy import ParallelismConfig
+from repro.experiments.report import Series
+from repro.sim.costs import CostModel
+
+
+def run_figure6(
+    model_name: str = "7B",
+    num_gpus: int = 8,
+    tensor_parallel: int = 8,
+    sequence_lengths_k: Optional[List[int]] = None,
+) -> Dict[str, Series]:
+    """FlashAttention time, other-ops time and the FlashAttention share."""
+    if sequence_lengths_k is None:
+        sequence_lengths_k = [64, 128, 192, 256, 320, 384, 448, 512, 576, 640]
+    model = get_model_config(model_name)
+    cluster = make_a800_cluster(num_gpus)
+    parallel = ParallelismConfig(tensor_parallel=tensor_parallel)
+    cost_model = CostModel(model=model, cluster=cluster, parallel=parallel)
+
+    attention_time = Series("FlashAttention time (s)")
+    others_time = Series("Other ops time (s)")
+    attention_share = Series("FlashAttention share of forward time")
+    flops_share = Series("FlashAttention share of forward FLOPs")
+    for kilotokens in sequence_lengths_k:
+        sequence = tokens(kilotokens)
+        costs = cost_model.layer_costs(sequence)
+        attention_time.add(kilotokens, costs.forward_attention_s)
+        others_time.add(kilotokens, costs.forward_compute_s - costs.forward_attention_s)
+        attention_share.add(kilotokens, costs.forward_attention_s / costs.forward_compute_s)
+        flops_share.add(kilotokens, attention_flops_fraction(model, sequence))
+    return {
+        "attention_time": attention_time,
+        "others_time": others_time,
+        "attention_share": attention_share,
+        "flops_share": flops_share,
+    }

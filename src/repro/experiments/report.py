@@ -1,0 +1,64 @@
+"""Light-weight result containers and text rendering for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table that renders as aligned text."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[object]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells but the table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(value) for value in values])
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def column(self, name: str) -> List[str]:
+        """All values of one column (useful in tests)."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+@dataclass
+class Series:
+    """A named (x, y) series, the building block of the figure experiments."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x_value: float, y_value: float) -> None:
+        self.x.append(float(x_value))
+        self.y.append(float(y_value))
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {"x": list(self.x), "y": list(self.y)}
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+def format_table(title: str, columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a table as fixed-width text suitable for terminal output."""
+    widths = [len(column) for column in columns]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = [title, ""]
+    header = " | ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(" | ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)

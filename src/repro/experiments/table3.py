@@ -1,0 +1,161 @@
+"""Table 3: end-to-end MFU / TGS / wall-clock of DeepSpeed, Megatron-LM and MEMO.
+
+The paper's grid covers the 7B, 13B, 30B and 65B models on 8, 16, 32 and 64
+GPUs, with sequence lengths from 4K to 1408K tokens.  The experiment runs all
+three simulated systems on every cell, reporting the same three metrics and
+the same %oom / %oohm failure markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import tokens
+from repro.experiments.report import Table
+from repro.systems.base import TrainingReport, Workload
+from repro.systems.deepspeed import DeepSpeedSystem
+from repro.systems.megatron import MegatronSystem
+from repro.systems.memo import MemoSystem
+
+#: (model name, number of GPUs) pairs evaluated in the paper's Table 3.
+TABLE3_WORKLOADS: Tuple[Tuple[str, int], ...] = (
+    ("7B", 8),
+    ("13B", 16),
+    ("30B", 32),
+    ("65B", 64),
+)
+
+#: Sequence lengths (in K tokens) of the paper's Table 3 rows.
+TABLE3_SEQUENCE_LENGTHS_K: Tuple[int, ...] = (
+    4, 8, 16, 32, 64, 128, 256, 384, 512, 640, 768, 896, 1024, 1152, 1280, 1408,
+)
+
+SYSTEM_ORDER = ("DS", "Mega", "Memo")
+
+
+@dataclass
+class Table3Cell:
+    """One (workload, system) result."""
+
+    model_name: str
+    num_gpus: int
+    sequence_length_k: int
+    system: str
+    report: TrainingReport
+
+
+@dataclass
+class Table3Result:
+    """All cells plus helpers for rendering and aggregate statistics."""
+
+    cells: List[Table3Cell]
+
+    def cell(self, model_name: str, sequence_length_k: int, system: str) -> Table3Cell:
+        for cell in self.cells:
+            if (
+                cell.model_name == model_name
+                and cell.sequence_length_k == sequence_length_k
+                and cell.system == system
+            ):
+                return cell
+        raise KeyError(f"no cell for {model_name} {sequence_length_k}K {system}")
+
+    def average_mfu(self, system: str) -> float:
+        """Average MFU over the cells where the system did not fail."""
+        values = [
+            cell.report.mfu for cell in self.cells
+            if cell.system == system and cell.report.feasible
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def mfu_ratio(self, system: str, baseline: str) -> float:
+        """Average per-cell MFU ratio of ``system`` over ``baseline``.
+
+        Only cells where both systems ran are counted (the paper's 1.97x /
+        1.80x averages are computed the same way).
+        """
+        ratios = []
+        for cell in self.cells:
+            if cell.system != baseline or not cell.report.feasible:
+                continue
+            try:
+                other = self.cell(cell.model_name, cell.sequence_length_k, system)
+            except KeyError:
+                continue
+            if other.report.feasible and cell.report.mfu > 0:
+                ratios.append(other.report.mfu / cell.report.mfu)
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios)
+
+    def max_sequence_length_k(self, model_name: str, system: str) -> int:
+        """Longest sequence length (K tokens) the system trained for a model."""
+        lengths = [
+            cell.sequence_length_k for cell in self.cells
+            if cell.model_name == model_name and cell.system == system and cell.report.feasible
+        ]
+        return max(lengths) if lengths else 0
+
+    def to_table(self, metric: str = "mfu") -> Table:
+        """Render one metric as a Table mirroring the paper's layout."""
+        columns = ["SeqLen"]
+        for model_name, num_gpus in TABLE3_WORKLOADS:
+            if any(cell.model_name == model_name for cell in self.cells):
+                for system in SYSTEM_ORDER:
+                    columns.append(f"{model_name}/{num_gpus}GPU {system}")
+        table = Table(title=f"Table 3 ({metric})", columns=columns)
+        lengths = sorted({cell.sequence_length_k for cell in self.cells})
+        for length in lengths:
+            row: List[str] = [f"{length}K"]
+            for model_name, num_gpus in TABLE3_WORKLOADS:
+                if not any(cell.model_name == model_name for cell in self.cells):
+                    continue
+                for system in SYSTEM_ORDER:
+                    try:
+                        cell = self.cell(model_name, length, system)
+                        row.append(cell.report.cell(metric))
+                    except KeyError:
+                        row.append("-")
+            table.add_row(row)
+        return table
+
+
+def _system(system: str):
+    if system == "DS":
+        return DeepSpeedSystem()
+    if system == "Mega":
+        return MegatronSystem()
+    if system == "Memo":
+        return MemoSystem()
+    raise ValueError(f"unknown system {system!r}")
+
+
+def run_table3(
+    workloads: Optional[Sequence[Tuple[str, int]]] = None,
+    sequence_lengths_k: Optional[Sequence[int]] = None,
+    systems: Sequence[str] = SYSTEM_ORDER,
+) -> Table3Result:
+    """Run the Table 3 grid (optionally restricted to a subset of cells)."""
+    workloads = tuple(workloads) if workloads is not None else TABLE3_WORKLOADS
+    sequence_lengths_k = (
+        tuple(sequence_lengths_k) if sequence_lengths_k is not None else TABLE3_SEQUENCE_LENGTHS_K
+    )
+    cells: List[Table3Cell] = []
+    for model_name, num_gpus in workloads:
+        for length_k in sequence_lengths_k:
+            workload = Workload(model_name, tokens(length_k), num_gpus)
+            for system in systems:
+                report = _system(system).run(workload)
+                cells.append(
+                    Table3Cell(
+                        model_name=model_name,
+                        num_gpus=num_gpus,
+                        sequence_length_k=length_k,
+                        system=system,
+                        report=report,
+                    )
+                )
+    return Table3Result(cells=cells)

@@ -1,0 +1,85 @@
+"""Table 4: ablation of memory planning and token-wise recomputation/swapping.
+
+Four variants are compared on the 7B model on 8 GPUs with the parallelism
+fixed at TP=4, CP=2 (as in the paper's ablation):
+
+* full recomputation without memory planning,
+* full recomputation with memory planning,
+* full swapping with memory planning,
+* MEMO (token-wise recomputation + swapping with memory planning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import tokens
+from repro.experiments.report import Table
+from repro.parallel.strategy import ParallelismConfig
+from repro.systems.base import TrainingReport, Workload
+from repro.systems.memo import MemoSystem, MemoVariant
+
+#: Sequence lengths (K tokens) of the paper's Table 4 columns.
+TABLE4_SEQUENCE_LENGTHS_K = (64, 128, 256, 384, 512, 640, 768, 896)
+
+#: Row label -> MEMO ablation variant, in the paper's order.
+TABLE4_VARIANTS = (
+    ("Full Recomputation", MemoVariant.FULL_RECOMPUTE_NO_PLAN),
+    ("Full Recomputation + Memory Plan", MemoVariant.FULL_RECOMPUTE),
+    ("Full Swapping + Memory Plan", MemoVariant.FULL_SWAP),
+    ("Memo (Fine-grained Management + Memory Plan)", MemoVariant.FULL),
+)
+
+
+@dataclass
+class Table4Result:
+    """MFU of every (variant, sequence length) cell."""
+
+    reports: Dict[str, Dict[int, TrainingReport]]
+
+    def mfu(self, variant_label: str, sequence_length_k: int) -> Optional[float]:
+        report = self.reports[variant_label][sequence_length_k]
+        return report.mfu if report.feasible else None
+
+    def max_sequence_length_k(self, variant_label: str) -> int:
+        lengths = [
+            length for length, report in self.reports[variant_label].items() if report.feasible
+        ]
+        return max(lengths) if lengths else 0
+
+    def to_table(self) -> Table:
+        lengths = sorted(next(iter(self.reports.values())).keys())
+        columns = ["Method"] + [f"{length}K" for length in lengths]
+        table = Table(title="Table 4 (MFU, 7B model on 8 GPUs, TP=4 CP=2)", columns=columns)
+        for label, _ in TABLE4_VARIANTS:
+            if label not in self.reports:
+                continue
+            row: List[str] = [label]
+            for length in lengths:
+                report = self.reports[label][length]
+                row.append(report.cell("mfu"))
+            table.add_row(row)
+        return table
+
+
+def ablation_parallel_config() -> ParallelismConfig:
+    """The fixed TP=4, CP=2 configuration used by all ablation studies."""
+    return ParallelismConfig(tensor_parallel=4, context_parallel=2)
+
+
+def run_table4(
+    model_name: str = "7B",
+    num_gpus: int = 8,
+    sequence_lengths_k: Sequence[int] = TABLE4_SEQUENCE_LENGTHS_K,
+) -> Table4Result:
+    """Run the four ablation variants over the Table 4 sequence lengths."""
+    fixed = ablation_parallel_config()
+    reports: Dict[str, Dict[int, TrainingReport]] = {}
+    for label, variant in TABLE4_VARIANTS:
+        system = MemoSystem(variant=variant, fixed_parallel=fixed)
+        reports[label] = {}
+        for length_k in sequence_lengths_k:
+            workload = Workload(model_name, tokens(length_k), num_gpus)
+            reports[label][length_k] = system.run(workload)
+    return Table4Result(reports=reports)

@@ -1,0 +1,84 @@
+"""Table 5: impact of the offload fraction alpha on training efficiency.
+
+The 7B model is trained on 8 GPUs with TP=4, CP=2 while alpha is swept from 0
+to 1 in steps of 0.125, for sequence lengths 192K-384K.  Short sequences peak
+at an intermediate alpha (offloading everything would stall the compute
+stream); longer sequences prefer offloading as much as the host memory allows,
+and past that point the runs fail with an out-of-host-memory condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.config import tokens
+from repro.experiments.report import Table
+from repro.experiments.table4 import ablation_parallel_config
+from repro.systems.base import TrainingReport, Workload
+from repro.systems.memo import MemoSystem, MemoVariant
+
+#: The alpha grid of the paper's Table 5.
+TABLE5_ALPHAS = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+
+#: Sequence lengths (K tokens) of the paper's Table 5 rows.
+TABLE5_SEQUENCE_LENGTHS_K = (192, 256, 320, 384)
+
+
+@dataclass
+class Table5Result:
+    """MFU for every (sequence length, alpha) cell."""
+
+    reports: Dict[int, Dict[float, TrainingReport]]
+
+    def mfu(self, sequence_length_k: int, alpha: float) -> Optional[float]:
+        report = self.reports[sequence_length_k][alpha]
+        return report.mfu if report.feasible else None
+
+    def best_alpha(self, sequence_length_k: int) -> float:
+        """Alpha achieving the highest MFU for a sequence length."""
+        best = None
+        best_mfu = -1.0
+        for alpha, report in self.reports[sequence_length_k].items():
+            if report.feasible and report.mfu > best_mfu:
+                best, best_mfu = alpha, report.mfu
+        if best is None:
+            raise RuntimeError(f"no feasible alpha for {sequence_length_k}K")
+        return best
+
+    def largest_feasible_alpha(self, sequence_length_k: int) -> float:
+        feasible = [a for a, r in self.reports[sequence_length_k].items() if r.feasible]
+        if not feasible:
+            raise RuntimeError(f"no feasible alpha for {sequence_length_k}K")
+        return max(feasible)
+
+    def to_table(self) -> Table:
+        alphas = sorted(next(iter(self.reports.values())).keys())
+        columns = ["SeqLen"] + [f"{alpha:.3f}" for alpha in alphas]
+        table = Table(title="Table 5 (MFU vs offload fraction, 7B on 8 GPUs)", columns=columns)
+        for length in sorted(self.reports):
+            row = [f"{length}K"]
+            for alpha in alphas:
+                row.append(self.reports[length][alpha].cell("mfu"))
+            table.add_row(row)
+        return table
+
+
+def run_table5(
+    model_name: str = "7B",
+    num_gpus: int = 8,
+    sequence_lengths_k: Sequence[int] = TABLE5_SEQUENCE_LENGTHS_K,
+    alphas: Sequence[float] = TABLE5_ALPHAS,
+) -> Table5Result:
+    """Sweep alpha for each sequence length under the fixed ablation config."""
+    fixed = ablation_parallel_config()
+    reports: Dict[int, Dict[float, TrainingReport]] = {}
+    for length_k in sequence_lengths_k:
+        reports[length_k] = {}
+        workload = Workload(model_name, tokens(length_k), num_gpus)
+        for alpha in alphas:
+            system = MemoSystem(
+                variant=MemoVariant.FULL, fixed_alpha=alpha, fixed_parallel=fixed,
+            )
+            reports[length_k][alpha] = system.run(workload)
+    return Table5Result(reports=reports)

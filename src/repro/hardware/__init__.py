@@ -1,0 +1,22 @@
+"""Hardware specifications: GPUs, interconnect links and cluster topology."""
+
+from repro.hardware.gpu import GPUSpec, A800, A100_80GB, H100_SXM, GPU_REGISTRY, get_gpu_spec
+from repro.hardware.links import LinkSpec, PCIE_GEN4_X16, NVLINK_A800, INFINIBAND_200G
+from repro.hardware.cluster import NodeSpec, ClusterSpec, DEFAULT_A800_NODE, make_a800_cluster
+
+__all__ = [
+    "GPUSpec",
+    "A800",
+    "A100_80GB",
+    "H100_SXM",
+    "GPU_REGISTRY",
+    "get_gpu_spec",
+    "LinkSpec",
+    "PCIE_GEN4_X16",
+    "NVLINK_A800",
+    "INFINIBAND_200G",
+    "NodeSpec",
+    "ClusterSpec",
+    "DEFAULT_A800_NODE",
+    "make_a800_cluster",
+]

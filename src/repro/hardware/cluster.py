@@ -1,0 +1,103 @@
+"""Node and cluster topology used to evaluate training strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import TiB
+from repro.hardware.gpu import A800, GPUSpec
+from repro.hardware.links import INFINIBAND_200G, NVLINK_A800, PCIE_GEN4_X16, LinkSpec
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One multi-GPU server.
+
+    Attributes:
+        gpu: device specification of each GPU in the node.
+        gpus_per_node: number of GPUs.
+        cpu_memory_bytes: host DRAM capacity available for activation
+            offloading (shared by all GPUs of the node).
+        pcie: GPU <-> CPU link of each GPU.
+        nvlink: intra-node GPU <-> GPU link.
+    """
+
+    gpu: GPUSpec = A800
+    gpus_per_node: int = 8
+    cpu_memory_bytes: int = 2 * TiB
+    pcie: LinkSpec = PCIE_GEN4_X16
+    nvlink: LinkSpec = NVLINK_A800
+    #: Fraction of host DRAM usable for offloaded activations.  The rest is
+    #: occupied by the OS, the framework, data loaders and the pinned staging
+    #: buffers the copy engines need; calibrated against the alpha sweep of
+    #: Table 5 (out-of-host-memory at 320K tokens with alpha >= 0.875).
+    cpu_memory_usable_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+        if self.cpu_memory_bytes <= 0:
+            raise ValueError("cpu_memory_bytes must be positive")
+        if not 0 < self.cpu_memory_usable_fraction <= 1:
+            raise ValueError("cpu_memory_usable_fraction must be in (0, 1]")
+
+    @property
+    def cpu_memory_per_gpu_bytes(self) -> float:
+        """Usable host-memory budget attributable to each GPU of the node.
+
+        All GPUs of a node offload into the same host DRAM, so the per-GPU
+        budget is the usable node capacity divided by the GPU count (paper
+        Section 4.1, second constraint).
+        """
+        return self.cpu_memory_bytes * self.cpu_memory_usable_fraction / self.gpus_per_node
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of identical nodes."""
+
+    node: NodeSpec = field(default_factory=NodeSpec)
+    num_nodes: int = 1
+    interconnect: LinkSpec = INFINIBAND_200G
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+
+    @property
+    def num_gpus(self) -> int:
+        """Total number of GPUs in the cluster."""
+        return self.num_nodes * self.node.gpus_per_node
+
+    @property
+    def gpu(self) -> GPUSpec:
+        """Device specification of every GPU in the cluster."""
+        return self.node.gpu
+
+    def intra_node_group(self, group_size: int) -> bool:
+        """Whether a communication group of the given size fits within a node."""
+        return group_size <= self.node.gpus_per_node
+
+
+DEFAULT_A800_NODE = NodeSpec()
+
+
+def make_a800_cluster(num_gpus: int) -> ClusterSpec:
+    """Build the paper's A800 cluster with the requested total GPU count."""
+    node = DEFAULT_A800_NODE
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    if num_gpus < node.gpus_per_node:
+        # A partial node: keep the per-GPU host-memory share identical.
+        partial = NodeSpec(
+            gpu=node.gpu,
+            gpus_per_node=num_gpus,
+            cpu_memory_bytes=node.cpu_memory_bytes * num_gpus // node.gpus_per_node,
+            pcie=node.pcie,
+            nvlink=node.nvlink,
+            cpu_memory_usable_fraction=node.cpu_memory_usable_fraction,
+        )
+        return ClusterSpec(node=partial, num_nodes=1)
+    if num_gpus % node.gpus_per_node != 0:
+        raise ValueError("num_gpus must be a multiple of 8 for multi-node clusters")
+    return ClusterSpec(node=node, num_nodes=num_gpus // node.gpus_per_node)

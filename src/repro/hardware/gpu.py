@@ -1,0 +1,74 @@
+"""GPU device specifications used by the cost and memory models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GiB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Specification of an accelerator.
+
+    Attributes:
+        name: marketing name of the device.
+        peak_half_precision_flops: peak FP16/BF16 throughput in FLOP/s; this is
+            the denominator of MFU.
+        memory_bytes: HBM capacity in bytes.
+        memory_bandwidth_bytes_per_s: HBM bandwidth, used for bandwidth-bound
+            elementwise operations.
+    """
+
+    name: str
+    peak_half_precision_flops: float
+    memory_bytes: int
+    memory_bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.peak_half_precision_flops <= 0:
+            raise ValueError("peak_half_precision_flops must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+
+    @property
+    def memory_gib(self) -> float:
+        """HBM capacity in GiB."""
+        return self.memory_bytes / GiB
+
+
+A800 = GPUSpec(
+    name="A800-80GB",
+    peak_half_precision_flops=312e12,
+    memory_bytes=80 * GiB,
+    memory_bandwidth_bytes_per_s=2.0e12,
+)
+
+A100_80GB = GPUSpec(
+    name="A100-80GB",
+    peak_half_precision_flops=312e12,
+    memory_bytes=80 * GiB,
+    memory_bandwidth_bytes_per_s=2.0e12,
+)
+
+H100_SXM = GPUSpec(
+    name="H100-SXM",
+    peak_half_precision_flops=989e12,
+    memory_bytes=80 * GiB,
+    memory_bandwidth_bytes_per_s=3.35e12,
+)
+
+GPU_REGISTRY = {
+    "A800": A800,
+    "A100": A100_80GB,
+    "H100": H100_SXM,
+}
+
+
+def get_gpu_spec(name: str) -> GPUSpec:
+    """Look up a GPU specification by short name (A800 / A100 / H100)."""
+    try:
+        return GPU_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_REGISTRY))
+        raise KeyError(f"unknown GPU {name!r}; known GPUs: {known}") from None

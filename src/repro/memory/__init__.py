@@ -1,0 +1,36 @@
+"""GPU memory management substrate: allocators, traces and fragmentation metrics."""
+
+from repro.memory.request import MemoryRequest, RequestKind, validate_trace, peak_live_bytes
+from repro.memory.block import Block, Segment
+from repro.memory.caching_allocator import CachingAllocator, AllocatorStats, OutOfMemoryError
+from repro.memory.planned_allocator import PlannedAllocator, PlanViolationError
+from repro.memory.fragmentation import FragmentationReport, analyze_trace
+from repro.memory.snapshot import MemoryTimeline, TimelinePoint
+from repro.memory.unified_memory import (
+    UnifiedMemoryPool,
+    UnifiedMemoryStats,
+    UnifiedMemoryExhaustedError,
+    profile_oversized_trace,
+)
+
+__all__ = [
+    "MemoryRequest",
+    "RequestKind",
+    "validate_trace",
+    "peak_live_bytes",
+    "Block",
+    "Segment",
+    "CachingAllocator",
+    "AllocatorStats",
+    "OutOfMemoryError",
+    "PlannedAllocator",
+    "PlanViolationError",
+    "FragmentationReport",
+    "analyze_trace",
+    "MemoryTimeline",
+    "TimelinePoint",
+    "UnifiedMemoryPool",
+    "UnifiedMemoryStats",
+    "UnifiedMemoryExhaustedError",
+    "profile_oversized_trace",
+]

@@ -1,0 +1,237 @@
+"""A PyTorch-style caching allocator simulator.
+
+The simulator reproduces the behaviour that matters for the paper:
+
+* memory is obtained from the device in *segments* (``cudaMalloc``) and carved
+  into *blocks*; freed blocks are cached and reused instead of being returned
+  to the driver;
+* blocks are split on allocation and coalesced with free neighbours on free,
+  which over time produces *fragmentation*: reserved-but-unallocated memory
+  that cannot satisfy a large contiguous request (Figure 1(a));
+* when no cached block fits and the device has no room for a new segment, the
+  allocator falls back to *reorganisation*: fully-free segments are released
+  (``cudaFree``) and a fresh segment is allocated -- an expensive, GPU-blocking
+  operation the paper identifies as a major source of slowdown;
+* if even reorganisation cannot produce enough contiguous space, the request
+  fails with an out-of-memory error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import MiB
+from repro.memory.block import Segment
+from repro.memory.request import MemoryRequest, RequestKind
+from repro.memory.snapshot import MemoryTimeline
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation cannot be satisfied even after reorganisation."""
+
+    def __init__(self, message: str, requested: int, reserved: int, allocated: int) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.reserved = reserved
+        self.allocated = allocated
+
+
+@dataclass
+class AllocatorStats:
+    """Counters accumulated while replaying a trace."""
+
+    num_mallocs: int = 0
+    num_frees: int = 0
+    num_segment_allocations: int = 0
+    num_reorganizations: int = 0
+    num_failed_allocations: int = 0
+    peak_allocated_bytes: int = 0
+    peak_reserved_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "num_mallocs": self.num_mallocs,
+            "num_frees": self.num_frees,
+            "num_segment_allocations": self.num_segment_allocations,
+            "num_reorganizations": self.num_reorganizations,
+            "num_failed_allocations": self.num_failed_allocations,
+            "peak_allocated_bytes": self.peak_allocated_bytes,
+            "peak_reserved_bytes": self.peak_reserved_bytes,
+        }
+
+
+@dataclass
+class CachingAllocator:
+    """Simulated PyTorch CUDA caching allocator.
+
+    Args:
+        capacity_bytes: device memory available to the allocator.
+        round_to_bytes: allocation granularity; requests are rounded up to a
+            multiple of this value (PyTorch rounds to 512-byte multiples and
+            uses coarser buckets for large blocks, which amplifies
+            fragmentation for long-context workloads).
+        large_request_threshold: requests at or above this size get their own
+            dedicated segment sized exactly to the request, mirroring the
+            caching allocator's large-block pool.
+        small_segment_bytes: segment size used to back small requests.
+    """
+
+    capacity_bytes: int
+    round_to_bytes: int = 512
+    large_request_threshold: int = 1 * MiB
+    small_segment_bytes: int = 2 * MiB
+    segments: List[Segment] = field(default_factory=list)
+    stats: AllocatorStats = field(default_factory=AllocatorStats)
+    timeline: MemoryTimeline = field(default_factory=MemoryTimeline)
+    _tensor_segment: Dict[str, int] = field(default_factory=dict)
+    _next_segment_start: int = 0
+    _step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.round_to_bytes <= 0:
+            raise ValueError("round_to_bytes must be positive")
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def reserved_bytes(self) -> int:
+        """Memory held from the device (sum of segment sizes)."""
+        return sum(segment.size for segment in self.segments)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Memory currently backing live tensors."""
+        return sum(segment.allocated_bytes for segment in self.segments)
+
+    @property
+    def fragmentation_bytes(self) -> int:
+        """Reserved-but-unallocated memory."""
+        return self.reserved_bytes - self.allocated_bytes
+
+    def _rounded(self, size: int) -> int:
+        return -(-size // self.round_to_bytes) * self.round_to_bytes
+
+    # ---------------------------------------------------------------- replay
+    def replay(self, trace: Sequence[MemoryRequest]) -> AllocatorStats:
+        """Replay a malloc/free trace, recording stats and the memory timeline."""
+        for request in trace:
+            if request.kind is RequestKind.MALLOC:
+                self.malloc(request.tensor_id, request.size)
+            else:
+                self.free(request.tensor_id)
+        return self.stats
+
+    # ---------------------------------------------------------------- malloc
+    def malloc(self, tensor_id: str, size: int) -> None:
+        """Allocate ``size`` bytes for ``tensor_id``.
+
+        Raises:
+            OutOfMemoryError: when no contiguous space can be found even after
+                releasing cached segments.
+        """
+        if tensor_id in self._tensor_segment:
+            raise ValueError(f"tensor {tensor_id!r} is already allocated")
+        rounded = self._rounded(size)
+        self.stats.num_mallocs += 1
+
+        segment_index = self._try_allocate(tensor_id, rounded)
+        if segment_index is None:
+            # Caching failed: reorganise (cudaFree all fully-free cached
+            # segments, i.e. PyTorch's "release cached blocks" path) and retry.
+            released = self._reorganize()
+            if released:
+                segment_index = self._try_allocate(tensor_id, rounded)
+        if segment_index is None:
+            self.stats.num_failed_allocations += 1
+            raise OutOfMemoryError(
+                f"cannot allocate {rounded} bytes for {tensor_id!r}: "
+                f"reserved={self.reserved_bytes}, allocated={self.allocated_bytes}, "
+                f"capacity={self.capacity_bytes}",
+                requested=rounded,
+                reserved=self.reserved_bytes,
+                allocated=self.allocated_bytes,
+            )
+        self._tensor_segment[tensor_id] = segment_index
+        self._record()
+
+    def _try_allocate(self, tensor_id: str, rounded: int) -> Optional[int]:
+        """Try to place a request in a cached block or a new segment."""
+        # 1. best-fit over cached free blocks of existing segments.
+        best: Optional[tuple] = None
+        for segment_index, segment in enumerate(self.segments):
+            block_index = segment.find_free_block(rounded)
+            if block_index is None:
+                continue
+            waste = segment.blocks[block_index].size - rounded
+            if best is None or waste < best[0]:
+                best = (waste, segment_index, block_index)
+        if best is not None:
+            _, segment_index, block_index = best
+            self.segments[segment_index].allocate_in_block(block_index, rounded, tensor_id)
+            return segment_index
+        # 2. grow: cudaMalloc a new segment if the device has room.
+        segment_size = max(rounded, self.small_segment_bytes)
+        if rounded >= self.large_request_threshold:
+            segment_size = rounded
+        if self.reserved_bytes + segment_size <= self.capacity_bytes:
+            segment = Segment(start=self._next_segment_start, size=segment_size)
+            self._next_segment_start += segment_size
+            segment.allocate_in_block(0, rounded, tensor_id)
+            self.segments.append(segment)
+            self.stats.num_segment_allocations += 1
+            return len(self.segments) - 1
+        return None
+
+    def _reorganize(self) -> int:
+        """Release all fully-free cached segments back to the device.
+
+        Returns the number of bytes released.  Each invocation models a round
+        of ``cudaFree`` calls that blocks GPU computation (the stall cost is
+        charged by the cost model, not here).
+        """
+        released = 0
+        kept: List[Segment] = []
+        index_remap: Dict[int, int] = {}
+        for old_index, segment in enumerate(self.segments):
+            if segment.is_fully_free:
+                released += segment.size
+            else:
+                index_remap[old_index] = len(kept)
+                kept.append(segment)
+        if released:
+            self.segments = kept
+            self._tensor_segment = {
+                tensor: index_remap[old_index]
+                for tensor, old_index in self._tensor_segment.items()
+            }
+            self.stats.num_reorganizations += 1
+        return released
+
+    # ------------------------------------------------------------------ free
+    def free(self, tensor_id: str) -> None:
+        """Release the memory backing ``tensor_id`` back to the block cache."""
+        segment_index = self._tensor_segment.pop(tensor_id, None)
+        if segment_index is None:
+            raise KeyError(f"tensor {tensor_id!r} is not allocated")
+        freed = self.segments[segment_index].free_tensor(tensor_id)
+        if not freed:
+            raise KeyError(f"tensor {tensor_id!r} not found in its segment")
+        self.stats.num_frees += 1
+        self._record()
+
+    # -------------------------------------------------------------- recording
+    def _record(self) -> None:
+        allocated = self.allocated_bytes
+        reserved = self.reserved_bytes
+        self.stats.peak_allocated_bytes = max(self.stats.peak_allocated_bytes, allocated)
+        self.stats.peak_reserved_bytes = max(self.stats.peak_reserved_bytes, reserved)
+        self.timeline.record(self._step, allocated, reserved)
+        self._step += 1
+
+    def largest_free_contiguous(self) -> int:
+        """Largest single free block across all cached segments."""
+        if not self.segments:
+            return 0
+        return max(segment.largest_free_block() for segment in self.segments)

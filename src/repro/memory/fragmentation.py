@@ -1,0 +1,65 @@
+"""Fragmentation analysis of allocator behaviour over a trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.memory.caching_allocator import CachingAllocator, OutOfMemoryError
+from repro.memory.request import MemoryRequest, peak_live_bytes
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """Summary of one trace replay through the caching allocator.
+
+    Attributes:
+        peak_live_bytes: lower bound (sum of simultaneously live tensors).
+        peak_allocated_bytes: peak memory actually backing tensors.
+        peak_reserved_bytes: peak memory held from the device.
+        peak_fragmentation_bytes: largest reserved-minus-allocated gap.
+        num_reorganizations: how many cudaFree/cudaMalloc rounds were needed.
+        oom: whether the replay failed with an out-of-memory error.
+        oom_requested_bytes: size of the failing request, when ``oom``.
+    """
+
+    peak_live_bytes: int
+    peak_allocated_bytes: int
+    peak_reserved_bytes: int
+    peak_fragmentation_bytes: int
+    num_reorganizations: int
+    oom: bool
+    oom_requested_bytes: Optional[int] = None
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        """Reserved overhead relative to the live-bytes lower bound."""
+        if self.peak_live_bytes == 0:
+            return 0.0
+        return (self.peak_reserved_bytes - self.peak_live_bytes) / self.peak_live_bytes
+
+
+def analyze_trace(
+    trace: Sequence[MemoryRequest],
+    capacity_bytes: int,
+    round_to_bytes: int = 512,
+) -> FragmentationReport:
+    """Replay a trace through the caching allocator and summarise fragmentation."""
+    allocator = CachingAllocator(capacity_bytes=capacity_bytes, round_to_bytes=round_to_bytes)
+    oom = False
+    oom_requested: Optional[int] = None
+    try:
+        allocator.replay(trace)
+    except OutOfMemoryError as error:
+        oom = True
+        oom_requested = error.requested
+    stats = allocator.stats
+    return FragmentationReport(
+        peak_live_bytes=peak_live_bytes(trace),
+        peak_allocated_bytes=stats.peak_allocated_bytes,
+        peak_reserved_bytes=stats.peak_reserved_bytes,
+        peak_fragmentation_bytes=allocator.timeline.peak_fragmentation_bytes,
+        num_reorganizations=stats.num_reorganizations,
+        oom=oom,
+        oom_requested_bytes=oom_requested,
+    )

@@ -1,0 +1,105 @@
+"""Static, plan-driven allocator.
+
+This is the runtime counterpart of the bi-level memory planner: every tensor's
+address is fixed ahead of time, so executing a trace never searches for free
+blocks, never splits or coalesces, never reorganises and never fragments.  The
+allocator verifies at run time that the plan is honoured (sizes match and no
+two live tensors overlap), which is exactly the guarantee the MIP constraints
+encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+from repro.memory.request import MemoryRequest, RequestKind
+from repro.memory.snapshot import MemoryTimeline
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.planner.plan import MemoryPlan
+
+
+class PlanViolationError(RuntimeError):
+    """Raised when the executed trace conflicts with the memory plan."""
+
+
+@dataclass
+class PlannedAllocator:
+    """Executes malloc/free requests against a precomputed :class:`MemoryPlan`.
+
+    Args:
+        plan: address plan produced by the bi-level planner.
+        capacity_bytes: optional device capacity; when given, the plan's peak
+            memory must fit, otherwise construction fails immediately (this is
+            how the simulator detects OOM for planned systems -- before any
+            compute time is spent, just like the real planner would).
+    """
+
+    plan: "MemoryPlan"
+    capacity_bytes: Optional[int] = None
+    timeline: MemoryTimeline = field(default_factory=MemoryTimeline)
+    _live: Dict[str, int] = field(default_factory=dict)
+    _allocated: int = 0
+    _step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes is not None and self.plan.peak_bytes > self.capacity_bytes:
+            raise PlanViolationError(
+                f"plan peak {self.plan.peak_bytes} exceeds capacity {self.capacity_bytes}"
+            )
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    @property
+    def reserved_bytes(self) -> int:
+        """Planned allocators reserve exactly the plan's peak once, up front."""
+        return self.plan.peak_bytes
+
+    def malloc(self, tensor_id: str, size: int) -> int:
+        """Place ``tensor_id``; returns the planned address.
+
+        Raises:
+            PlanViolationError: if the tensor is unknown to the plan, the size
+                differs from the planned size, or the planned region overlaps a
+                currently-live tensor.
+        """
+        if tensor_id in self._live:
+            raise PlanViolationError(f"tensor {tensor_id!r} malloc'd while live")
+        entry = self.plan.get(tensor_id)
+        if entry is None:
+            raise PlanViolationError(f"tensor {tensor_id!r} is not in the memory plan")
+        if entry.size != size:
+            raise PlanViolationError(
+                f"tensor {tensor_id!r}: planned size {entry.size} != requested {size}"
+            )
+        for other_id in self._live:
+            other = self.plan.get(other_id)
+            if other is not None and entry.overlaps(other):
+                raise PlanViolationError(
+                    f"planned region of {tensor_id!r} overlaps live tensor {other_id!r}"
+                )
+        self._live[tensor_id] = size
+        self._allocated += size
+        self._record()
+        return entry.address
+
+    def free(self, tensor_id: str) -> None:
+        if tensor_id not in self._live:
+            raise PlanViolationError(f"tensor {tensor_id!r} freed while not live")
+        self._allocated -= self._live.pop(tensor_id)
+        self._record()
+
+    def replay(self, trace: Sequence[MemoryRequest]) -> None:
+        """Execute a whole trace, validating it against the plan."""
+        for request in trace:
+            if request.kind is RequestKind.MALLOC:
+                self.malloc(request.tensor_id, request.size)
+            else:
+                self.free(request.tensor_id)
+
+    def _record(self) -> None:
+        self.timeline.record(self._step, self._allocated, self.plan.peak_bytes)
+        self._step += 1

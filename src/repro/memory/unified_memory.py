@@ -1,0 +1,181 @@
+"""CUDA Unified Memory simulation used by the profiling fallback.
+
+For extreme sequence lengths even a single transformer layer's profiling run
+does not fit in GPU memory.  The paper's job profiler (Section 4.3.2) falls
+back to CUDA Unified Memory, which transparently pages data between GPU and
+host memory and creates "an illusion of unlimited GPU memory" at the price of
+page migrations.  This module models that behaviour: allocations always
+succeed (up to GPU + host capacity), an LRU set of pages is kept resident on
+the device, and accesses to non-resident pages trigger migrations whose volume
+and estimated cost are reported -- which is all the profiler needs in order to
+run an oversized trace and still observe the true request sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.config import MiB
+from repro.memory.request import MemoryRequest, RequestKind
+
+
+class UnifiedMemoryExhaustedError(RuntimeError):
+    """Raised when an allocation exceeds GPU plus host capacity."""
+
+
+@dataclass
+class UnifiedMemoryStats:
+    """Counters describing one run over a trace."""
+
+    num_allocations: int = 0
+    num_frees: int = 0
+    page_faults: int = 0
+    migrated_to_device_bytes: int = 0
+    evicted_to_host_bytes: int = 0
+
+    @property
+    def migrated_total_bytes(self) -> int:
+        return self.migrated_to_device_bytes + self.evicted_to_host_bytes
+
+
+@dataclass
+class UnifiedMemoryPool:
+    """A paged GPU/host memory pool with LRU residency.
+
+    Args:
+        gpu_capacity_bytes: device memory available to the job.
+        host_capacity_bytes: host memory backing the overflow.
+        page_bytes: migration granularity (2 MiB, the CUDA UM default for
+            large allocations).
+        pcie_bandwidth_bytes_per_s: used to convert migration volume to time.
+    """
+
+    gpu_capacity_bytes: int
+    host_capacity_bytes: int
+    page_bytes: int = 2 * MiB
+    pcie_bandwidth_bytes_per_s: float = 32.0e9
+    stats: UnifiedMemoryStats = field(default_factory=UnifiedMemoryStats)
+    _allocations: Dict[str, int] = field(default_factory=dict)
+    #: Maps tensor id -> number of its pages currently resident on the device.
+    _resident_pages: "OrderedDict[str, int]" = field(default_factory=OrderedDict)
+    _resident_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gpu_capacity_bytes <= 0 or self.host_capacity_bytes < 0:
+            raise ValueError("capacities must be positive / non-negative")
+        if self.page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+
+    # ------------------------------------------------------------------ sizing
+    @property
+    def total_capacity_bytes(self) -> int:
+        return self.gpu_capacity_bytes + self.host_capacity_bytes
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    def _pages(self, size: int) -> int:
+        return -(-size // self.page_bytes)
+
+    # --------------------------------------------------------------- allocation
+    def malloc(self, tensor_id: str, size: int) -> None:
+        """Allocate managed memory; never fails unless GPU+host are exhausted."""
+        if tensor_id in self._allocations:
+            raise ValueError(f"tensor {tensor_id!r} is already allocated")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        if self.allocated_bytes + size > self.total_capacity_bytes:
+            raise UnifiedMemoryExhaustedError(
+                f"allocating {size} bytes exceeds GPU+host capacity "
+                f"({self.allocated_bytes} of {self.total_capacity_bytes} in use)"
+            )
+        self._allocations[tensor_id] = size
+        self.stats.num_allocations += 1
+        self.touch(tensor_id)
+
+    def free(self, tensor_id: str) -> None:
+        """Release a managed allocation and drop its resident pages."""
+        size = self._allocations.pop(tensor_id, None)
+        if size is None:
+            raise KeyError(f"tensor {tensor_id!r} is not allocated")
+        resident = self._resident_pages.pop(tensor_id, 0)
+        self._resident_bytes -= resident * self.page_bytes
+        self.stats.num_frees += 1
+
+    # ------------------------------------------------------------------ access
+    def touch(self, tensor_id: str) -> float:
+        """Access a tensor: fault in its non-resident pages, evicting LRU pages.
+
+        Returns the estimated migration time for this access.
+        """
+        size = self._allocations.get(tensor_id)
+        if size is None:
+            raise KeyError(f"tensor {tensor_id!r} is not allocated")
+        needed_pages = self._pages(size)
+        resident = self._resident_pages.get(tensor_id, 0)
+        missing = needed_pages - resident
+        migrated = 0
+        if missing > 0:
+            self.stats.page_faults += missing
+            migrated = missing * self.page_bytes
+            self.stats.migrated_to_device_bytes += migrated
+            self._evict_until_fits(migrated, protect=tensor_id)
+            self._resident_bytes += migrated
+        # Move to the MRU position with full residency.
+        self._resident_pages.pop(tensor_id, None)
+        self._resident_pages[tensor_id] = needed_pages
+        evicted = 0  # eviction volume is tracked inside _evict_until_fits
+        del evicted
+        return migrated / self.pcie_bandwidth_bytes_per_s
+
+    def _evict_until_fits(self, incoming_bytes: int, protect: str) -> None:
+        while self._resident_bytes + incoming_bytes > self.gpu_capacity_bytes:
+            victim = next((t for t in self._resident_pages if t != protect), None)
+            if victim is None:
+                # Single oversized tensor: cap residency at device capacity.
+                break
+            pages = self._resident_pages.pop(victim)
+            freed = pages * self.page_bytes
+            self._resident_bytes -= freed
+            self.stats.evicted_to_host_bytes += freed
+
+    # ------------------------------------------------------------------ replay
+    def replay(self, trace: Sequence[MemoryRequest]) -> UnifiedMemoryStats:
+        """Replay a malloc/free trace, touching every tensor when allocated."""
+        for request in trace:
+            if request.kind is RequestKind.MALLOC:
+                self.malloc(request.tensor_id, request.size)
+            else:
+                self.free(request.tensor_id)
+        return self.stats
+
+    def estimated_migration_time_s(self) -> float:
+        """Total time spent migrating pages so far."""
+        return self.stats.migrated_total_bytes / self.pcie_bandwidth_bytes_per_s
+
+
+def profile_oversized_trace(
+    trace: Sequence[MemoryRequest],
+    gpu_capacity_bytes: int,
+    host_capacity_bytes: int,
+    page_bytes: int = 2 * MiB,
+) -> UnifiedMemoryStats:
+    """Run a trace that does not fit in GPU memory under Unified Memory.
+
+    This is the profiler's fallback path: the request sequence is observed in
+    full (which is what the planner needs) while the simulated UM pool reports
+    how much paging the profiling run itself would have caused.
+    """
+    pool = UnifiedMemoryPool(
+        gpu_capacity_bytes=gpu_capacity_bytes,
+        host_capacity_bytes=host_capacity_bytes,
+        page_bytes=page_bytes,
+    )
+    return pool.replay(trace)

@@ -1,0 +1,39 @@
+"""GPT model configurations, FLOPs formulas and activation-tensor catalogues."""
+
+from repro.model.specs import ModelConfig, MODEL_REGISTRY, get_model_config
+from repro.model.flops import (
+    model_flops_per_token,
+    model_flops_per_sample,
+    layer_forward_flops,
+    attention_forward_flops,
+    dense_forward_flops,
+)
+from repro.model.activations import (
+    TensorSpec,
+    skeletal_tensors,
+    transient_forward_tensors,
+    transient_backward_tensors,
+    skeletal_bytes_per_layer,
+    SKELETAL_ELEMENTS_PER_TOKEN,
+)
+from repro.model.trace import layer_forward_trace, layer_backward_trace, full_model_trace
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_REGISTRY",
+    "get_model_config",
+    "model_flops_per_token",
+    "model_flops_per_sample",
+    "layer_forward_flops",
+    "attention_forward_flops",
+    "dense_forward_flops",
+    "TensorSpec",
+    "skeletal_tensors",
+    "transient_forward_tensors",
+    "transient_backward_tensors",
+    "skeletal_bytes_per_layer",
+    "SKELETAL_ELEMENTS_PER_TOKEN",
+    "layer_forward_trace",
+    "layer_backward_trace",
+    "full_model_trace",
+]

@@ -1,0 +1,77 @@
+"""FLOPs formulas for GPT training.
+
+The paper (Section 5.1) computes model FLOPs per sample as::
+
+    6 * s * P + 6 * n * h * s^2
+
+which accounts for the forward + backward passes (a factor of 3 over the
+forward pass) of the dense projections (``2 s P`` forward) and of causal
+FlashAttention (``2 n h s^2`` forward, i.e. half of the non-causal
+``4 n h s^2`` thanks to the causal mask).
+"""
+
+from __future__ import annotations
+
+from repro.model.specs import ModelConfig
+
+
+def model_flops_per_sample(model: ModelConfig, sequence_length: int) -> float:
+    """Total training FLOPs (forward + backward) for one sample of ``s`` tokens."""
+    if sequence_length <= 0:
+        raise ValueError("sequence_length must be positive")
+    s = float(sequence_length)
+    return 6.0 * s * model.num_parameters + 6.0 * model.num_layers * model.hidden_size * s * s
+
+
+def model_flops_per_token(model: ModelConfig, sequence_length: int) -> float:
+    """Training FLOPs per token for a sample of ``s`` tokens."""
+    return model_flops_per_sample(model, sequence_length) / float(sequence_length)
+
+
+def attention_forward_flops(model: ModelConfig, sequence_length: int, batch_size: int = 1) -> float:
+    """Forward FLOPs of causal FlashAttention for one transformer layer.
+
+    ``softmax(QK^T)V`` over a causal mask costs ``2 * h * s^2`` multiply-adds
+    counted as FLOPs (the paper's ``6 n h s^2`` total divided by 3 passes and
+    ``n`` layers).
+    """
+    s = float(sequence_length)
+    return 2.0 * batch_size * model.hidden_size * s * s
+
+
+def dense_forward_flops(model: ModelConfig, sequence_length: int, batch_size: int = 1) -> float:
+    """Forward FLOPs of the dense projections of one transformer layer.
+
+    QKV projection, attention output projection and the two FFN projections
+    amount to ``12 h^2`` multiply-accumulates per token, i.e. ``2 * 12 h^2 * s``
+    FLOPs per layer.
+    """
+    s = float(sequence_length)
+    per_token = 2.0 * (
+        model.attention_parameters_per_layer + model.ffn_parameters_per_layer
+    )
+    return batch_size * per_token * s
+
+
+def layer_forward_flops(model: ModelConfig, sequence_length: int, batch_size: int = 1) -> float:
+    """Total forward FLOPs of one transformer layer (attention + dense)."""
+    return attention_forward_flops(model, sequence_length, batch_size) + dense_forward_flops(
+        model, sequence_length, batch_size
+    )
+
+
+def embedding_forward_flops(model: ModelConfig, sequence_length: int, batch_size: int = 1) -> float:
+    """Forward FLOPs of the classifier (logit) projection.
+
+    The embedding lookup itself is a gather; the dominant cost charged here is
+    the final projection onto the vocabulary.
+    """
+    s = float(sequence_length)
+    return 2.0 * batch_size * s * model.hidden_size * model.vocab_size
+
+
+def attention_flops_fraction(model: ModelConfig, sequence_length: int) -> float:
+    """Fraction of one layer's forward FLOPs spent in FlashAttention (Figure 6)."""
+    attn = attention_forward_flops(model, sequence_length)
+    total = layer_forward_flops(model, sequence_length)
+    return attn / total

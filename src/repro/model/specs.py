@@ -1,0 +1,130 @@
+"""Model configurations for the GPT variants evaluated in the paper (Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of a decoder-only GPT model.
+
+    Mirrors Table 2 of the paper: number of transformer layers, hidden size,
+    FFN hidden size, attention heads and vocabulary size.
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    ffn_hidden_size: int
+    num_heads: int
+    vocab_size: int
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.hidden_size <= 0:
+            raise ValueError("hidden_size must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} must be divisible by "
+                f"num_heads {self.num_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of a single attention head."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def attention_parameters_per_layer(self) -> int:
+        """Parameters of the attention block (QKV projection + output dense)."""
+        h = self.hidden_size
+        return 3 * h * h + h * h
+
+    @property
+    def ffn_parameters_per_layer(self) -> int:
+        """Parameters of the FFN block (h->4h and 4h->h projections)."""
+        return 2 * self.hidden_size * self.ffn_hidden_size
+
+    @property
+    def norm_parameters_per_layer(self) -> int:
+        """Parameters of the two layer norms (weight + bias each)."""
+        return 4 * self.hidden_size
+
+    @property
+    def parameters_per_layer(self) -> int:
+        """Total parameters of one transformer layer."""
+        return (
+            self.attention_parameters_per_layer
+            + self.ffn_parameters_per_layer
+            + self.norm_parameters_per_layer
+        )
+
+    @property
+    def embedding_parameters(self) -> int:
+        """Parameters of the token embedding table (shared with the classifier)."""
+        return self.vocab_size * self.hidden_size
+
+    @property
+    def num_parameters(self) -> int:
+        """Total model parameters (embedding + transformer stack + final norm)."""
+        return (
+            self.embedding_parameters
+            + self.num_layers * self.parameters_per_layer
+            + 2 * self.hidden_size
+        )
+
+    def scaled(self, model_parallel_degree: int) -> "ShardedModelView":
+        """Return a per-GPU view of the model under a model-parallel degree."""
+        return ShardedModelView(self, model_parallel_degree)
+
+
+@dataclass(frozen=True)
+class ShardedModelView:
+    """Per-device view of a model whose weights are sharded ``degree`` ways."""
+
+    config: ModelConfig
+    degree: int
+
+    def __post_init__(self) -> None:
+        if self.degree <= 0:
+            raise ValueError("model-parallel degree must be positive")
+
+    @property
+    def parameters_per_device(self) -> int:
+        return -(-self.config.num_parameters // self.degree)
+
+
+GPT_7B = ModelConfig(
+    name="7B", num_layers=32, hidden_size=4096, ffn_hidden_size=16384,
+    num_heads=32, vocab_size=50257,
+)
+GPT_13B = ModelConfig(
+    name="13B", num_layers=40, hidden_size=5120, ffn_hidden_size=20480,
+    num_heads=40, vocab_size=50257,
+)
+GPT_30B = ModelConfig(
+    name="30B", num_layers=48, hidden_size=7168, ffn_hidden_size=28672,
+    num_heads=56, vocab_size=50257,
+)
+GPT_65B = ModelConfig(
+    name="65B", num_layers=80, hidden_size=8192, ffn_hidden_size=32768,
+    num_heads=64, vocab_size=50257,
+)
+
+MODEL_REGISTRY = {
+    "7B": GPT_7B,
+    "13B": GPT_13B,
+    "30B": GPT_30B,
+    "65B": GPT_65B,
+}
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a model configuration from Table 2 by its size name."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

@@ -1,0 +1,19 @@
+"""Distributed parallelism strategies as memory and communication models."""
+
+from repro.parallel.strategy import ParallelismConfig, RecomputeMode, OffloadMode
+from repro.parallel.memory_model import MemoryBreakdown, estimate_memory
+from repro.parallel.comm_model import CommBreakdown, estimate_communication
+from repro.parallel.search import StrategySearchSpace, enumerate_strategies, find_best_strategy
+
+__all__ = [
+    "ParallelismConfig",
+    "RecomputeMode",
+    "OffloadMode",
+    "MemoryBreakdown",
+    "estimate_memory",
+    "CommBreakdown",
+    "estimate_communication",
+    "StrategySearchSpace",
+    "enumerate_strategies",
+    "find_best_strategy",
+]

@@ -1,0 +1,100 @@
+"""Communication-volume accounting under a parallelism strategy.
+
+The cost model (:mod:`repro.sim.costs`) converts these volumes to time; this
+module reports the raw per-layer and per-iteration byte counts, which the
+experiment scripts use to explain *why* one configuration beats another (e.g.
+the paper's observation that Megatron-LM is forced onto a TP degree of 16 and
+therefore pays inter-node TP traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DEFAULT_PRECISION, PrecisionConfig
+from repro.model.specs import ModelConfig
+from repro.parallel.strategy import ParallelismConfig
+
+
+@dataclass(frozen=True)
+class CommBreakdown:
+    """Per-GPU communication volumes (bytes) for one training iteration."""
+
+    tp_bytes_per_layer: float
+    ulysses_bytes_per_layer: float
+    cp_bytes_per_layer: float
+    tp_bytes_total: float
+    ulysses_bytes_total: float
+    cp_bytes_total: float
+    dp_gradient_bytes: float
+    zero3_parameter_bytes: float
+    pipeline_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.tp_bytes_total
+            + self.ulysses_bytes_total
+            + self.cp_bytes_total
+            + self.dp_gradient_bytes
+            + self.zero3_parameter_bytes
+            + self.pipeline_bytes
+        )
+
+
+def estimate_communication(
+    model: ModelConfig,
+    parallel: ParallelismConfig,
+    sequence_length: int,
+    batch_size: int = 1,
+    precision: PrecisionConfig = DEFAULT_PRECISION,
+) -> CommBreakdown:
+    """Per-GPU communication volumes for one iteration under a strategy."""
+    if sequence_length <= 0:
+        raise ValueError("sequence_length must be positive")
+    local_tokens = parallel.local_sequence_length(sequence_length)
+    activation_bytes = (
+        batch_size * local_tokens * model.hidden_size * precision.activation_bytes
+    )
+    layers = model.num_layers // parallel.pipeline_parallel
+
+    tp = parallel.tensor_parallel
+    tp_per_layer = 0.0
+    if tp > 1:
+        # Forward: 2 all-gathers + 2 reduce-scatters; backward mirrors them.
+        tp_per_layer = 8.0 * activation_bytes * (tp - 1) / tp
+
+    ulysses = parallel.ulysses_parallel
+    ulysses_per_layer = 0.0
+    if ulysses > 1:
+        ulysses_per_layer = 8.0 * activation_bytes * (ulysses - 1) / ulysses
+
+    cp = parallel.context_parallel
+    cp_per_layer = 0.0
+    if cp > 1:
+        cp_per_layer = 4.0 * activation_bytes * (cp - 1) / cp / tp
+
+    params_per_gpu = model.num_parameters / (tp * parallel.pipeline_parallel)
+    dp = parallel.data_parallel
+    dp_gradient = 0.0
+    zero3_parameters = 0.0
+    if dp > 1:
+        dp_gradient = 2.0 * params_per_gpu * precision.gradient_bytes * (dp - 1) / dp
+        if parallel.zero_stage >= 3:
+            zero3_parameters = 2.0 * params_per_gpu * precision.parameter_bytes * (dp - 1)
+
+    pipeline_bytes = 0.0
+    if parallel.pipeline_parallel > 1:
+        pipeline_bytes = 2.0 * activation_bytes * parallel.micro_batches
+
+    return CommBreakdown(
+        tp_bytes_per_layer=tp_per_layer,
+        ulysses_bytes_per_layer=ulysses_per_layer,
+        cp_bytes_per_layer=cp_per_layer,
+        tp_bytes_total=tp_per_layer * layers,
+        ulysses_bytes_total=ulysses_per_layer * layers,
+        cp_bytes_total=cp_per_layer * layers,
+        dp_gradient_bytes=dp_gradient,
+        zero3_parameter_bytes=zero3_parameters,
+        pipeline_bytes=pipeline_bytes,
+    )

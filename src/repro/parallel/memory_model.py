@@ -1,0 +1,191 @@
+"""Per-GPU memory accounting under a parallelism strategy.
+
+Estimates every contributor to GPU memory for one training iteration:
+model states (parameters, gradients, optimizer states, with TP/PP/ZeRO
+sharding), skeletal activations (full residency, full recomputation, or
+rounding buffers for swapped systems), transient activations and the
+fragmentation overhead of the caching allocator.  The estimate is what the
+strategy search uses to decide whether a configuration runs or OOMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import (
+    CalibrationConstants,
+    DEFAULT_CALIBRATION,
+    DEFAULT_PRECISION,
+    PrecisionConfig,
+)
+from repro.hardware.cluster import ClusterSpec
+from repro.model.activations import skeletal_breakdown_bytes, skeletal_bytes_per_layer
+from repro.model.specs import ModelConfig
+from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+
+#: Fraction of HBM usable by the training job (CUDA context, NCCL buffers and
+#: the framework itself consume the rest).
+USABLE_MEMORY_FRACTION = 0.94
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU memory consumption, split by contributor (bytes)."""
+
+    parameter_bytes: float
+    gradient_bytes: float
+    optimizer_bytes: float
+    skeletal_activation_bytes: float
+    rounding_buffer_bytes: float
+    transient_bytes: float
+    classifier_bytes: float
+    fragmentation_bytes: float
+    host_offload_bytes: float
+
+    @property
+    def model_state_bytes(self) -> float:
+        return self.parameter_bytes + self.gradient_bytes + self.optimizer_bytes
+
+    @property
+    def activation_bytes(self) -> float:
+        return (
+            self.skeletal_activation_bytes
+            + self.rounding_buffer_bytes
+            + self.transient_bytes
+            + self.classifier_bytes
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.model_state_bytes + self.activation_bytes + self.fragmentation_bytes
+
+    def fits(self, gpu_memory_bytes: float) -> bool:
+        """Whether the estimate fits in the usable portion of GPU memory."""
+        return self.total_bytes <= gpu_memory_bytes * USABLE_MEMORY_FRACTION
+
+    def host_fits(self, host_memory_bytes: float) -> bool:
+        """Whether the offloaded activations fit in the per-GPU host budget."""
+        return self.host_offload_bytes <= host_memory_bytes
+
+
+def _sharded_model_states(
+    model: ModelConfig,
+    parallel: ParallelismConfig,
+    precision: PrecisionConfig,
+) -> tuple:
+    """Parameter/gradient/optimizer bytes per GPU under TP/PP/ZeRO sharding."""
+    params_per_gpu = model.num_parameters / (
+        parallel.tensor_parallel * parallel.pipeline_parallel
+    )
+    # ZeRO (and Megatron's distributed optimizer) shards model states across
+    # the ranks that hold identical parameters: the data-parallel group plus
+    # the context-parallel and Ulysses sequence-parallel ranks.
+    zero_group = max(
+        parallel.data_parallel * parallel.ulysses_parallel * parallel.context_parallel, 1
+    )
+    param_shard = zero_group if parallel.zero_stage >= 3 else 1
+    grad_shard = zero_group if parallel.zero_stage >= 2 else 1
+    optimizer_shard = zero_group if parallel.zero_stage >= 1 else 1
+    parameter_bytes = params_per_gpu * precision.parameter_bytes / param_shard
+    gradient_bytes = params_per_gpu * precision.gradient_bytes / grad_shard
+    optimizer_bytes = params_per_gpu * (
+        precision.master_parameter_bytes + precision.optimizer_state_bytes_per_param
+    ) / optimizer_shard
+    return parameter_bytes, gradient_bytes, optimizer_bytes, params_per_gpu
+
+
+def estimate_memory(
+    model: ModelConfig,
+    cluster: ClusterSpec,
+    parallel: ParallelismConfig,
+    sequence_length: int,
+    batch_size: int = 1,
+    offload_alpha: float = 0.0,
+    planned_transient_peak_bytes: Optional[float] = None,
+    precision: PrecisionConfig = DEFAULT_PRECISION,
+    calibration: CalibrationConstants = DEFAULT_CALIBRATION,
+) -> MemoryBreakdown:
+    """Estimate per-GPU memory for one iteration under a strategy.
+
+    Args:
+        offload_alpha: token-wise offload fraction (only meaningful when the
+            strategy's offload mode is TOKEN_WISE or FULL).
+        planned_transient_peak_bytes: transient-activation peak from the
+            bi-level planner; when None a catalogue-based estimate is used and,
+            for caching-allocator systems, a fragmentation overhead is added.
+    """
+    if sequence_length <= 0:
+        raise ValueError("sequence_length must be positive")
+    parameter_bytes, gradient_bytes, optimizer_bytes, _ = _sharded_model_states(
+        model, parallel, precision
+    )
+
+    local_tokens = parallel.local_sequence_length(sequence_length)
+    tp = parallel.tensor_parallel
+    layers_per_stage = model.num_layers // parallel.pipeline_parallel
+
+    per_layer_skeletal = skeletal_bytes_per_layer(model, batch_size, local_tokens, precision) / tp
+    breakdown = skeletal_breakdown_bytes(model, batch_size, local_tokens, precision)
+    per_layer_input = breakdown["input"] / tp
+    per_layer_attn = breakdown["attn"] / tp
+    per_layer_others = breakdown["others"] / tp
+
+    skeletal_bytes = 0.0
+    rounding_buffer_bytes = 0.0
+    host_offload_bytes = 0.0
+
+    if parallel.offload in (OffloadMode.TOKEN_WISE, OffloadMode.FULL):
+        # Swapped systems keep at most two layers' skeletal activations on the
+        # GPU (the rounding buffers) regardless of depth.
+        rounding_buffer_bytes = 2.0 * per_layer_skeletal
+        swapping_layers = max(layers_per_stage - 2, 0)
+        if parallel.offload is OffloadMode.FULL:
+            offloaded_per_layer = per_layer_skeletal
+        else:
+            offloaded_per_layer = per_layer_input + per_layer_attn + offload_alpha * per_layer_others
+        host_offload_bytes = swapping_layers * offloaded_per_layer
+    elif parallel.recompute is RecomputeMode.FULL:
+        # Full recomputation: only each layer's input survives the forward
+        # pass; one layer's full skeletal set is live during its recompute.
+        skeletal_bytes = layers_per_stage * per_layer_input + per_layer_skeletal
+    elif parallel.recompute is RecomputeMode.NONE:
+        skeletal_bytes = layers_per_stage * per_layer_skeletal
+    else:
+        # Token-wise recomputation without swapping: a fraction of every
+        # layer's "other" tensors is kept, the rest recomputed.
+        kept = per_layer_input + per_layer_attn + offload_alpha * per_layer_others
+        skeletal_bytes = layers_per_stage * kept + per_layer_skeletal
+
+    # Transient activations: either the planner's peak or a catalogue estimate
+    # (the largest simultaneously-live transient working set is roughly two
+    # FFN-sized tensors plus a hidden-sized tensor).
+    hidden_bytes = batch_size * local_tokens * model.hidden_size * precision.activation_bytes / tp
+    ffn_bytes = batch_size * local_tokens * model.ffn_hidden_size * precision.activation_bytes / tp
+    if planned_transient_peak_bytes is not None:
+        transient_bytes = float(planned_transient_peak_bytes)
+        fragmentation_bytes = 0.0
+    else:
+        transient_bytes = 2.0 * ffn_bytes + 3.0 * hidden_bytes
+        fragmentation_bytes = calibration.allocator_overhead_fraction * (
+            skeletal_bytes + rounding_buffer_bytes + transient_bytes
+        )
+
+    # Classifier working set: a chunked logit buffer plus the hidden-state
+    # gradient entering the last layer.
+    logit_chunk_tokens = min(local_tokens, 4096)
+    classifier_bytes = (
+        batch_size * logit_chunk_tokens * model.vocab_size * 4.0 / tp + 2.0 * hidden_bytes
+    )
+
+    return MemoryBreakdown(
+        parameter_bytes=parameter_bytes,
+        gradient_bytes=gradient_bytes,
+        optimizer_bytes=optimizer_bytes,
+        skeletal_activation_bytes=skeletal_bytes,
+        rounding_buffer_bytes=rounding_buffer_bytes,
+        transient_bytes=transient_bytes,
+        classifier_bytes=classifier_bytes,
+        fragmentation_bytes=fragmentation_bytes,
+        host_offload_bytes=host_offload_bytes,
+    )

@@ -1,0 +1,137 @@
+"""Strategy search: enumerate legal parallelism configurations and pick the best.
+
+Each training system (MEMO, Megatron-LM, DeepSpeed-Ulysses) exposes its own
+search space -- e.g. DeepSpeed-Ulysses may only raise the Ulysses SP degree up
+to the attention-head count, Megatron-LM may raise TP beyond a node at the
+price of inter-node collectives.  The search enumerates the legal
+configurations and evaluates each with a caller-supplied function (feasibility
+plus iteration time), mirroring how the paper "manually adjusts the distributed
+parallelism strategies for each system and each workload to achieve optimal
+training performance".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.model.specs import ModelConfig
+from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+
+
+@dataclass(frozen=True)
+class StrategySearchSpace:
+    """The set of strategy knobs a training system may turn.
+
+    Attributes:
+        tensor_parallel: candidate TP degrees.
+        context_parallel: candidate CP degrees.
+        ulysses_parallel: candidate Ulysses SP degrees.
+        pipeline_parallel: candidate PP degrees.
+        zero_stages: candidate ZeRO stages.
+        recompute_modes: candidate recomputation modes.
+        offload_modes: candidate offload modes.
+        max_tensor_parallel_span_nodes: largest number of nodes a TP group may
+            span (1 keeps TP inside NVLink domains; 2 allows the paper's
+            TP=16-on-8-GPU-nodes fallback).
+    """
+
+    tensor_parallel: Sequence[int] = (1, 2, 4, 8)
+    context_parallel: Sequence[int] = (1,)
+    ulysses_parallel: Sequence[int] = (1,)
+    pipeline_parallel: Sequence[int] = (1,)
+    zero_stages: Sequence[int] = (0,)
+    recompute_modes: Sequence[RecomputeMode] = (RecomputeMode.NONE, RecomputeMode.FULL)
+    offload_modes: Sequence[OffloadMode] = (OffloadMode.NONE,)
+    max_tensor_parallel_span_nodes: int = 2
+
+
+@dataclass(frozen=True)
+class EvaluatedStrategy:
+    """A strategy together with its evaluation outcome."""
+
+    parallel: ParallelismConfig
+    feasible: bool
+    iteration_time_s: float
+    failure_reason: Optional[str] = None
+
+
+def enumerate_strategies(
+    space: StrategySearchSpace,
+    model: ModelConfig,
+    num_gpus: int,
+    gpus_per_node: int = 8,
+) -> List[ParallelismConfig]:
+    """All legal strategy combinations for a model on a given GPU count."""
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    candidates: List[ParallelismConfig] = []
+    for tp in space.tensor_parallel:
+        if tp > num_gpus:
+            continue
+        if tp > gpus_per_node * space.max_tensor_parallel_span_nodes:
+            continue
+        for cp in space.context_parallel:
+            for ulysses in space.ulysses_parallel:
+                heads_split = tp * ulysses
+                if model.num_heads % heads_split != 0:
+                    continue
+                for pp in space.pipeline_parallel:
+                    if model.num_layers % pp != 0:
+                        continue
+                    model_parallel = tp * cp * ulysses * pp
+                    if model_parallel > num_gpus or num_gpus % model_parallel != 0:
+                        continue
+                    dp = num_gpus // model_parallel
+                    for zero in space.zero_stages:
+                        # ZeRO shards states over the ranks holding identical
+                        # parameters (DP x CP x Ulysses); when that group is a
+                        # single rank the stage is a no-op, so keep only the
+                        # lowest stage to avoid duplicate evaluations.
+                        zero_group = dp * cp * ulysses
+                        if zero > 0 and zero_group == 1 and zero != min(space.zero_stages):
+                            continue
+                        for recompute in space.recompute_modes:
+                            for offload in space.offload_modes:
+                                candidates.append(
+                                    ParallelismConfig(
+                                        tensor_parallel=tp,
+                                        context_parallel=cp,
+                                        ulysses_parallel=ulysses,
+                                        pipeline_parallel=pp,
+                                        data_parallel=dp,
+                                        zero_stage=zero,
+                                        recompute=recompute,
+                                        offload=offload,
+                                        micro_batches=max(dp, 1),
+                                    )
+                                )
+    return candidates
+
+
+def find_best_strategy(
+    candidates: Iterable[ParallelismConfig],
+    evaluate: Callable[[ParallelismConfig], Tuple[bool, float, Optional[str]]],
+) -> Tuple[Optional[EvaluatedStrategy], List[EvaluatedStrategy]]:
+    """Evaluate every candidate and return the fastest feasible one.
+
+    Args:
+        evaluate: maps a strategy to ``(feasible, iteration_time_s, reason)``;
+            the reason describes why an infeasible strategy failed (OOM,
+            host OOM, illegal degree, ...).
+
+    Returns:
+        ``(best, evaluated)`` where ``best`` is None when no candidate is
+        feasible (the workload OOMs under every configuration).
+    """
+    evaluated: List[EvaluatedStrategy] = []
+    best: Optional[EvaluatedStrategy] = None
+    for candidate in candidates:
+        feasible, time_s, reason = evaluate(candidate)
+        record = EvaluatedStrategy(candidate, feasible, time_s, reason)
+        evaluated.append(record)
+        if not feasible:
+            continue
+        if best is None or record.iteration_time_s < best.iteration_time_s:
+            best = record
+    return best, evaluated

@@ -1,0 +1,141 @@
+"""Parallelism strategy configuration (DP / TP / SP / CP / PP / Ulysses / ZeRO)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.model.specs import ModelConfig
+
+
+class RecomputeMode(Enum):
+    """Activation rematerialisation mode of a training configuration."""
+
+    NONE = "none"
+    FULL = "full"
+    TOKEN_WISE = "token_wise"  # MEMO's fine-grained swap/recompute
+
+
+class OffloadMode(Enum):
+    """Activation swapping mode of a training configuration."""
+
+    NONE = "none"
+    FULL = "full"
+    TOKEN_WISE = "token_wise"
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """One point in the distributed-training strategy space.
+
+    Attributes:
+        tensor_parallel: Megatron TP degree (hidden-dimension sharding); we
+            assume Megatron sequence parallelism is enabled alongside TP, as
+            both baselines and MEMO do in the paper.
+        context_parallel: ring-attention CP degree (sequence sharding inside
+            attention).
+        ulysses_parallel: DeepSpeed-Ulysses SP degree (head sharding inside
+            attention, sequence sharding outside); limited by the head count.
+        pipeline_parallel: PP degree (layer sharding).
+        data_parallel: DP degree (replica count); together the degrees must
+            multiply to the total GPU count.
+        zero_stage: ZeRO optimizer stage applied to the DP group (0-3).
+        recompute: activation recomputation mode.
+        offload: activation swapping mode.
+        micro_batches: number of pipeline micro-batches per iteration.
+    """
+
+    tensor_parallel: int = 1
+    context_parallel: int = 1
+    ulysses_parallel: int = 1
+    pipeline_parallel: int = 1
+    data_parallel: int = 1
+    zero_stage: int = 0
+    recompute: RecomputeMode = RecomputeMode.NONE
+    offload: OffloadMode = OffloadMode.NONE
+    micro_batches: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("tensor_parallel", "context_parallel", "ulysses_parallel",
+                     "pipeline_parallel", "data_parallel", "micro_batches"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if not 0 <= self.zero_stage <= 3:
+            raise ValueError("zero_stage must be between 0 and 3")
+
+    # ------------------------------------------------------------ derived sizes
+    @property
+    def total_gpus(self) -> int:
+        """Number of GPUs this configuration occupies."""
+        return (
+            self.tensor_parallel
+            * self.context_parallel
+            * self.ulysses_parallel
+            * self.pipeline_parallel
+            * self.data_parallel
+        )
+
+    @property
+    def model_parallel_size(self) -> int:
+        """GPUs jointly holding one sequence's activations (TP x CP x Ulysses)."""
+        return self.tensor_parallel * self.context_parallel * self.ulysses_parallel
+
+    @property
+    def sequence_shards(self) -> int:
+        """Ways the sequence dimension is split outside the TP group."""
+        return self.context_parallel * self.ulysses_parallel
+
+    def validate_for(self, model: ModelConfig, num_gpus: int) -> None:
+        """Check the strategy is legal for a model and a GPU count.
+
+        Raises:
+            ValueError: when the degrees do not multiply to ``num_gpus``, the
+                attention heads cannot be divided, or the layers cannot be
+                divided across pipeline stages.
+        """
+        if self.total_gpus != num_gpus:
+            raise ValueError(
+                f"strategy uses {self.total_gpus} GPUs but {num_gpus} are available"
+            )
+        heads_split = self.tensor_parallel * self.ulysses_parallel
+        if model.num_heads % heads_split != 0:
+            raise ValueError(
+                f"attention heads ({model.num_heads}) not divisible by "
+                f"tensor_parallel x ulysses_parallel ({heads_split})"
+            )
+        if model.num_layers % self.pipeline_parallel != 0:
+            raise ValueError(
+                f"layers ({model.num_layers}) not divisible by pipeline_parallel "
+                f"({self.pipeline_parallel})"
+            )
+
+    def layers_per_stage(self, model: ModelConfig) -> int:
+        """Transformer layers per pipeline stage."""
+        return model.num_layers // self.pipeline_parallel
+
+    def local_sequence_length(self, sequence_length: int) -> int:
+        """Tokens held per GPU after sequence sharding (CP and Ulysses)."""
+        return -(-sequence_length // self.sequence_shards)
+
+    def with_updates(self, **kwargs) -> "ParallelismConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Short human-readable description (used in experiment reports)."""
+        parts = []
+        if self.tensor_parallel > 1:
+            parts.append(f"TP={self.tensor_parallel}")
+        if self.context_parallel > 1:
+            parts.append(f"CP={self.context_parallel}")
+        if self.ulysses_parallel > 1:
+            parts.append(f"Ulysses={self.ulysses_parallel}")
+        if self.pipeline_parallel > 1:
+            parts.append(f"PP={self.pipeline_parallel}")
+        if self.data_parallel > 1:
+            parts.append(f"DP={self.data_parallel}")
+        if self.zero_stage:
+            parts.append(f"ZeRO-{self.zero_stage}")
+        parts.append(f"recompute={self.recompute.value}")
+        parts.append(f"offload={self.offload.value}")
+        return ", ".join(parts) if parts else "single GPU"

@@ -1,0 +1,22 @@
+"""Offline Dynamic Storage Allocation (DSA) solvers and the bi-level memory planner."""
+
+from repro.planner.dsa import DSAProblem, DSATensor, problem_from_trace
+from repro.planner.plan import MemoryPlan, PlanEntry
+from repro.planner.exact import solve_exact, ExactSolverOptions
+from repro.planner.heuristics import solve_best_fit, solve_first_fit_decreasing
+from repro.planner.bilevel import BiLevelPlanner, BiLevelPlanResult, plan_iteration
+
+__all__ = [
+    "DSAProblem",
+    "DSATensor",
+    "problem_from_trace",
+    "MemoryPlan",
+    "PlanEntry",
+    "solve_exact",
+    "ExactSolverOptions",
+    "solve_best_fit",
+    "solve_first_fit_decreasing",
+    "BiLevelPlanner",
+    "BiLevelPlanResult",
+    "plan_iteration",
+]

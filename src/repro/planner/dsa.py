@@ -1,0 +1,120 @@
+"""Offline Dynamic Storage Allocation (DSA) problem construction.
+
+The planner receives a malloc/free trace and must assign each tensor a fixed
+address such that tensors with overlapping lifespans never overlap in memory,
+minimising the peak address used (Section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.memory.request import MemoryRequest, tensor_lifespans
+from repro.planner.plan import MemoryPlan
+
+
+@dataclass(frozen=True)
+class DSATensor:
+    """One tensor of the DSA problem: a size and a [start, end) lifespan."""
+
+    tensor_id: str
+    size: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+        if self.end <= self.start:
+            raise ValueError("lifespan end must be after start")
+
+    def conflicts_with(self, other: "DSATensor") -> bool:
+        """Whether the two tensors are ever live at the same time."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class DSAProblem:
+    """An offline DSA instance: tensors plus the conflict (interference) edges."""
+
+    tensors: Tuple[DSATensor, ...]
+    conflicts: FrozenSet[Tuple[str, str]]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(t.size for t in self.tensors)
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self.tensors)
+
+    def conflicting(self, a: str, b: str) -> bool:
+        """Whether tensors ``a`` and ``b`` have overlapping lifespans."""
+        return (a, b) in self.conflicts or (b, a) in self.conflicts
+
+    def lower_bound_bytes(self) -> int:
+        """Lower bound on the optimal peak: max total size live at any instant."""
+        events: List[Tuple[int, int]] = []
+        for tensor in self.tensors:
+            events.append((tensor.start, tensor.size))
+            events.append((tensor.end, -tensor.size))
+        # Lifespans are half-open [start, end): a tensor ending at step t does
+        # not overlap one starting at t, so releases sort before allocations.
+        events.sort(key=lambda item: (item[0], item[1]))
+        live = 0
+        peak = 0
+        for _, delta in events:
+            live += delta
+            peak = max(peak, live)
+        return peak
+
+    def validate_plan(self, plan: MemoryPlan) -> None:
+        """Check that a plan covers every tensor and respects all conflicts.
+
+        Raises:
+            ValueError: on a missing tensor, a size mismatch, or two
+                conflicting tensors whose planned regions overlap.
+        """
+        by_id: Dict[str, DSATensor] = {t.tensor_id: t for t in self.tensors}
+        for tensor in self.tensors:
+            entry = plan.get(tensor.tensor_id)
+            if entry is None:
+                raise ValueError(f"plan is missing tensor {tensor.tensor_id!r}")
+            if entry.size != tensor.size:
+                raise ValueError(
+                    f"plan size mismatch for {tensor.tensor_id!r}: "
+                    f"{entry.size} != {tensor.size}"
+                )
+        for a, b in self.conflicts:
+            entry_a = plan.get(a)
+            entry_b = plan.get(b)
+            if entry_a is not None and entry_b is not None and entry_a.overlaps(entry_b):
+                raise ValueError(
+                    f"conflicting tensors {a!r} and {b!r} overlap in the plan "
+                    f"([{entry_a.address}, {entry_a.end}) vs [{entry_b.address}, {entry_b.end}))"
+                )
+        del by_id
+
+
+def problem_from_tensors(tensors: Sequence[DSATensor]) -> DSAProblem:
+    """Build a DSA problem from explicit tensors, computing the conflict set."""
+    ids = [t.tensor_id for t in tensors]
+    if len(set(ids)) != len(ids):
+        raise ValueError("tensor ids must be unique")
+    conflicts = set()
+    for i, a in enumerate(tensors):
+        for b in tensors[i + 1:]:
+            if a.conflicts_with(b):
+                conflicts.add((a.tensor_id, b.tensor_id))
+    return DSAProblem(tensors=tuple(tensors), conflicts=frozenset(conflicts))
+
+
+def problem_from_trace(trace: Sequence[MemoryRequest]) -> DSAProblem:
+    """Build a DSA problem from a malloc/free trace (profiler output)."""
+    spans = tensor_lifespans(trace)
+    tensors = [
+        DSATensor(tensor_id=tensor_id, size=size, start=start, end=end)
+        for tensor_id, (start, end, size) in sorted(spans.items(), key=lambda kv: kv[1][0])
+    ]
+    return problem_from_tensors(tensors)

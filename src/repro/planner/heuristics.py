@@ -1,0 +1,99 @@
+"""Heuristic offline-DSA solvers.
+
+For the per-layer sub-problem the exact MIP is tractable, but validating the
+planner at scale (or planning arbitrary traces) benefits from fast,
+deterministic heuristics.  Two classical strategies are provided:
+
+* **best fit over address gaps** in chronological (malloc) order, which mirrors
+  how a well-informed online allocator would behave; and
+* **first-fit decreasing** over tensor sizes, the standard offline DSA
+  heuristic with good worst-case behaviour.
+
+Both return plans guaranteed valid (no conflicting tensors overlap); only the
+peak memory is heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.planner.dsa import DSAProblem, DSATensor
+from repro.planner.plan import MemoryPlan, PlanEntry
+
+
+def _conflicting_entries(
+    problem: DSAProblem, tensor: DSATensor, placed: Dict[str, PlanEntry]
+) -> List[PlanEntry]:
+    """Entries already placed that conflict (in time) with ``tensor``."""
+    conflicting = []
+    for other_id, entry in placed.items():
+        if problem.conflicting(tensor.tensor_id, other_id):
+            conflicting.append(entry)
+    return conflicting
+
+
+def _place_lowest_fit(
+    tensor: DSATensor,
+    conflicting: Iterable[PlanEntry],
+    best_fit: bool,
+) -> int:
+    """Choose an address for ``tensor`` avoiding all conflicting regions.
+
+    With ``best_fit`` the smallest gap that fits is chosen; otherwise the
+    lowest feasible address is used (first fit).
+    """
+    intervals = sorted((entry.address, entry.end) for entry in conflicting)
+    # Merge overlapping occupied intervals.
+    merged: List[Tuple[int, int]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    # Candidate gaps: before the first interval, between intervals, after the last.
+    gaps: List[Tuple[int, Optional[int]]] = []
+    cursor = 0
+    for start, end in merged:
+        if start - cursor >= tensor.size:
+            gaps.append((cursor, start - cursor))
+        cursor = max(cursor, end)
+    gaps.append((cursor, None))  # unbounded tail gap
+
+    if not best_fit:
+        return gaps[0][0]
+    bounded = [(addr, size) for addr, size in gaps if size is not None]
+    if bounded:
+        addr, _ = min(bounded, key=lambda gap: (gap[1], gap[0]))
+        return addr
+    return gaps[-1][0]
+
+
+def _solve_in_order(problem: DSAProblem, order: List[DSATensor], best_fit: bool, name: str) -> MemoryPlan:
+    plan = MemoryPlan(solver=name)
+    placed: Dict[str, PlanEntry] = {}
+    for tensor in order:
+        conflicting = _conflicting_entries(problem, tensor, placed)
+        address = _place_lowest_fit(tensor, conflicting, best_fit=best_fit)
+        entry = PlanEntry(tensor_id=tensor.tensor_id, address=address, size=tensor.size)
+        plan.add(entry)
+        placed[tensor.tensor_id] = entry
+    problem.validate_plan(plan)
+    return plan
+
+
+def solve_best_fit(problem: DSAProblem) -> MemoryPlan:
+    """Place tensors in allocation order, best-fitting each into the gaps."""
+    order = sorted(problem.tensors, key=lambda t: (t.start, -t.size, t.tensor_id))
+    return _solve_in_order(problem, order, best_fit=True, name="best-fit")
+
+
+def solve_first_fit_decreasing(problem: DSAProblem) -> MemoryPlan:
+    """Place tensors from largest to smallest at the lowest feasible address."""
+    order = sorted(problem.tensors, key=lambda t: (-t.size, t.start, t.tensor_id))
+    return _solve_in_order(problem, order, best_fit=False, name="first-fit-decreasing")
+
+
+def solve_heuristic(problem: DSAProblem) -> MemoryPlan:
+    """Run both heuristics and keep the plan with the smaller peak."""
+    candidates = [solve_best_fit(problem), solve_first_fit_decreasing(problem)]
+    return min(candidates, key=lambda plan: plan.peak_bytes)

@@ -1,0 +1,91 @@
+"""Memory plan produced by the planner and consumed by the planned allocator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """Planned placement of one tensor: a fixed address and size."""
+
+    tensor_id: str
+    address: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def overlaps(self, other: "PlanEntry") -> bool:
+        """Whether the two planned regions share any byte."""
+        return self.address < other.end and other.address < self.end
+
+
+@dataclass
+class MemoryPlan:
+    """Address assignment for every tensor of a trace plus the resulting peak.
+
+    Attributes:
+        entries: mapping from tensor id to its planned placement.
+        peak_bytes: total contiguous memory the plan needs (max end address).
+        solver: name of the solver that produced the plan (for reporting).
+    """
+
+    entries: Dict[str, PlanEntry] = field(default_factory=dict)
+    peak_bytes: int = 0
+    solver: str = "unknown"
+
+    def get(self, tensor_id: str) -> Optional[PlanEntry]:
+        return self.entries.get(tensor_id)
+
+    def add(self, entry: PlanEntry) -> None:
+        if entry.tensor_id in self.entries:
+            raise ValueError(f"tensor {entry.tensor_id!r} already planned")
+        self.entries[entry.tensor_id] = entry
+        self.peak_bytes = max(self.peak_bytes, entry.end)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, tensor_id: str) -> bool:
+        return tensor_id in self.entries
+
+    def shifted(self, offset: int, prefix: str = "") -> "MemoryPlan":
+        """Return a copy with every address shifted and ids optionally prefixed.
+
+        Used by the bi-level planner to embed a per-layer plan at the address
+        the model-level plan assigned to that layer's pseudo block.
+        """
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        plan = MemoryPlan(solver=self.solver)
+        for entry in self.entries.values():
+            plan.add(
+                PlanEntry(
+                    tensor_id=f"{prefix}{entry.tensor_id}",
+                    address=entry.address + offset,
+                    size=entry.size,
+                )
+            )
+        return plan
+
+    def merge(self, other: "MemoryPlan") -> None:
+        """Merge another plan's entries into this one (ids must be disjoint)."""
+        for entry in other.entries.values():
+            self.add(entry)
+
+    @staticmethod
+    def union(plans: Iterable["MemoryPlan"], solver: str = "composite") -> "MemoryPlan":
+        """Union several disjoint plans into one."""
+        result = MemoryPlan(solver=solver)
+        for plan in plans:
+            result.merge(plan)
+        return result

@@ -1,0 +1,18 @@
+"""Discrete-event training simulator: streams, cost model and iteration executor."""
+
+from repro.sim.engine import SimulationEngine, SimEvent
+from repro.sim.streams import Stream, StreamKind
+from repro.sim.costs import LayerCosts, CostModel
+from repro.sim.executor import IterationTimeline, LayerTask, simulate_iteration
+
+__all__ = [
+    "SimulationEngine",
+    "SimEvent",
+    "Stream",
+    "StreamKind",
+    "LayerCosts",
+    "CostModel",
+    "IterationTimeline",
+    "LayerTask",
+    "simulate_iteration",
+]

@@ -1,0 +1,270 @@
+"""Analytical per-layer cost model.
+
+Maps FLOP and byte counts onto simulated wall-clock time for one GPU under a
+given parallelism strategy.  The constants live in
+:class:`repro.config.CalibrationConstants`; the formulas follow the paper's
+FLOPs accounting (Section 5.1) and the standard Megatron communication-volume
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import CalibrationConstants, DEFAULT_CALIBRATION, DEFAULT_PRECISION, PrecisionConfig
+from repro.hardware.cluster import ClusterSpec
+from repro.model.activations import skeletal_bytes_per_layer
+from repro.model.flops import (
+    attention_forward_flops,
+    dense_forward_flops,
+    embedding_forward_flops,
+)
+from repro.model.specs import ModelConfig
+from repro.parallel.strategy import ParallelismConfig
+
+
+@dataclass(frozen=True)
+class LayerCosts:
+    """Per-GPU timing of one transformer layer under a strategy.
+
+    Attributes:
+        forward_compute_s: forward compute time (attention + dense + overhead).
+        backward_compute_s: backward compute time.
+        forward_attention_s: forward time of FlashAttention alone (Figure 6).
+        forward_comm_s: non-overlappable forward communication (TP collectives,
+            Ulysses all-to-all).
+        backward_comm_s: non-overlappable backward communication.
+        skeletal_bytes: per-GPU skeletal activation bytes of the layer.
+        full_offload_s: time to offload all of the layer's skeletal bytes over
+            PCIe (Figure 1(b) "Full Offload").
+        recompute_s: time of one extra forward pass (used under full
+            recomputation).
+        partial_recompute_s: time to rematerialise the "other" skeletal tensors
+            only (everything except the layer input and the FlashAttention
+            output).  Reconstructing them needs the QKV projection, the
+            attention output projection and the h->4h projection, but *not*
+            FlashAttention itself and not the 4h->h projection -- which is why
+            token-wise recomputation is cheap for long sequences (Section 4.1).
+    """
+
+    forward_compute_s: float
+    backward_compute_s: float
+    forward_attention_s: float
+    forward_comm_s: float
+    backward_comm_s: float
+    skeletal_bytes: float
+    full_offload_s: float
+    recompute_s: float
+    partial_recompute_s: float
+
+    @property
+    def forward_total_s(self) -> float:
+        return self.forward_compute_s + self.forward_comm_s
+
+    @property
+    def backward_total_s(self) -> float:
+        return self.backward_compute_s + self.backward_comm_s
+
+
+@dataclass
+class CostModel:
+    """Computes per-layer and per-iteration costs for one GPU.
+
+    Args:
+        model: model architecture.
+        cluster: hardware description (GPU, links, host memory).
+        parallel: parallelism strategy in effect.
+        batch_size: micro-batch size per model replica (the paper uses 1
+            sequence per iteration for long-context workloads).
+        calibration: constants mapping analytical counts to seconds.
+        precision: numeric formats.
+    """
+
+    model: ModelConfig
+    cluster: ClusterSpec
+    parallel: ParallelismConfig
+    batch_size: int = 1
+    calibration: CalibrationConstants = DEFAULT_CALIBRATION
+    precision: PrecisionConfig = DEFAULT_PRECISION
+
+    # ------------------------------------------------------------------ helpers
+    def _matmul_time(self, flops: float) -> float:
+        peak = self.cluster.gpu.peak_half_precision_flops
+        return flops / (peak * self.calibration.matmul_efficiency)
+
+    def _attention_time(self, flops: float) -> float:
+        peak = self.cluster.gpu.peak_half_precision_flops
+        return flops / (peak * self.calibration.attention_efficiency)
+
+    def _collective_bandwidth(self, group_size: int) -> float:
+        """Effective per-GPU bandwidth of a collective over ``group_size`` GPUs.
+
+        Intra-node groups use NVLink.  Groups spanning nodes are limited by the
+        node's InfiniBand uplink, which is shared by all GPUs of the node, so
+        the per-GPU share is the link bandwidth divided by the GPUs per node --
+        this is what makes inter-node tensor parallelism so expensive
+        (the paper's 65B Megatron-LM configurations).
+        """
+        if group_size <= 1:
+            return float("inf")
+        if self.cluster.intra_node_group(group_size):
+            link = self.cluster.node.nvlink
+            return link.bandwidth_bytes_per_s * self.calibration.nvlink_efficiency
+        link = self.cluster.interconnect
+        per_gpu_share = link.bandwidth_bytes_per_s / self.cluster.node.gpus_per_node
+        return per_gpu_share * self.calibration.ib_efficiency
+
+    def _pcie_bandwidth(self) -> float:
+        return self.cluster.node.pcie.bandwidth_bytes_per_s * self.calibration.pcie_efficiency
+
+    # -------------------------------------------------------------- layer costs
+    def layer_costs(self, sequence_length: int) -> LayerCosts:
+        """Compute the cost of one transformer layer for a global sequence length."""
+        if sequence_length <= 0:
+            raise ValueError("sequence_length must be positive")
+        shards = self.parallel.model_parallel_size
+        attn_flops = attention_forward_flops(self.model, sequence_length, self.batch_size) / shards
+        dense_flops = dense_forward_flops(self.model, sequence_length, self.batch_size) / shards
+
+        forward_attention = self._attention_time(attn_flops)
+        forward_dense = self._matmul_time(dense_flops)
+        forward_compute = forward_attention + forward_dense + self.calibration.small_op_overhead_s
+        backward_compute = forward_compute * self.calibration.backward_compute_factor
+
+        forward_comm, backward_comm = self._layer_comm_times(sequence_length)
+
+        local_tokens = self.parallel.local_sequence_length(sequence_length)
+        skeletal = skeletal_bytes_per_layer(
+            self.model, self.batch_size, local_tokens, self.precision
+        ) / self.parallel.tensor_parallel
+        full_offload = skeletal / self._pcie_bandwidth()
+
+        # Rebuilding the "other" skeletal tensors from the (offloaded) layer
+        # input needs the QKV projection (3 h^2), the attention output dense
+        # (h^2) and the h->4h projection (4 h^2) -- 8 of the 12 h^2 GEMM
+        # blocks -- plus the cheap norms/GeLU, but no FlashAttention.
+        dense_params = (
+            self.model.attention_parameters_per_layer + self.model.ffn_parameters_per_layer
+        )
+        partial_fraction = (
+            8.0 * self.model.hidden_size * self.model.hidden_size / dense_params
+        )
+        partial_recompute = (
+            forward_dense * partial_fraction + 0.5 * self.calibration.small_op_overhead_s
+        )
+
+        return LayerCosts(
+            forward_compute_s=forward_compute,
+            backward_compute_s=backward_compute,
+            forward_attention_s=forward_attention,
+            forward_comm_s=forward_comm,
+            backward_comm_s=backward_comm,
+            skeletal_bytes=skeletal,
+            full_offload_s=full_offload,
+            recompute_s=forward_compute,
+            partial_recompute_s=partial_recompute,
+        )
+
+    def _layer_comm_times(self, sequence_length: int) -> tuple:
+        """Non-overlapped communication time of one layer (forward, backward)."""
+        local_tokens = self.parallel.local_sequence_length(sequence_length)
+        activation_bytes = (
+            self.batch_size * local_tokens * self.model.hidden_size * self.precision.activation_bytes
+        )
+        forward = 0.0
+        backward = 0.0
+
+        tp = self.parallel.tensor_parallel
+        if tp > 1:
+            bandwidth = self._collective_bandwidth(tp)
+            # Megatron TP+SP: two all-gathers and two reduce-scatters per layer
+            # in each direction; each moves (tp-1)/tp of the activation.
+            volume = 4.0 * activation_bytes * (tp - 1) / tp
+            forward += volume / bandwidth
+            backward += volume / bandwidth
+
+        ulysses = self.parallel.ulysses_parallel
+        if ulysses > 1:
+            bandwidth = self._collective_bandwidth(ulysses * tp)
+            # Four all-to-alls (q, k, v, o); each rank exchanges
+            # (ulysses-1)/ulysses of its local activation shard.
+            volume = 4.0 * activation_bytes * (ulysses - 1) / ulysses
+            forward += volume / bandwidth
+            backward += volume / bandwidth
+
+        cp = self.parallel.context_parallel
+        if cp > 1:
+            bandwidth = self._collective_bandwidth(cp * tp)
+            # Ring attention exchanges K and V blocks; most of it overlaps with
+            # attention compute, so only a residual fraction is charged.
+            volume = 2.0 * activation_bytes * (cp - 1) / cp / self.parallel.tensor_parallel
+            forward += 0.25 * volume / bandwidth
+            backward += 0.5 * volume / bandwidth
+        return forward, backward
+
+    # ------------------------------------------------------------ other layers
+    def embedding_classifier_time(self, sequence_length: int) -> float:
+        """Forward + backward time of the embedding and classifier layers."""
+        shards = self.parallel.model_parallel_size
+        flops = embedding_forward_flops(self.model, sequence_length, self.batch_size) / shards
+        return 3.0 * self._matmul_time(flops)
+
+    def optimizer_step_time(self, parameters_per_gpu: float) -> float:
+        """Time of the Adam update over this GPU's parameter shard."""
+        flops = parameters_per_gpu * self.calibration.optimizer_step_flops_per_param
+        # The optimizer is memory-bandwidth bound: charge the larger of the
+        # FLOP time and the HBM traffic time (read params/grads/moments, write back).
+        bytes_moved = parameters_per_gpu * (
+            self.precision.model_state_bytes_per_param + self.precision.master_parameter_bytes
+        )
+        hbm_time = bytes_moved / self.cluster.gpu.memory_bandwidth_bytes_per_s
+        flop_time = flops / self.cluster.gpu.peak_half_precision_flops
+        return max(hbm_time, flop_time)
+
+    def gradient_sync_time(self, parameters_per_gpu: float) -> float:
+        """Per-iteration gradient synchronisation.
+
+        Gradients are averaged across every rank that holds the same
+        parameters: the DP group together with the CP and Ulysses ranks.
+        """
+        group = (
+            self.parallel.data_parallel
+            * self.parallel.context_parallel
+            * self.parallel.ulysses_parallel
+        )
+        if group <= 1:
+            return 0.0
+        bandwidth = self._collective_bandwidth(group * self.parallel.tensor_parallel)
+        volume = 2.0 * parameters_per_gpu * self.precision.gradient_bytes * (group - 1) / group
+        return volume / bandwidth
+
+    def zero3_gather_time(self, parameters_per_gpu: float) -> float:
+        """Extra per-iteration parameter all-gather traffic under ZeRO-3.
+
+        The sharding group includes the Ulysses sequence-parallel ranks (they
+        hold identical parameters), so the gathered volume grows with both the
+        DP and the Ulysses degrees.
+        """
+        group = self.parallel.data_parallel * self.parallel.ulysses_parallel
+        if group <= 1 or self.parallel.zero_stage < 3:
+            return 0.0
+        bandwidth = self._collective_bandwidth(group * self.parallel.tensor_parallel)
+        # Parameters are gathered for the forward pass and again for backward;
+        # each rank receives the (group-1)/group share it does not own.
+        volume = 2.0 * parameters_per_gpu * self.precision.parameter_bytes * (group - 1) / group
+        return volume / bandwidth
+
+    def pipeline_bubble_fraction(self) -> float:
+        """Fraction of iteration time lost to the pipeline bubble."""
+        pp = self.parallel.pipeline_parallel
+        if pp <= 1:
+            return 0.0
+        micro = max(self.parallel.micro_batches, 1)
+        return (pp - 1) / (micro + pp - 1)
+
+    def pcie_offload_time(self, num_bytes: float) -> float:
+        """D2H or H2D transfer time of ``num_bytes`` at effective PCIe bandwidth."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self._pcie_bandwidth()

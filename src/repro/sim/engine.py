@@ -1,0 +1,81 @@
+"""A small discrete-event simulation engine.
+
+The iteration executor mostly schedules work directly onto streams (which is
+sufficient because stream order is known statically), but a general event
+queue is useful for tests, for modelling asynchronous host-side events and for
+future extensions (e.g. pipeline-parallel schedules).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class SimEvent:
+    """An event scheduled at a point in simulated time."""
+
+    time: float
+    sequence: int
+    label: str = field(compare=False, default="")
+    action: Optional[Callable[["SimulationEngine"], None]] = field(compare=False, default=None)
+
+
+class SimulationEngine:
+    """Priority-queue driven discrete-event engine."""
+
+    def __init__(self) -> None:
+        self._queue: List[SimEvent] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.processed: List[SimEvent] = []
+
+    def schedule(
+        self,
+        delay: float,
+        label: str = "",
+        action: Optional[Callable[["SimulationEngine"], None]] = None,
+    ) -> SimEvent:
+        """Schedule an event ``delay`` seconds after the current time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        event = SimEvent(time=self.now + delay, sequence=next(self._counter), label=label, action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        label: str = "",
+        action: Optional[Callable[["SimulationEngine"], None]] = None,
+    ) -> SimEvent:
+        """Schedule an event at an absolute simulated time (>= now)."""
+        if time < self.now:
+            raise ValueError("cannot schedule an event in the past")
+        event = SimEvent(time=time, sequence=next(self._counter), label=label, action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in time order, optionally stopping at ``until``.
+
+        Returns the simulation time after the last processed event.
+        """
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return self.now
+            event = heapq.heappop(self._queue)
+            self.now = event.time
+            self.processed.append(event)
+            if event.action is not None:
+                event.action(self)
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still waiting to be processed."""
+        return len(self._queue)

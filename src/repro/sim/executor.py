@@ -1,0 +1,205 @@
+"""Iteration-level discrete-event execution of the swap/recompute schedule.
+
+The executor walks the forward and backward passes layer by layer, scheduling
+compute on the compute stream, offloads on the D2H stream and prefetches on
+the H2D stream, honouring the rounding-buffer dependencies of Figure 5/10:
+
+* layer ``i``'s forward compute may not start before the offload of layer
+  ``i - num_buffers`` has drained that buffer;
+* the prefetch of layer ``i`` may not start before the backward pass of layer
+  ``i + num_buffers`` has released that buffer;
+* the backward pass of layer ``i`` may not start before its prefetch and its
+  token-wise recomputation (an extra partial forward on the compute stream)
+  have completed.
+
+The resulting timeline exposes exactly the overlap/stall behaviour the paper
+analyses: short sequences stall on offloads, long sequences overlap perfectly,
+and recomputation competes with backward compute for the compute stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.sim.streams import Stream, StreamKind
+
+
+@dataclass(frozen=True)
+class LayerTask:
+    """Per-layer work description handed to the executor.
+
+    Attributes:
+        forward_compute_s: forward compute time (including non-overlapped comm).
+        backward_compute_s: backward compute time (including non-overlapped comm).
+        offload_bytes: bytes offloaded to the host after the forward pass.
+        prefetch_bytes: bytes prefetched from the host before the backward pass.
+        recompute_s: compute-stream time spent rematerialising discarded
+            activations right before the backward pass.
+        resident: True when the layer's activations stay on the GPU (no
+            offload, no prefetch, no recompute) -- e.g. the last two layers.
+    """
+
+    forward_compute_s: float
+    backward_compute_s: float
+    offload_bytes: float = 0.0
+    prefetch_bytes: float = 0.0
+    recompute_s: float = 0.0
+    resident: bool = False
+
+
+@dataclass
+class IterationTimeline:
+    """Timing results of one simulated training iteration."""
+
+    forward_end_s: float
+    backward_end_s: float
+    total_s: float
+    compute_busy_s: float
+    d2h_busy_s: float
+    h2d_busy_s: float
+    forward_stall_s: float
+    backward_stall_s: float
+    serial_overhead_s: float
+    layer_forward_starts: List[float] = field(default_factory=list)
+    layer_backward_starts: List[float] = field(default_factory=list)
+
+    @property
+    def total_stall_s(self) -> float:
+        """Compute-stream time lost waiting on transfers."""
+        return self.forward_stall_s + self.backward_stall_s
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of the iteration during which the compute stream was busy."""
+        if self.total_s == 0:
+            return 1.0
+        return self.compute_busy_s / self.total_s
+
+
+def simulate_iteration(
+    tasks: Sequence[LayerTask],
+    pcie_bandwidth_bytes_per_s: float,
+    num_buffers: int = 2,
+    boundary_compute_s: float = 0.0,
+    serial_overhead_s: float = 0.0,
+    d2h_latency_s: float = 10e-6,
+    h2d_latency_s: float = 10e-6,
+) -> IterationTimeline:
+    """Simulate one iteration (forward pass, boundary, backward pass).
+
+    Args:
+        tasks: per-layer work, ordered by layer index.
+        pcie_bandwidth_bytes_per_s: effective GPU<->CPU copy bandwidth.
+        num_buffers: number of rounding buffers (2 in the paper).
+        boundary_compute_s: compute between the last forward layer and the
+            first backward layer (classifier forward + loss + its backward).
+        serial_overhead_s: time appended after the backward pass that cannot
+            overlap with anything (optimizer step, gradient synchronisation,
+            allocator-reorganisation stalls).
+
+    Returns:
+        An :class:`IterationTimeline` with per-stream occupancy and stalls.
+    """
+    if pcie_bandwidth_bytes_per_s <= 0:
+        raise ValueError("pcie_bandwidth_bytes_per_s must be positive")
+    if num_buffers < 1:
+        raise ValueError("num_buffers must be >= 1")
+    if boundary_compute_s < 0 or serial_overhead_s < 0:
+        raise ValueError("overheads must be non-negative")
+
+    compute = Stream(StreamKind.COMPUTE)
+    d2h = Stream(StreamKind.D2H)
+    h2d = Stream(StreamKind.H2D)
+
+    num_layers = len(tasks)
+    offload_end = [0.0] * num_layers
+    backward_end = [0.0] * num_layers
+    layer_forward_starts: List[float] = []
+    layer_backward_starts: List[float] = []
+    forward_stall = 0.0
+    backward_stall = 0.0
+
+    # ------------------------------------------------------------- forward pass
+    for index, task in enumerate(tasks):
+        earliest = 0.0
+        blocker = index - num_buffers
+        if blocker >= 0 and tasks[blocker].offload_bytes > 0:
+            # The rounding buffer written by this layer must have been drained.
+            earliest = offload_end[blocker]
+        ready = max(earliest, compute.available_at)
+        forward_stall += max(earliest - compute.available_at, 0.0)
+        start, end = compute.submit(ready, task.forward_compute_s, f"fwd:{index}")
+        layer_forward_starts.append(start)
+        if task.offload_bytes > 0:
+            transfer = d2h_latency_s + task.offload_bytes / pcie_bandwidth_bytes_per_s
+            _, offload_end[index] = d2h.submit(end, transfer, f"offload:{index}")
+        else:
+            offload_end[index] = end
+
+    forward_end = compute.available_at
+
+    # ----------------------------------------------------------------- boundary
+    if boundary_compute_s > 0:
+        compute.submit(compute.available_at, boundary_compute_s, "classifier")
+
+    # ------------------------------------------------------------ backward pass
+    prefetch_end = [0.0] * num_layers
+    prefetch_scheduled = [False] * num_layers
+
+    def schedule_prefetch(layer: int, earliest: float) -> None:
+        task = tasks[layer]
+        if prefetch_scheduled[layer] or task.prefetch_bytes <= 0:
+            prefetch_end[layer] = max(prefetch_end[layer], earliest)
+            prefetch_scheduled[layer] = True
+            return
+        transfer = h2d_latency_s + task.prefetch_bytes / pcie_bandwidth_bytes_per_s
+        _, prefetch_end[layer] = h2d.submit(earliest, transfer, f"prefetch:{layer}")
+        prefetch_scheduled[layer] = True
+
+    # The first prefetches can start as soon as the forward pass no longer
+    # needs the D2H stream and the corresponding buffers are free.  Buffers are
+    # initially held by the last ``num_buffers`` layers (which stay resident).
+    for layer in range(num_layers - 1, -1, -1):
+        if tasks[layer].resident or tasks[layer].prefetch_bytes <= 0:
+            prefetch_scheduled[layer] = True
+            prefetch_end[layer] = forward_end
+
+    for index in range(num_layers - 1, -1, -1):
+        task = tasks[index]
+        # Release-driven prefetch: once this layer's backward finishes, the
+        # layer ``index - num_buffers`` may be prefetched into the freed buffer.
+        earliest = prefetch_end[index] if not task.resident else 0.0
+        ready = max(earliest, compute.available_at)
+        backward_stall += max(earliest - compute.available_at, 0.0)
+        if task.recompute_s > 0:
+            _, ready = compute.submit(ready, task.recompute_s, f"recompute:{index}")
+        start, end = compute.submit(ready, task.backward_compute_s, f"bwd:{index}")
+        layer_backward_starts.append(start)
+        backward_end[index] = end
+        target = index - num_buffers
+        if target >= 0:
+            schedule_prefetch(target, end)
+
+    # Any prefetch that was never triggered by a buffer release (short models)
+    # is scheduled at the end of the forward pass.
+    for layer in range(num_layers):
+        if not prefetch_scheduled[layer]:
+            schedule_prefetch(layer, forward_end)
+
+    backward_finish = compute.available_at
+    total = backward_finish + serial_overhead_s
+
+    return IterationTimeline(
+        forward_end_s=forward_end,
+        backward_end_s=backward_finish,
+        total_s=total,
+        compute_busy_s=compute.busy_time,
+        d2h_busy_s=d2h.busy_time,
+        h2d_busy_s=h2d.busy_time,
+        forward_stall_s=forward_stall,
+        backward_stall_s=backward_stall,
+        serial_overhead_s=serial_overhead_s,
+        layer_forward_starts=layer_forward_starts,
+        layer_backward_starts=layer_backward_starts,
+    )

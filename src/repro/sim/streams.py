@@ -1,0 +1,47 @@
+"""Stream abstractions mirroring the three CUDA streams of the MEMO runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Tuple
+
+
+class StreamKind(Enum):
+    """The three streams used by the runtime executor (Section 4.3.4)."""
+
+    COMPUTE = "compute"
+    D2H = "d2h"
+    H2D = "h2d"
+
+
+@dataclass
+class Stream:
+    """A serialised execution stream: work items run back-to-back in order."""
+
+    kind: StreamKind
+    available_at: float = 0.0
+    busy_time: float = 0.0
+    intervals: List[Tuple[float, float, str]] = field(default_factory=list)
+
+    def submit(self, earliest_start: float, duration: float, label: str = "") -> Tuple[float, float]:
+        """Schedule a work item that may not start before ``earliest_start``.
+
+        Returns the (start, end) times.  Work on a stream is serialised, so the
+        actual start is the later of ``earliest_start`` and the stream's
+        previous completion time.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        start = max(earliest_start, self.available_at)
+        end = start + duration
+        self.available_at = end
+        self.busy_time += duration
+        self.intervals.append((start, end, label))
+        return start, end
+
+    def idle_time(self, horizon: float) -> float:
+        """Total idle time of the stream within [0, horizon]."""
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        return max(horizon - self.busy_time, 0.0)

@@ -1,0 +1,18 @@
+"""Token-wise activation recomputation and swapping (Section 4.1 of the paper)."""
+
+from repro.swap.alpha import AlphaProblem, AlphaSolution, solve_alpha
+from repro.swap.buffers import RoundingBuffers, BufferAssignment
+from repro.swap.host_memory import HostMemoryBudget
+from repro.swap.schedule import LayerSwapPlan, SwapSchedule, build_swap_schedule
+
+__all__ = [
+    "AlphaProblem",
+    "AlphaSolution",
+    "solve_alpha",
+    "RoundingBuffers",
+    "BufferAssignment",
+    "HostMemoryBudget",
+    "LayerSwapPlan",
+    "SwapSchedule",
+    "build_swap_schedule",
+]

@@ -1,0 +1,154 @@
+"""The offload-fraction optimisation (Section 4.1).
+
+MEMO always offloads the layer input and the FlashAttention output, and
+offloads a fraction ``alpha`` of the tokens of every other skeletal tensor,
+recomputing the remaining ``1 - alpha``.  The paper chooses ``alpha`` as::
+
+    max   alpha
+    s.t.  (S_input + S_attn + alpha * S_others) / B  <=  T_layer
+          (n - 2) * (S_input + S_attn + alpha * S_others)  <=  M_CPU
+
+where ``B`` is the PCIe bandwidth, ``T_layer`` the forward time of one
+transformer layer, ``n`` the number of layers and ``M_CPU`` the CPU memory
+budget.  Because the objective and both constraints are monotone in ``alpha``,
+the LP has a closed-form solution: the minimum of the two constraint-implied
+upper bounds, clipped to [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AlphaProblem:
+    """Inputs of the offload-fraction LP, all in SI units (bytes, seconds).
+
+    Attributes:
+        input_bytes: per-layer size of the always-offloaded layer input.
+        attn_output_bytes: per-layer size of the always-offloaded
+            FlashAttention output.
+        other_bytes: per-layer total size of the remaining skeletal tensors.
+        pcie_bandwidth_bytes_per_s: effective GPU->CPU copy bandwidth.
+        layer_forward_time_s: forward compute time of one transformer layer.
+        num_layers: number of transformer layers on this pipeline stage.
+        cpu_memory_bytes: host-memory budget available to this GPU.
+    """
+
+    input_bytes: float
+    attn_output_bytes: float
+    other_bytes: float
+    pcie_bandwidth_bytes_per_s: float
+    layer_forward_time_s: float
+    num_layers: int
+    cpu_memory_bytes: float
+
+    def __post_init__(self) -> None:
+        if min(self.input_bytes, self.attn_output_bytes, self.other_bytes) < 0:
+            raise ValueError("tensor sizes must be non-negative")
+        if self.pcie_bandwidth_bytes_per_s <= 0:
+            raise ValueError("PCIe bandwidth must be positive")
+        if self.layer_forward_time_s < 0:
+            raise ValueError("layer forward time must be non-negative")
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.cpu_memory_bytes < 0:
+            raise ValueError("cpu_memory_bytes must be non-negative")
+
+    @property
+    def always_offloaded_bytes(self) -> float:
+        """Bytes offloaded regardless of alpha (layer input + attention output)."""
+        return self.input_bytes + self.attn_output_bytes
+
+    def offloaded_bytes(self, alpha: float) -> float:
+        """Per-layer bytes offloaded to the CPU for a given alpha."""
+        return self.always_offloaded_bytes + alpha * self.other_bytes
+
+    def offload_time(self, alpha: float) -> float:
+        """Per-layer D2H transfer time for a given alpha."""
+        return self.offloaded_bytes(alpha) / self.pcie_bandwidth_bytes_per_s
+
+    @property
+    def swapping_layers(self) -> int:
+        """Layers whose activations are actually swapped.
+
+        The last two layers start their backward pass right after the forward
+        pass finishes, so their activations never need to leave the GPU
+        (paper, Section 4.1).
+        """
+        return max(self.num_layers - 2, 0)
+
+
+@dataclass(frozen=True)
+class AlphaSolution:
+    """Solution of the offload-fraction LP.
+
+    Attributes:
+        alpha: optimal offload fraction in [0, 1].
+        bandwidth_bound: largest alpha allowed by the overlap constraint.
+        cpu_memory_bound: largest alpha allowed by the host-memory constraint.
+        feasible: False when even ``alpha = 0`` violates the host-memory
+            constraint (the mandatory tensors alone deplete CPU memory); the
+            caller must then reduce the always-offloaded set or fail with an
+            out-of-host-memory condition.
+        offload_time_s: per-layer D2H time at the chosen alpha.
+        cpu_bytes_used: host memory consumed at the chosen alpha.
+    """
+
+    alpha: float
+    bandwidth_bound: float
+    cpu_memory_bound: float
+    feasible: bool
+    offload_time_s: float
+    cpu_bytes_used: float
+
+    @property
+    def recompute_fraction(self) -> float:
+        """Fraction of "other" skeletal tokens that must be recomputed."""
+        return 1.0 - self.alpha
+
+
+def solve_alpha(problem: AlphaProblem) -> AlphaSolution:
+    """Solve the offload-fraction LP in closed form.
+
+    Both constraints are linear and increasing in alpha, so the optimum is the
+    smaller of the two constraint-implied bounds, clipped to [0, 1].  When the
+    mandatory offload alone violates a constraint the corresponding bound is
+    negative; the bandwidth constraint is then allowed to be violated (the
+    transfer simply stalls compute and the simulator charges the stall), but a
+    violated CPU-memory constraint makes the problem infeasible.
+    """
+    mandatory = problem.always_offloaded_bytes
+
+    if problem.other_bytes > 0:
+        bandwidth_bound = (
+            problem.layer_forward_time_s * problem.pcie_bandwidth_bytes_per_s - mandatory
+        ) / problem.other_bytes
+    else:
+        transfer = mandatory / problem.pcie_bandwidth_bytes_per_s
+        bandwidth_bound = 1.0 if transfer <= problem.layer_forward_time_s else 0.0
+
+    swapping_layers = problem.swapping_layers
+    if swapping_layers == 0:
+        cpu_memory_bound = 1.0
+        feasible = True
+    elif problem.other_bytes > 0:
+        cpu_memory_bound = (
+            problem.cpu_memory_bytes / swapping_layers - mandatory
+        ) / problem.other_bytes
+        feasible = cpu_memory_bound >= 0.0
+    else:
+        feasible = swapping_layers * mandatory <= problem.cpu_memory_bytes
+        cpu_memory_bound = 1.0 if feasible else 0.0
+
+    alpha = min(1.0, max(0.0, bandwidth_bound), max(0.0, cpu_memory_bound))
+    if not feasible:
+        alpha = 0.0
+    return AlphaSolution(
+        alpha=alpha,
+        bandwidth_bound=bandwidth_bound,
+        cpu_memory_bound=cpu_memory_bound,
+        feasible=feasible,
+        offload_time_s=problem.offload_time(alpha),
+        cpu_bytes_used=swapping_layers * problem.offloaded_bytes(alpha),
+    )

@@ -1,0 +1,68 @@
+"""Host (CPU) memory budget accounting for activation offloading."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class HostOutOfMemoryError(RuntimeError):
+    """Raised when offloaded activations would exceed the host-memory budget."""
+
+
+@dataclass
+class HostMemoryBudget:
+    """Tracks host memory consumed by offloaded activations.
+
+    The budget is per-GPU: a node's DRAM is shared by all of its GPUs, so each
+    GPU may only use ``node_memory / gpus_per_node`` (Section 4.1).
+    """
+
+    capacity_bytes: float
+    _used: float = 0.0
+    _per_layer: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+
+    @property
+    def used_bytes(self) -> float:
+        return self._used
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self._used
+
+    def can_offload(self, num_bytes: float) -> bool:
+        """Whether an offload of the given size fits in the remaining budget."""
+        return self._used + num_bytes <= self.capacity_bytes
+
+    def offload(self, layer_index: int, num_bytes: float) -> None:
+        """Account for layer ``layer_index`` offloading ``num_bytes`` to the host.
+
+        Raises:
+            HostOutOfMemoryError: when the budget would be exceeded (the
+                paper's "out of host memory" condition).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if not self.can_offload(num_bytes):
+            raise HostOutOfMemoryError(
+                f"offloading {num_bytes:.3e} bytes for layer {layer_index} exceeds the "
+                f"host budget ({self._used:.3e} used of {self.capacity_bytes:.3e})"
+            )
+        self._per_layer[layer_index] = self._per_layer.get(layer_index, 0.0) + num_bytes
+        self._used += num_bytes
+
+    def release(self, layer_index: int) -> float:
+        """Release everything offloaded for a layer (after its backward pass)."""
+        released = self._per_layer.pop(layer_index, 0.0)
+        self._used -= released
+        return released
+
+    def peak_fraction(self) -> float:
+        """Fraction of the budget currently in use."""
+        if self.capacity_bytes == 0:
+            return 0.0 if self._used == 0 else float("inf")
+        return self._used / self.capacity_bytes

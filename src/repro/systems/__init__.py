@@ -1,0 +1,20 @@
+"""End-to-end training systems: MEMO and the two baseline frameworks."""
+
+from repro.systems.base import TrainingSystem, TrainingReport, Workload
+from repro.systems.metrics import compute_mfu, compute_tgs, format_wall_clock
+from repro.systems.memo import MemoSystem, MemoVariant
+from repro.systems.megatron import MegatronSystem
+from repro.systems.deepspeed import DeepSpeedSystem
+
+__all__ = [
+    "TrainingSystem",
+    "TrainingReport",
+    "Workload",
+    "compute_mfu",
+    "compute_tgs",
+    "format_wall_clock",
+    "MemoSystem",
+    "MemoVariant",
+    "MegatronSystem",
+    "DeepSpeedSystem",
+]

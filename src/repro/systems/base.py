@@ -1,0 +1,424 @@
+"""Common machinery for training systems: workloads, reports and the shared
+iteration simulator every system (MEMO and baselines) builds on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.config import CalibrationConstants, DEFAULT_CALIBRATION, DEFAULT_PRECISION, PrecisionConfig
+from repro.hardware.cluster import ClusterSpec, make_a800_cluster
+from repro.model.specs import ModelConfig, get_model_config
+from repro.parallel.memory_model import MemoryBreakdown, estimate_memory
+from repro.parallel.search import StrategySearchSpace, enumerate_strategies, find_best_strategy
+from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+from repro.sim.costs import CostModel
+from repro.sim.executor import IterationTimeline, LayerTask, simulate_iteration
+from repro.swap.schedule import SwapSchedule, build_swap_schedule
+from repro.systems.metrics import compute_mfu, compute_tgs, format_wall_clock
+
+#: Global batch used throughout the paper's end-to-end evaluation: the TGS and
+#: wall-clock numbers of Table 3 are consistent with 16 sequences per iteration.
+DEFAULT_GLOBAL_BATCH_SAMPLES = 16
+
+#: Per-GPU PCIe bandwidth is shared with the other GPUs of the node when they
+#: offload concurrently; the achievable per-GPU rate is correspondingly lower.
+#: Calibrated so that one layer's full offload overlaps one layer's forward
+#: compute at roughly a 192K sequence length with TP=8 (Figure 1(b)).
+PCIE_CONTENTION_FACTOR = 0.36
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A training workload: model, context length and cluster size."""
+
+    model_name: str
+    sequence_length: int
+    num_gpus: int
+    global_batch_samples: int = DEFAULT_GLOBAL_BATCH_SAMPLES
+    micro_batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sequence_length <= 0:
+            raise ValueError("sequence_length must be positive")
+        if self.num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if self.global_batch_samples <= 0:
+            raise ValueError("global_batch_samples must be positive")
+
+    @property
+    def model(self) -> ModelConfig:
+        return get_model_config(self.model_name)
+
+    def cluster(self) -> ClusterSpec:
+        return make_a800_cluster(self.num_gpus)
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of running (simulating) a workload with a training system.
+
+    ``feasible`` is False when no strategy in the system's search space fits in
+    GPU and host memory; ``failure_reason`` then distinguishes ``"oom"`` (GPU)
+    from ``"oohm"`` (host), matching the paper's %oom / %oohm markers.
+    """
+
+    system: str
+    workload: Workload
+    feasible: bool
+    failure_reason: Optional[str] = None
+    mfu: float = 0.0
+    tgs: float = 0.0
+    iteration_time_s: float = 0.0
+    parallel: Optional[ParallelismConfig] = None
+    alpha: Optional[float] = None
+    memory: Optional[MemoryBreakdown] = None
+    timeline: Optional[IterationTimeline] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def wall_clock(self) -> str:
+        """Formatted per-iteration wall-clock time (or the failure marker)."""
+        if not self.feasible:
+            return f"%{self.failure_reason or 'oom'}"
+        return format_wall_clock(self.iteration_time_s)
+
+    def cell(self, metric: str) -> str:
+        """Render one Table 3 cell (mfu / tgs / wall_clock)."""
+        if not self.feasible:
+            return f"%{self.failure_reason or 'oom'}"
+        if metric == "mfu":
+            return f"{self.mfu * 100:.2f}%"
+        if metric == "tgs":
+            return f"{self.tgs:.2f}"
+        if metric == "wall_clock":
+            return self.wall_clock
+        raise ValueError(f"unknown metric {metric!r}")
+
+
+@dataclass
+class StrategyEvaluation:
+    """Internal result of evaluating one strategy for one workload."""
+
+    feasible: bool
+    iteration_time_s: float
+    reason: Optional[str]
+    memory: Optional[MemoryBreakdown] = None
+    timeline: Optional[IterationTimeline] = None
+    alpha: Optional[float] = None
+    reorganizations: int = 0
+
+
+class TrainingSystem(ABC):
+    """Base class of the simulated training systems.
+
+    Subclasses define a name, a strategy search space and how a single strategy
+    is evaluated (memory feasibility plus iteration time); the base class runs
+    the search and converts the best strategy into a :class:`TrainingReport`.
+    """
+
+    #: Multiplier on activation memory modelling framework-specific overheads
+    #: (workspace buffers, less economical checkpoint storage).  Calibrated per
+    #: system against the paper's maximum supported sequence lengths.
+    activation_overhead_factor: float = 1.0
+
+    #: Whether the system plans memory statically (no fragmentation overhead,
+    #: no allocator-reorganisation stalls).
+    uses_memory_planning: bool = False
+
+    def __init__(
+        self,
+        calibration: CalibrationConstants = DEFAULT_CALIBRATION,
+        precision: PrecisionConfig = DEFAULT_PRECISION,
+    ) -> None:
+        self.calibration = calibration
+        self.precision = precision
+
+    # ------------------------------------------------------------- subclass API
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable system name."""
+
+    @abstractmethod
+    def search_space(self, workload: Workload) -> StrategySearchSpace:
+        """The strategy knobs this system may use for a workload."""
+
+    @abstractmethod
+    def evaluate_strategy(self, workload: Workload, parallel: ParallelismConfig) -> StrategyEvaluation:
+        """Evaluate one strategy: memory feasibility and iteration time."""
+
+    # --------------------------------------------------------------- public API
+    def run(self, workload: Workload) -> TrainingReport:
+        """Search the strategy space and report the best achievable efficiency."""
+        model = workload.model
+        cluster = workload.cluster()
+        candidates = enumerate_strategies(
+            self.search_space(workload), model, workload.num_gpus,
+            gpus_per_node=cluster.node.gpus_per_node,
+        )
+        evaluations = {}
+
+        def evaluate(parallel: ParallelismConfig) -> Tuple[bool, float, Optional[str]]:
+            evaluation = self.evaluate_strategy(workload, parallel)
+            evaluations[parallel] = evaluation
+            return evaluation.feasible, evaluation.iteration_time_s, evaluation.reason
+
+        best, evaluated = find_best_strategy(candidates, evaluate)
+        if best is None:
+            reason = _dominant_failure_reason([evaluations[e.parallel] for e in evaluated])
+            return TrainingReport(
+                system=self.name,
+                workload=workload,
+                feasible=False,
+                failure_reason=reason,
+            )
+        evaluation = evaluations[best.parallel]
+        mfu = compute_mfu(
+            model, workload.sequence_length, workload.global_batch_samples,
+            workload.num_gpus, cluster.gpu, evaluation.iteration_time_s,
+        )
+        tgs = compute_tgs(
+            workload.sequence_length, workload.global_batch_samples,
+            workload.num_gpus, evaluation.iteration_time_s,
+        )
+        return TrainingReport(
+            system=self.name,
+            workload=workload,
+            feasible=True,
+            mfu=mfu,
+            tgs=tgs,
+            iteration_time_s=evaluation.iteration_time_s,
+            parallel=best.parallel,
+            alpha=evaluation.alpha,
+            memory=evaluation.memory,
+            timeline=evaluation.timeline,
+        )
+
+    def max_sequence_length(
+        self,
+        model_name: str,
+        num_gpus: int,
+        candidates_k: Optional[List[int]] = None,
+    ) -> int:
+        """Longest sequence length (in K tokens) the system can train.
+
+        Used by the scalability experiment (Figure 11(a)); the candidate grid
+        defaults to multiples of 128K up to 8M.
+        """
+        if candidates_k is None:
+            candidates_k = [128 * i for i in range(1, 65)]
+        longest = 0
+        for kilotokens in sorted(candidates_k):
+            workload = Workload(model_name, kilotokens * 1024, num_gpus)
+            report = self.run(workload)
+            if report.feasible:
+                longest = kilotokens
+        return longest
+
+    # ------------------------------------------------------------ shared pieces
+    def _shared_evaluation(
+        self,
+        workload: Workload,
+        parallel: ParallelismConfig,
+        alpha: Optional[float],
+        extra_serial_s: float = 0.0,
+        activation_overhead_factor: Optional[float] = None,
+    ) -> StrategyEvaluation:
+        """Memory check plus iteration-time simulation shared by all systems.
+
+        Subclasses call this after fixing the recompute/offload mode in
+        ``parallel`` and choosing ``alpha`` (MEMO solves it, baselines pass 0).
+        """
+        model = workload.model
+        cluster = workload.cluster()
+        overhead = (
+            self.activation_overhead_factor
+            if activation_overhead_factor is None
+            else activation_overhead_factor
+        )
+        cost_model = CostModel(
+            model=model,
+            cluster=cluster,
+            parallel=parallel,
+            batch_size=workload.micro_batch_size,
+            calibration=self.calibration,
+            precision=self.precision,
+        )
+        layer_costs = cost_model.layer_costs(workload.sequence_length)
+        layers_per_stage = parallel.layers_per_stage(model)
+        pcie_bandwidth = (
+            cluster.node.pcie.bandwidth_bytes_per_s
+            * self.calibration.pcie_efficiency
+            * PCIE_CONTENTION_FACTOR
+        )
+
+        schedule: Optional[SwapSchedule] = None
+        effective_alpha = alpha
+        if parallel.offload in (OffloadMode.TOKEN_WISE, OffloadMode.FULL):
+            forced_alpha = 1.0 if parallel.offload is OffloadMode.FULL else alpha
+            schedule = build_swap_schedule(
+                model=model,
+                batch_size=workload.micro_batch_size,
+                sequence_length=parallel.local_sequence_length(workload.sequence_length),
+                layer_forward_time_s=layer_costs.forward_total_s,
+                pcie_bandwidth_bytes_per_s=pcie_bandwidth,
+                host_capacity_bytes=cluster.node.cpu_memory_per_gpu_bytes,
+                num_layers=layers_per_stage,
+                alpha=forced_alpha,
+                tensor_shards=parallel.tensor_parallel,
+                precision=self.precision,
+            )
+            effective_alpha = schedule.alpha
+            if not schedule.feasible:
+                return StrategyEvaluation(
+                    feasible=False, iteration_time_s=float("inf"), reason="oohm",
+                    alpha=effective_alpha,
+                )
+
+        memory = estimate_memory(
+            model=model,
+            cluster=cluster,
+            parallel=parallel,
+            sequence_length=workload.sequence_length,
+            batch_size=workload.micro_batch_size,
+            offload_alpha=effective_alpha or 0.0,
+            planned_transient_peak_bytes=None,
+            precision=self.precision,
+            calibration=self.calibration,
+        )
+        memory = _scale_activations(memory, overhead, planned=self.uses_memory_planning)
+        if not memory.fits(cluster.gpu.memory_bytes):
+            return StrategyEvaluation(
+                feasible=False, iteration_time_s=float("inf"), reason="oom", memory=memory,
+            )
+        if not memory.host_fits(cluster.node.cpu_memory_per_gpu_bytes):
+            return StrategyEvaluation(
+                feasible=False, iteration_time_s=float("inf"), reason="oohm", memory=memory,
+            )
+
+        tasks = self._layer_tasks(parallel, layer_costs, layers_per_stage, schedule)
+        boundary = cost_model.embedding_classifier_time(workload.sequence_length)
+
+        timeline = simulate_iteration(
+            tasks,
+            pcie_bandwidth_bytes_per_s=pcie_bandwidth,
+            boundary_compute_s=boundary,
+            serial_overhead_s=0.0,
+        )
+
+        micro_iterations = max(workload.global_batch_samples // max(parallel.data_parallel, 1), 1)
+        params_per_gpu = model.num_parameters / (
+            parallel.tensor_parallel * parallel.pipeline_parallel
+        )
+
+        # Allocator-reorganisation stalls: only systems without memory planning
+        # suffer them.  Every micro-batch churns the caching allocator, so the
+        # reorganisation count grows with both memory pressure and the number
+        # of micro-batches; each stall costs roughly the time to cudaFree and
+        # re-cudaMalloc the reserved segments (the paper observes 6 and 16
+        # stalls per iteration at 128K and 256K for the 7B model).
+        reorganizations = 0
+        reorg_stall = 0.0
+        if not self.uses_memory_planning:
+            pressure = memory.total_bytes / cluster.gpu.memory_bytes
+            per_micro_batch = min(max((pressure - 0.35) * 2.5, 0.0), 2.0)
+            reorganizations = int(round(per_micro_batch * micro_iterations))
+            reserved = min(memory.total_bytes * 1.15, float(cluster.gpu.memory_bytes))
+            per_stall = reserved / self.calibration.reorg_bandwidth_bytes_per_s
+            reorg_stall = reorganizations * per_stall
+        per_iteration_serial = (
+            cost_model.optimizer_step_time(params_per_gpu)
+            + cost_model.gradient_sync_time(params_per_gpu)
+            + cost_model.zero3_gather_time(params_per_gpu)
+            + reorg_stall
+            + extra_serial_s
+        )
+        bubble = cost_model.pipeline_bubble_fraction()
+        compute_time = micro_iterations * timeline.total_s / max(1.0 - bubble, 1e-9)
+        iteration_time = compute_time + per_iteration_serial
+        return StrategyEvaluation(
+            feasible=True,
+            iteration_time_s=iteration_time,
+            reason=None,
+            memory=memory,
+            timeline=timeline,
+            alpha=effective_alpha,
+            reorganizations=reorganizations,
+        )
+
+    def _layer_tasks(
+        self,
+        parallel: ParallelismConfig,
+        layer_costs,
+        layers_per_stage: int,
+        schedule: Optional[SwapSchedule],
+    ) -> List[LayerTask]:
+        """Build the executor's per-layer task list for this strategy."""
+        tasks: List[LayerTask] = []
+        for layer in range(layers_per_stage):
+            offload_bytes = 0.0
+            prefetch_bytes = 0.0
+            recompute_s = 0.0
+            resident = False
+            if schedule is not None:
+                plan = schedule.layers[layer]
+                offload_bytes = plan.offload_bytes
+                prefetch_bytes = plan.prefetch_bytes
+                resident = plan.offload_bytes == 0 and plan.recompute_bytes == 0
+                # Token-wise recomputation only rebuilds the "other" skeletal
+                # tensors, which does not involve FlashAttention and is
+                # therefore cheap relative to a full forward pass.
+                recompute_s = schedule.recompute_fraction(layer) * layer_costs.partial_recompute_s
+            elif parallel.recompute is RecomputeMode.FULL:
+                recompute_s = layer_costs.recompute_s
+            elif parallel.recompute is RecomputeMode.TOKEN_WISE:
+                # Token-wise recomputation without swapping: every "other"
+                # skeletal tensor is rebuilt before the backward pass.
+                recompute_s = layer_costs.partial_recompute_s
+            tasks.append(
+                LayerTask(
+                    forward_compute_s=layer_costs.forward_total_s,
+                    backward_compute_s=layer_costs.backward_total_s,
+                    offload_bytes=offload_bytes,
+                    prefetch_bytes=prefetch_bytes,
+                    recompute_s=recompute_s,
+                    resident=resident,
+                )
+            )
+        return tasks
+
+
+def _scale_activations(memory: MemoryBreakdown, factor: float, planned: bool) -> MemoryBreakdown:
+    """Apply a system-specific activation-overhead factor to a memory estimate."""
+    if factor == 1.0 and not planned:
+        return memory
+    fragmentation = 0.0 if planned else memory.fragmentation_bytes * factor
+    return MemoryBreakdown(
+        parameter_bytes=memory.parameter_bytes,
+        gradient_bytes=memory.gradient_bytes,
+        optimizer_bytes=memory.optimizer_bytes,
+        skeletal_activation_bytes=memory.skeletal_activation_bytes * factor,
+        rounding_buffer_bytes=memory.rounding_buffer_bytes * factor,
+        transient_bytes=memory.transient_bytes * factor,
+        classifier_bytes=memory.classifier_bytes * factor,
+        fragmentation_bytes=fragmentation,
+        host_offload_bytes=memory.host_offload_bytes,
+    )
+
+
+def _dominant_failure_reason(evaluations: List[StrategyEvaluation]) -> str:
+    """Summarise why no strategy worked.
+
+    GPU out-of-memory dominates; a pure host-memory exhaustion is reported as
+    "oohm" (the paper's marker).  Reasons unrelated to memory (e.g. strategies
+    excluded by a pinned configuration) are ignored.
+    """
+    reasons = {evaluation.reason for evaluation in evaluations if evaluation.reason}
+    if "oom" in reasons:
+        return "oom"
+    if "oohm" in reasons:
+        return "oohm"
+    return "oom"

@@ -1,0 +1,55 @@
+"""The DeepSpeed (Megatron-DeepSpeed + DeepSpeed-Ulysses + ZeRO-3) baseline."""
+
+from __future__ import annotations
+
+from repro.parallel.search import StrategySearchSpace
+from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+from repro.systems.base import StrategyEvaluation, TrainingSystem, Workload
+
+
+class DeepSpeedSystem(TrainingSystem):
+    """DeepSpeed with the Ulysses sequence-parallel attention and ZeRO-3.
+
+    The Ulysses SP degree must divide both the attention-head count and the
+    GPU count, which caps the achievable sequence sharding (the paper's
+    Observation: degree 8 for the 7B/13B/30B models).  Model states are
+    sharded ZeRO-3 style across all GPUs, at the price of parameter all-gather
+    traffic every iteration.  Activation management goes through the caching
+    allocator and is less economical than Megatron-LM's (the Megatron-DeepSpeed
+    integration keeps additional all-to-all workspaces and checkpoint copies),
+    which is modelled with an activation-overhead factor calibrated against the
+    paper's maximum supported sequence lengths.
+    """
+
+    activation_overhead_factor = 2.4
+    uses_memory_planning = False
+
+    @property
+    def name(self) -> str:
+        return "DeepSpeed"
+
+    def search_space(self, workload: Workload) -> StrategySearchSpace:
+        model = workload.model
+        gpus = workload.num_gpus
+        ulysses_candidates = tuple(
+            degree
+            for degree in (1, 2, 4, 8, 16, 32, 64)
+            if degree <= gpus and model.num_heads % degree == 0 and gpus % degree == 0
+        )
+        return StrategySearchSpace(
+            tensor_parallel=(1,),
+            context_parallel=(1,),
+            ulysses_parallel=ulysses_candidates,
+            pipeline_parallel=(1,),
+            zero_stages=(3,),
+            recompute_modes=(RecomputeMode.NONE, RecomputeMode.FULL),
+            offload_modes=(OffloadMode.NONE,),
+            max_tensor_parallel_span_nodes=1,
+        )
+
+    def evaluate_strategy(self, workload: Workload, parallel: ParallelismConfig) -> StrategyEvaluation:
+        # ZeRO-3 shards model states across every GPU of the job, not just the
+        # DP group; emulate that by treating the whole job as the DP group for
+        # the memory estimate (the communication cost is charged in the cost
+        # model through zero3_gather_time over the DP group).
+        return self._shared_evaluation(workload, parallel, alpha=0.0)

@@ -1,0 +1,63 @@
+"""Training-efficiency metrics: MFU, TGS and wall-clock formatting (Section 5.1)."""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+from repro.model.flops import model_flops_per_sample
+from repro.model.specs import ModelConfig
+
+
+def compute_mfu(
+    model: ModelConfig,
+    sequence_length: int,
+    samples_per_iteration: int,
+    num_gpus: int,
+    gpu: GPUSpec,
+    iteration_time_s: float,
+) -> float:
+    """Model FLOPs Utilization: achieved model FLOPs over peak hardware FLOPs.
+
+    The model FLOPs per sample follow the paper's formula
+    ``6 s P + 6 n h s^2`` (causal FlashAttention accounting).
+    """
+    if iteration_time_s <= 0:
+        raise ValueError("iteration_time_s must be positive")
+    if num_gpus <= 0 or samples_per_iteration <= 0:
+        raise ValueError("num_gpus and samples_per_iteration must be positive")
+    total_flops = samples_per_iteration * model_flops_per_sample(model, sequence_length)
+    peak = num_gpus * gpu.peak_half_precision_flops * iteration_time_s
+    return total_flops / peak
+
+
+def compute_tgs(
+    sequence_length: int,
+    samples_per_iteration: int,
+    num_gpus: int,
+    iteration_time_s: float,
+) -> float:
+    """Tokens per GPU per Second."""
+    if iteration_time_s <= 0:
+        raise ValueError("iteration_time_s must be positive")
+    if num_gpus <= 0 or samples_per_iteration <= 0:
+        raise ValueError("num_gpus and samples_per_iteration must be positive")
+    tokens = samples_per_iteration * sequence_length
+    return tokens / (num_gpus * iteration_time_s)
+
+
+def format_wall_clock(seconds: float) -> str:
+    """Render a duration the way the paper's Table 3 does ("2.29s", "12m51s", "3h5m")."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    if seconds < 3600:
+        minutes = int(seconds // 60)
+        rest = int(round(seconds - 60 * minutes))
+        if rest == 60:
+            minutes, rest = minutes + 1, 0
+        return f"{minutes}m{rest}s"
+    hours = int(seconds // 3600)
+    minutes = int(round((seconds - 3600 * hours) / 60))
+    if minutes == 60:
+        hours, minutes = hours + 1, 0
+    return f"{hours}h{minutes}m"

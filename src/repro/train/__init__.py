@@ -1,0 +1,41 @@
+"""A NumPy mini-GPT with a real activation offload/recompute engine.
+
+This subpackage exists to reproduce the paper's convergence experiment
+(Figure 11(d)): training with token-wise activation offloading and
+recomputation must produce the same loss trajectory as training with all
+activations resident.  The model is small enough to train on a CPU in seconds,
+but the activation management is the real mechanism: skeletal activations are
+moved into a host pool after each layer's forward pass, a fraction of tokens is
+discarded and rebuilt by recomputation before the backward pass, and gradients
+are computed from the rematerialised tensors.
+"""
+
+from repro.train.tensor_ops import gelu, gelu_backward, layer_norm, layer_norm_backward, softmax
+from repro.train.layers import Linear, LayerNorm, Embedding, CausalSelfAttention, TransformerBlock
+from repro.train.gpt import MiniGPT, MiniGPTConfig
+from repro.train.offload import ActivationManager, HostPool, OffloadPolicy
+from repro.train.optimizer import Adam
+from repro.train.data import SyntheticTextDataset
+from repro.train.trainer import Trainer, TrainingRun
+
+__all__ = [
+    "gelu",
+    "gelu_backward",
+    "layer_norm",
+    "layer_norm_backward",
+    "softmax",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "CausalSelfAttention",
+    "TransformerBlock",
+    "MiniGPT",
+    "MiniGPTConfig",
+    "ActivationManager",
+    "HostPool",
+    "OffloadPolicy",
+    "Adam",
+    "SyntheticTextDataset",
+    "Trainer",
+    "TrainingRun",
+]

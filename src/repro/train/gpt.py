@@ -1,0 +1,152 @@
+"""The mini-GPT model used by the convergence experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.train.layers import Embedding, LayerNorm, Linear, Parameterized, TransformerBlock
+from repro.train.offload import ActivationManager
+from repro.train.tensor_ops import cross_entropy
+
+
+@dataclass(frozen=True)
+class MiniGPTConfig:
+    """Architecture of the mini-GPT.
+
+    The defaults are deliberately tiny: the convergence experiment's claim is
+    about numerical equivalence of activation-management strategies, which is
+    scale-independent.
+    """
+
+    vocab_size: int = 256
+    hidden_size: int = 64
+    ffn_hidden_size: int = 256
+    num_layers: int = 4
+    num_heads: int = 4
+    max_sequence_length: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        if min(self.vocab_size, self.num_layers, self.max_sequence_length) <= 0:
+            raise ValueError("vocab_size, num_layers and max_sequence_length must be positive")
+
+
+class MiniGPT:
+    """A decoder-only transformer with explicit forward/backward passes."""
+
+    def __init__(self, config: MiniGPTConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.token_embedding = Embedding(config.vocab_size, config.hidden_size, rng, "tok_emb")
+        self.position_embedding = Embedding(
+            config.max_sequence_length, config.hidden_size, rng, "pos_emb"
+        )
+        self.blocks: List[TransformerBlock] = [
+            TransformerBlock(
+                config.hidden_size, config.ffn_hidden_size, config.num_heads, rng, f"block{i}"
+            )
+            for i in range(config.num_layers)
+        ]
+        self.final_norm = LayerNorm(config.hidden_size, "final_norm")
+        self.lm_head = Linear(config.hidden_size, config.vocab_size, rng, "lm_head")
+
+    # ------------------------------------------------------------------ params
+    def _modules(self) -> Iterator[Parameterized]:
+        yield self.token_embedding
+        yield self.position_embedding
+        for block in self.blocks:
+            yield from block.parameterized
+        yield self.final_norm
+        yield self.lm_head
+
+    def named_parameters(self) -> Dict[str, np.ndarray]:
+        params: Dict[str, np.ndarray] = {}
+        for module in self._modules():
+            params.update(module.named_parameters())
+        return params
+
+    def named_gradients(self) -> Dict[str, np.ndarray]:
+        grads: Dict[str, np.ndarray] = {}
+        for module in self._modules():
+            grads.update(module.named_gradients())
+        return grads
+
+    def zero_grad(self) -> None:
+        for module in self._modules():
+            module.zero_grad()
+
+    # ---------------------------------------------------------------- training
+    def forward_backward(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        activation_manager: Optional[ActivationManager] = None,
+    ) -> float:
+        """One full forward + backward pass; returns the loss.
+
+        When an :class:`ActivationManager` is supplied, each block's skeletal
+        activations are handed to it after the block's forward pass (where they
+        may be offloaded to the host pool and partially discarded) and fetched
+        back -- prefetched and recomputed -- right before the block's backward
+        pass, reproducing MEMO's runtime behaviour.
+        """
+        if tokens.shape != targets.shape:
+            raise ValueError("tokens and targets must have the same shape")
+        batch, seq = tokens.shape
+        if seq > self.config.max_sequence_length:
+            raise ValueError("sequence longer than the model's maximum")
+
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        hidden = self.token_embedding.forward(tokens) + self.position_embedding.forward(positions)
+
+        stashes: Dict[int, Dict[str, np.ndarray]] = {}
+        for index, block in enumerate(self.blocks):
+            hidden, stash = block.forward(hidden)
+            if activation_manager is not None:
+                activation_manager.store(index, block, stash)
+            else:
+                stashes[index] = stash
+
+        final_out, final_mean, final_inv_std = self.final_norm.forward(hidden)
+        logits = self.lm_head.forward(final_out)
+        loss, grad_logits = cross_entropy(logits, targets)
+
+        grad_final_out = self.lm_head.backward(final_out, grad_logits)
+        grad_hidden = self.final_norm.backward(grad_final_out, hidden, final_mean, final_inv_std)
+
+        for index in reversed(range(len(self.blocks))):
+            block = self.blocks[index]
+            if activation_manager is not None:
+                stash = activation_manager.fetch(index, block)
+            else:
+                stash = stashes[index]
+            grad_hidden = block.backward(grad_hidden, stash)
+            if activation_manager is not None:
+                activation_manager.release(index)
+
+        self.token_embedding.backward(tokens, grad_hidden)
+        self.position_embedding.backward(positions, grad_hidden)
+        return loss
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """Inference-only forward pass returning logits (used in tests)."""
+        batch, seq = tokens.shape
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        hidden = self.token_embedding.forward(tokens) + self.position_embedding.forward(positions)
+        for block in self.blocks:
+            hidden, _ = block.forward(hidden)
+        final_out, _, _ = self.final_norm.forward(hidden)
+        return self.lm_head.forward(final_out)
+
+    # --------------------------------------------------------------- accounting
+    def activation_bytes_per_block(self, batch: int, seq: int) -> int:
+        """Skeletal activation bytes one block stores for a given input shape."""
+        h = self.config.hidden_size
+        ffn = self.config.ffn_hidden_size
+        elements = batch * seq * (8 * h + 2 * ffn)
+        return elements * 8  # float64 in the NumPy reference implementation

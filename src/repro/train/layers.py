@@ -1,0 +1,300 @@
+"""Model layers with explicit forward/backward passes.
+
+Parameters and their gradients live on the layer objects; activations do not.
+Every ``backward`` method receives the forward-pass activations it needs as
+arguments, which lets the activation manager decide where those tensors live
+(resident, offloaded to the host pool, or discarded and recomputed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.train.tensor_ops import (
+    gelu,
+    gelu_backward,
+    layer_norm,
+    layer_norm_backward,
+    softmax,
+)
+
+
+class Parameterized:
+    """Base class providing parameter / gradient bookkeeping."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def accumulate(self, key: str, grad: np.ndarray) -> None:
+        if key not in self.grads:
+            self.grads[key] = np.zeros_like(self.params[key])
+        self.grads[key] += grad
+
+    def named_parameters(self) -> Dict[str, np.ndarray]:
+        return {f"{self.name}.{key}": value for key, value in self.params.items()}
+
+    def named_gradients(self) -> Dict[str, np.ndarray]:
+        return {f"{self.name}.{key}": value for key, value in self.grads.items()}
+
+
+class Linear(Parameterized):
+    """Affine projection ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, name: str) -> None:
+        super().__init__(name)
+        scale = 1.0 / np.sqrt(in_features)
+        self.params["weight"] = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.params["bias"] = np.zeros(out_features)
+        self.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients and return the input gradient."""
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_grad = grad_output.reshape(-1, grad_output.shape[-1])
+        self.accumulate("weight", flat_x.T @ flat_grad)
+        self.accumulate("bias", flat_grad.sum(axis=0))
+        return grad_output @ self.params["weight"].T
+
+
+class LayerNorm(Parameterized):
+    """Layer normalisation with learnable scale and shift."""
+
+    def __init__(self, hidden: int, name: str) -> None:
+        super().__init__(name)
+        self.params["weight"] = np.ones(hidden)
+        self.params["bias"] = np.zeros(hidden)
+        self.zero_grad()
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return layer_norm(x, self.params["weight"], self.params["bias"])
+
+    def backward(
+        self, grad_output: np.ndarray, x: np.ndarray, mean: np.ndarray, inv_std: np.ndarray
+    ) -> np.ndarray:
+        grad_input, grad_weight, grad_bias = layer_norm_backward(
+            grad_output, x, self.params["weight"], mean, inv_std
+        )
+        self.accumulate("weight", grad_weight)
+        self.accumulate("bias", grad_bias)
+        return grad_input
+
+
+class Embedding(Parameterized):
+    """Token embedding table."""
+
+    def __init__(self, vocab_size: int, hidden: int, rng: np.random.Generator, name: str) -> None:
+        super().__init__(name)
+        self.params["weight"] = rng.normal(0.0, 0.02, size=(vocab_size, hidden))
+        self.zero_grad()
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        return self.params["weight"][tokens]
+
+    def backward(self, tokens: np.ndarray, grad_output: np.ndarray) -> None:
+        grad = np.zeros_like(self.params["weight"])
+        np.add.at(grad, tokens.reshape(-1), grad_output.reshape(-1, grad_output.shape[-1]))
+        self.accumulate("weight", grad)
+
+
+class CausalSelfAttention:
+    """Multi-head causal attention over explicit Q/K/V tensors.
+
+    The projections live in the enclosing :class:`TransformerBlock`; this class
+    only implements the attention math.  The backward pass recomputes the
+    attention probabilities from Q and K, mirroring FlashAttention's strategy
+    of never storing the O(s^2) matrices.
+    """
+
+    def __init__(self, num_heads: int) -> None:
+        if num_heads <= 0:
+            raise ValueError("num_heads must be positive")
+        self.num_heads = num_heads
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, hidden = x.shape
+        head_dim = hidden // self.num_heads
+        return x.reshape(batch, seq, self.num_heads, head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, heads, seq, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * head_dim)
+
+    def _scores(self, q: np.ndarray, k: np.ndarray) -> np.ndarray:
+        head_dim = q.shape[-1]
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(head_dim)
+        seq = q.shape[2]
+        mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        return np.where(mask, -1e30, scores)
+
+    def forward(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Causal attention output with the same (batch, seq, hidden) shape."""
+        qh, kh, vh = self._split_heads(q), self._split_heads(k), self._split_heads(v)
+        probs = softmax(self._scores(qh, kh), axis=-1)
+        return self._merge_heads(probs @ vh)
+
+    def backward(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, grad_output: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gradients with respect to Q, K and V (probabilities recomputed)."""
+        qh, kh, vh = self._split_heads(q), self._split_heads(k), self._split_heads(v)
+        grad_out_h = self._split_heads(grad_output)
+        probs = softmax(self._scores(qh, kh), axis=-1)
+
+        grad_v = probs.transpose(0, 1, 3, 2) @ grad_out_h
+        grad_probs = grad_out_h @ vh.transpose(0, 1, 3, 2)
+        # Softmax backward: dS = P * (dP - sum(dP * P)).
+        grad_scores = probs * (grad_probs - (grad_probs * probs).sum(axis=-1, keepdims=True))
+        head_dim = qh.shape[-1]
+        grad_scores /= np.sqrt(head_dim)
+        grad_q = grad_scores @ kh
+        grad_k = grad_scores.transpose(0, 1, 3, 2) @ qh
+        return self._merge_heads(grad_q), self._merge_heads(grad_k), self._merge_heads(grad_v)
+
+
+#: Names of the skeletal tensors a block stores for its backward pass,
+#: mirroring Figure 4 of the paper.
+SKELETAL_KEYS = (
+    "input",
+    "ln1_out",
+    "q",
+    "k",
+    "v",
+    "attn_out",
+    "resid1",
+    "ln2_out",
+    "h1",
+    "gelu_out",
+)
+
+#: Per-token layer-norm statistics; tiny, but also rebuilt token-wise.
+STAT_KEYS = ("ln1_mean", "ln1_inv_std", "ln2_mean", "ln2_inv_std")
+
+#: Skeletal tensors that are always offloaded in full (never recomputed):
+#: the layer input and the attention output (Section 4.1, tensor granularity).
+ALWAYS_OFFLOADED_KEYS = ("input", "attn_out")
+
+
+class TransformerBlock:
+    """One pre-norm GPT transformer layer with explicit skeletal activations."""
+
+    def __init__(self, hidden: int, ffn_hidden: int, num_heads: int, rng: np.random.Generator, name: str) -> None:
+        if hidden % num_heads != 0:
+            raise ValueError("hidden must be divisible by num_heads")
+        self.name = name
+        self.hidden = hidden
+        self.ln1 = LayerNorm(hidden, f"{name}.ln1")
+        self.qkv = Linear(hidden, 3 * hidden, rng, f"{name}.qkv")
+        self.attention = CausalSelfAttention(num_heads)
+        self.attn_dense = Linear(hidden, hidden, rng, f"{name}.attn_dense")
+        self.ln2 = LayerNorm(hidden, f"{name}.ln2")
+        self.fc1 = Linear(hidden, ffn_hidden, rng, f"{name}.fc1")
+        self.fc2 = Linear(ffn_hidden, hidden, rng, f"{name}.fc2")
+
+    # ------------------------------------------------------------------ params
+    @property
+    def parameterized(self) -> Tuple[Parameterized, ...]:
+        return (self.ln1, self.qkv, self.attn_dense, self.ln2, self.fc1, self.fc2)
+
+    def zero_grad(self) -> None:
+        for module in self.parameterized:
+            module.zero_grad()
+
+    # ----------------------------------------------------------------- forward
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """Forward pass returning the output and the skeletal stash."""
+        ln1_out, ln1_mean, ln1_inv_std = self.ln1.forward(x)
+        qkv = self.qkv.forward(ln1_out)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        attn_out = self.attention.forward(q, k, v)
+        resid1 = x + self.attn_dense.forward(attn_out)
+        ln2_out, ln2_mean, ln2_inv_std = self.ln2.forward(resid1)
+        h1 = self.fc1.forward(ln2_out)
+        gelu_out = gelu(h1)
+        output = resid1 + self.fc2.forward(gelu_out)
+        stash = {
+            "input": x,
+            "ln1_out": ln1_out,
+            "ln1_mean": ln1_mean,
+            "ln1_inv_std": ln1_inv_std,
+            "q": q,
+            "k": k,
+            "v": v,
+            "attn_out": attn_out,
+            "resid1": resid1,
+            "ln2_out": ln2_out,
+            "ln2_mean": ln2_mean,
+            "ln2_inv_std": ln2_inv_std,
+            "h1": h1,
+            "gelu_out": gelu_out,
+        }
+        return output, stash
+
+    # ---------------------------------------------------------- recomputation
+    def rebuild_skeletal(
+        self, layer_input: np.ndarray, attn_out: np.ndarray, token_start: int
+    ) -> Dict[str, np.ndarray]:
+        """Recompute the token rows ``[token_start:]`` of the "other" tensors.
+
+        This is the token-wise recomputation of Section 4.1: everything except
+        the layer input and the FlashAttention output is rebuilt per token from
+        the (offloaded) layer input and attention output.  No attention math is
+        involved, which is what keeps the recomputation cheap.
+        """
+        x = layer_input[:, token_start:, :]
+        attn_slice = attn_out[:, token_start:, :]
+        ln1_out, ln1_mean, ln1_inv_std = self.ln1.forward(x)
+        qkv = self.qkv.forward(ln1_out)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        resid1 = x + self.attn_dense.forward(attn_slice)
+        ln2_out, ln2_mean, ln2_inv_std = self.ln2.forward(resid1)
+        h1 = self.fc1.forward(ln2_out)
+        gelu_out = gelu(h1)
+        return {
+            "ln1_out": ln1_out,
+            "ln1_mean": ln1_mean,
+            "ln1_inv_std": ln1_inv_std,
+            "q": q,
+            "k": k,
+            "v": v,
+            "resid1": resid1,
+            "ln2_out": ln2_out,
+            "ln2_mean": ln2_mean,
+            "ln2_inv_std": ln2_inv_std,
+            "h1": h1,
+            "gelu_out": gelu_out,
+        }
+
+    # ---------------------------------------------------------------- backward
+    def backward(self, grad_output: np.ndarray, stash: Dict[str, np.ndarray]) -> np.ndarray:
+        """Backward pass using the (rematerialised) skeletal activations."""
+        # FFN branch.
+        grad_gelu_out = self.fc2.backward(stash["gelu_out"], grad_output)
+        grad_h1 = gelu_backward(stash["h1"], grad_gelu_out)
+        grad_ln2_out = self.fc1.backward(stash["ln2_out"], grad_h1)
+        grad_resid1 = self.ln2.backward(
+            grad_ln2_out, stash["resid1"], stash["ln2_mean"], stash["ln2_inv_std"]
+        )
+        grad_resid1 = grad_resid1 + grad_output  # residual connection around the FFN
+
+        # Attention branch.
+        grad_attn_out = self.attn_dense.backward(stash["attn_out"], grad_resid1)
+        grad_q, grad_k, grad_v = self.attention.backward(
+            stash["q"], stash["k"], stash["v"], grad_attn_out
+        )
+        grad_qkv = np.concatenate([grad_q, grad_k, grad_v], axis=-1)
+        grad_ln1_out = self.qkv.backward(stash["ln1_out"], grad_qkv)
+        grad_input = self.ln1.backward(
+            grad_ln1_out, stash["input"], stash["ln1_mean"], stash["ln1_inv_std"]
+        )
+        return grad_input + grad_resid1  # residual connection around attention

@@ -1,0 +1,209 @@
+"""Activation offloading and token-wise recomputation for the mini-GPT.
+
+The :class:`ActivationManager` reproduces MEMO's runtime behaviour on the
+NumPy model:
+
+* after a block's forward pass, its skeletal activations are moved into a
+  :class:`HostPool` ("CPU memory"); the layer input and the attention output
+  are always stored in full, while every other tensor keeps only the first
+  ``alpha``-fraction of token rows and discards the rest;
+* right before the block's backward pass, the stored tensors are fetched back
+  and the discarded token rows are rebuilt with
+  :meth:`repro.train.layers.TransformerBlock.rebuild_skeletal`;
+* the host pool enforces a capacity, raising the same out-of-host-memory
+  condition the paper's full-swapping ablation runs into.
+
+Because the recomputation re-executes exactly the same per-token operations on
+exactly the same inputs, the rematerialised tensors match the originals and
+training is numerically unchanged -- the property Figure 11(d) demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.train.layers import ALWAYS_OFFLOADED_KEYS, SKELETAL_KEYS, STAT_KEYS
+
+
+class HostPoolExhaustedError(RuntimeError):
+    """Raised when offloaded activations exceed the host pool capacity."""
+
+
+@dataclass
+class HostPool:
+    """A byte-accounted key/value store standing in for CPU memory."""
+
+    capacity_bytes: Optional[int] = None
+    _store: Dict[str, np.ndarray] = field(default_factory=dict)
+    used_bytes: int = 0
+    peak_bytes: int = 0
+
+    def put(self, key: str, value: np.ndarray) -> None:
+        if key in self._store:
+            raise KeyError(f"key {key!r} already present in the host pool")
+        size = value.nbytes
+        if self.capacity_bytes is not None and self.used_bytes + size > self.capacity_bytes:
+            raise HostPoolExhaustedError(
+                f"offloading {size} bytes for {key!r} exceeds the host pool capacity "
+                f"({self.used_bytes} of {self.capacity_bytes} bytes in use)"
+            )
+        self._store[key] = value
+        self.used_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def get(self, key: str) -> np.ndarray:
+        return self._store[key]
+
+    def pop(self, key: str) -> np.ndarray:
+        value = self._store.pop(key)
+        self.used_bytes -= value.nbytes
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+@dataclass(frozen=True)
+class OffloadPolicy:
+    """Token-wise activation management policy.
+
+    Attributes:
+        alpha: fraction of token rows of the "other" skeletal tensors that is
+            offloaded; the remaining rows are discarded and recomputed.
+        offload_enabled: when False the manager keeps everything resident
+            (the no-offload baseline of the convergence experiment).
+        keep_resident_layers: number of trailing layers whose activations stay
+            on the "GPU" untouched (the paper keeps the last two).
+    """
+
+    alpha: float = 1.0
+    offload_enabled: bool = True
+    keep_resident_layers: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        if self.keep_resident_layers < 0:
+            raise ValueError("keep_resident_layers must be non-negative")
+
+
+@dataclass
+class ManagerStats:
+    """Byte counters describing what the manager did during one iteration."""
+
+    offloaded_bytes: int = 0
+    discarded_bytes: int = 0
+    recomputed_bytes: int = 0
+    resident_bytes: int = 0
+
+
+class ActivationManager:
+    """Stores, offloads, prefetches and recomputes block activation stashes."""
+
+    def __init__(
+        self,
+        policy: OffloadPolicy,
+        num_layers: int,
+        host_pool: Optional[HostPool] = None,
+    ) -> None:
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        self.policy = policy
+        self.num_layers = num_layers
+        self.host_pool = host_pool if host_pool is not None else HostPool()
+        self.stats = ManagerStats()
+        self._resident: Dict[int, Dict[str, np.ndarray]] = {}
+        self._token_split: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ helpers
+    def _is_resident_layer(self, layer_index: int) -> bool:
+        return layer_index >= self.num_layers - self.policy.keep_resident_layers
+
+    def _key(self, layer_index: int, name: str) -> str:
+        return f"L{layer_index}.{name}"
+
+    # -------------------------------------------------------------------- store
+    def store(self, layer_index: int, block, stash: Dict[str, np.ndarray]) -> None:
+        """Process a block's skeletal stash right after its forward pass."""
+        if not self.policy.offload_enabled or self._is_resident_layer(layer_index):
+            self._resident[layer_index] = stash
+            self.stats.resident_bytes += sum(v.nbytes for v in stash.values())
+            return
+
+        seq = stash["input"].shape[1]
+        kept_tokens = int(round(self.policy.alpha * seq))
+        self._token_split[layer_index] = kept_tokens
+
+        for name in ALWAYS_OFFLOADED_KEYS:
+            tensor = stash[name]
+            self.host_pool.put(self._key(layer_index, name), tensor)
+            self.stats.offloaded_bytes += tensor.nbytes
+
+        for name in SKELETAL_KEYS + STAT_KEYS:
+            if name in ALWAYS_OFFLOADED_KEYS:
+                continue
+            tensor = stash[name]
+            kept = tensor[:, :kept_tokens, ...]
+            self.host_pool.put(self._key(layer_index, name), kept.copy())
+            self.stats.offloaded_bytes += kept.nbytes
+            self.stats.discarded_bytes += tensor.nbytes - kept.nbytes
+        # Nothing stays resident for this layer: the stash dictionary goes out
+        # of scope with the caller, mirroring the rounding buffer being reused.
+
+    # -------------------------------------------------------------------- fetch
+    def fetch(self, layer_index: int, block) -> Dict[str, np.ndarray]:
+        """Rebuild a block's full stash right before its backward pass."""
+        if layer_index in self._resident:
+            return self._resident[layer_index]
+
+        kept_tokens = self._token_split[layer_index]
+        layer_input = self.host_pool.get(self._key(layer_index, "input"))
+        attn_out = self.host_pool.get(self._key(layer_index, "attn_out"))
+        stash: Dict[str, np.ndarray] = {"input": layer_input, "attn_out": attn_out}
+
+        seq = layer_input.shape[1]
+        if kept_tokens >= seq:
+            for name in SKELETAL_KEYS + STAT_KEYS:
+                if name in ALWAYS_OFFLOADED_KEYS:
+                    continue
+                stash[name] = self.host_pool.get(self._key(layer_index, name))
+            return stash
+
+        rebuilt = block.rebuild_skeletal(layer_input, attn_out, kept_tokens)
+        for name in SKELETAL_KEYS + STAT_KEYS:
+            if name in ALWAYS_OFFLOADED_KEYS:
+                continue
+            kept = self.host_pool.get(self._key(layer_index, name))
+            recomputed = rebuilt[name]
+            stash[name] = np.concatenate([kept, recomputed], axis=1)
+            self.stats.recomputed_bytes += recomputed.nbytes
+        return stash
+
+    # ------------------------------------------------------------------ release
+    def release(self, layer_index: int) -> None:
+        """Drop a layer's activations after its backward pass completed."""
+        if layer_index in self._resident:
+            del self._resident[layer_index]
+            return
+        for name in SKELETAL_KEYS + STAT_KEYS:
+            key = self._key(layer_index, name)
+            if key in self.host_pool:
+                self.host_pool.pop(key)
+        self._token_split.pop(layer_index, None)
+
+    def reset(self) -> None:
+        """Clear all per-iteration state (called between training iterations)."""
+        for layer_index in list(self._resident):
+            del self._resident[layer_index]
+        for layer_index in range(self.num_layers):
+            for name in SKELETAL_KEYS + STAT_KEYS:
+                key = self._key(layer_index, name)
+                if key in self.host_pool:
+                    self.host_pool.pop(key)
+        self._token_split.clear()

@@ -1,0 +1,67 @@
+"""Adam optimizer for the mini-GPT's parameter dictionaries."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Adam:
+    """Standard Adam with bias correction.
+
+    The optimizer operates on named parameter dictionaries so it can be reused
+    for any collection of NumPy parameters (the mini-GPT exposes
+    ``named_parameters`` / ``named_gradients``).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must lie in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._first_moment: Dict[str, np.ndarray] = {}
+        self._second_moment: Dict[str, np.ndarray] = {}
+
+    def step(self, parameters: Dict[str, np.ndarray], gradients: Dict[str, np.ndarray]) -> None:
+        """Update parameters in place from their gradients."""
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1 ** self.step_count
+        bias2 = 1.0 - self.beta2 ** self.step_count
+        for name, parameter in parameters.items():
+            grad = gradients.get(name)
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter
+            if name not in self._first_moment:
+                self._first_moment[name] = np.zeros_like(parameter)
+                self._second_moment[name] = np.zeros_like(parameter)
+            m = self._first_moment[name]
+            v = self._second_moment[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_bytes(self) -> int:
+        """Bytes consumed by the optimizer moments (for memory accounting tests)."""
+        return sum(m.nbytes for m in self._first_moment.values()) + sum(
+            v.nbytes for v in self._second_moment.values()
+        )

@@ -1,0 +1,101 @@
+"""Numerically exact forward/backward primitives for the mini-GPT.
+
+All operations are token-wise independent except attention, which is why the
+token-wise recomputation of the paper works: any subset of token rows of a
+layer norm, linear projection or GeLU can be recomputed from the corresponding
+rows of its input and yield exactly the values produced during the original
+forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Tanh-approximation GeLU (the variant used by GPT-style models)."""
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x ** 3)))
+
+
+def gelu_backward(x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+    """Gradient of the tanh-approximation GeLU with respect to its input."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x ** 3)
+    tanh_inner = np.tanh(inner)
+    d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x ** 2)
+    derivative = 0.5 * (1.0 + tanh_inner) + 0.5 * x * (1.0 - tanh_inner ** 2) * d_inner
+    return grad_output * derivative
+
+
+def layer_norm(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Layer normalisation over the last dimension.
+
+    Returns:
+        (output, mean, inverse_std) -- the statistics are needed for backward.
+    """
+    mean = x.mean(axis=-1, keepdims=True)
+    variance = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    normalized = (x - mean) * inv_std
+    return normalized * weight + bias, mean, inv_std
+
+
+def layer_norm_backward(
+    grad_output: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    mean: np.ndarray,
+    inv_std: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of layer norm.
+
+    Returns:
+        (grad_input, grad_weight, grad_bias).
+    """
+    normalized = (x - mean) * inv_std
+    grad_weight = (grad_output * normalized).sum(axis=tuple(range(grad_output.ndim - 1)))
+    grad_bias = grad_output.sum(axis=tuple(range(grad_output.ndim - 1)))
+    grad_normalized = grad_output * weight
+    hidden = x.shape[-1]
+    grad_input = (
+        grad_normalized
+        - grad_normalized.mean(axis=-1, keepdims=True)
+        - normalized * (grad_normalized * normalized).mean(axis=-1, keepdims=True)
+    ) * inv_std
+    del hidden
+    return grad_input, grad_weight, grad_bias
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean token-level cross entropy and its gradient w.r.t. the logits.
+
+    Args:
+        logits: array of shape (batch, seq, vocab).
+        targets: integer array of shape (batch, seq).
+    """
+    if logits.ndim != 3:
+        raise ValueError("logits must have shape (batch, seq, vocab)")
+    batch, seq, vocab = logits.shape
+    probs = softmax(logits, axis=-1)
+    flat_probs = probs.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    picked = flat_probs[np.arange(flat_targets.size), flat_targets]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    grad = flat_probs.copy()
+    grad[np.arange(flat_targets.size), flat_targets] -= 1.0
+    grad /= flat_targets.size
+    return loss, grad.reshape(batch, seq, vocab)

@@ -1,0 +1,99 @@
+"""Training loop producing the loss curves of the convergence experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.train.data import SyntheticTextDataset
+from repro.train.gpt import MiniGPT, MiniGPTConfig
+from repro.train.offload import ActivationManager, HostPool, OffloadPolicy
+from repro.train.optimizer import Adam
+
+
+@dataclass
+class TrainingRun:
+    """The outcome of one training run: losses and activation-management stats."""
+
+    label: str
+    losses: List[float] = field(default_factory=list)
+    offloaded_bytes: int = 0
+    recomputed_bytes: int = 0
+    host_peak_bytes: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValueError("the run has no recorded losses")
+        return self.losses[-1]
+
+
+class Trainer:
+    """Trains a :class:`MiniGPT` with a given activation-management policy."""
+
+    def __init__(
+        self,
+        model: MiniGPT,
+        dataset: SyntheticTextDataset,
+        optimizer: Optional[Adam] = None,
+        policy: Optional[OffloadPolicy] = None,
+        host_pool: Optional[HostPool] = None,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.optimizer = optimizer if optimizer is not None else Adam(learning_rate=3e-3)
+        self.policy = policy
+        self.host_pool = host_pool
+
+    def train(self, num_iterations: int, label: str = "run") -> TrainingRun:
+        """Run ``num_iterations`` of training and record the loss per iteration."""
+        if num_iterations <= 0:
+            raise ValueError("num_iterations must be positive")
+        run = TrainingRun(label=label)
+        manager: Optional[ActivationManager] = None
+        for iteration in range(num_iterations):
+            tokens, targets = self.dataset.batch(iteration)
+            self.model.zero_grad()
+            if self.policy is not None:
+                manager = ActivationManager(
+                    policy=self.policy,
+                    num_layers=self.model.config.num_layers,
+                    host_pool=self.host_pool if self.host_pool is not None else HostPool(),
+                )
+            loss = self.model.forward_backward(tokens, targets, activation_manager=manager)
+            self.optimizer.step(self.model.named_parameters(), self.model.named_gradients())
+            run.losses.append(loss)
+            if manager is not None:
+                run.offloaded_bytes += manager.stats.offloaded_bytes
+                run.recomputed_bytes += manager.stats.recomputed_bytes
+                run.host_peak_bytes = max(run.host_peak_bytes, manager.host_pool.peak_bytes)
+                manager.reset()
+        return run
+
+
+def train_with_alpha(
+    alpha: Optional[float],
+    num_iterations: int = 40,
+    config: Optional[MiniGPTConfig] = None,
+    dataset: Optional[SyntheticTextDataset] = None,
+    learning_rate: float = 3e-3,
+) -> TrainingRun:
+    """Train a fresh mini-GPT with a given offload fraction.
+
+    Args:
+        alpha: offload fraction for the token-wise policy, or None for the
+            baseline that keeps every activation resident (the "Megatron-LM"
+            curve of Figure 11(d)).
+    """
+    config = config if config is not None else MiniGPTConfig()
+    dataset = dataset if dataset is not None else SyntheticTextDataset(
+        vocab_size=config.vocab_size, sequence_length=min(128, config.max_sequence_length)
+    )
+    model = MiniGPT(config)
+    policy = None
+    label = "resident"
+    if alpha is not None:
+        policy = OffloadPolicy(alpha=alpha, offload_enabled=True)
+        label = f"alpha={alpha}"
+    trainer = Trainer(model, dataset, optimizer=Adam(learning_rate=learning_rate), policy=policy)
+    return trainer.train(num_iterations, label=label)

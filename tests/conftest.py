@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_a800_cluster
+from repro.model.specs import get_model_config
+from repro.model.trace import full_model_trace, layer_forward_trace
+from repro.parallel.strategy import ParallelismConfig
+from repro.train.gpt import MiniGPT, MiniGPTConfig
+
+
+@pytest.fixture(scope="session")
+def gpt7b():
+    """The 7B model configuration from Table 2."""
+    return get_model_config("7B")
+
+
+@pytest.fixture(scope="session")
+def gpt65b():
+    """The 65B model configuration from Table 2."""
+    return get_model_config("65B")
+
+
+@pytest.fixture(scope="session")
+def cluster8():
+    """One A800 node (8 GPUs, 2 TB host memory)."""
+    return make_a800_cluster(8)
+
+
+@pytest.fixture(scope="session")
+def cluster64():
+    """Eight A800 nodes (64 GPUs)."""
+    return make_a800_cluster(64)
+
+
+@pytest.fixture
+def tp4cp2():
+    """The ablation parallelism configuration: TP=4, CP=2 on 8 GPUs."""
+    return ParallelismConfig(tensor_parallel=4, context_parallel=2)
+
+
+@pytest.fixture(scope="session")
+def small_layer_trace(gpt7b):
+    """Transient-only forward trace of one 7B layer at a small sequence length."""
+    return layer_forward_trace(gpt7b, batch_size=1, sequence_length=1024, include_skeletal=False)
+
+
+@pytest.fixture(scope="session")
+def small_iteration_trace(gpt7b):
+    """Full-iteration trace of a 4-layer slice of the 7B model (small sequence)."""
+    return full_model_trace(gpt7b, batch_size=1, sequence_length=1024, num_layers=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_gpt_config():
+    """A mini-GPT configuration small enough for gradient checks."""
+    return MiniGPTConfig(
+        vocab_size=31, hidden_size=16, ffn_hidden_size=32, num_layers=4,
+        num_heads=2, max_sequence_length=32, seed=3,
+    )
+
+
+@pytest.fixture
+def tiny_gpt(tiny_gpt_config):
+    """A freshly initialised mini-GPT."""
+    return MiniGPT(tiny_gpt_config)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy random generator."""
+    return np.random.default_rng(0)

@@ -1,0 +1,138 @@
+"""Cross-module integration and consistency tests.
+
+These tests check invariants that span several subsystems: metric identities,
+agreement between the strategy-search path and the framework path, consistency
+of the Table 3 metrics, and the end-to-end behaviour of the swap schedule
+inside the iteration executor.
+"""
+
+import pytest
+
+from repro.config import tokens
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import ablation_parallel_config
+from repro.hardware.gpu import A800
+from repro.model.flops import model_flops_per_token
+from repro.systems.base import Workload
+from repro.systems.megatron import MegatronSystem
+from repro.systems.memo import MemoSystem
+from repro.systems.metrics import compute_mfu, compute_tgs
+
+
+class TestMetricIdentities:
+    @pytest.mark.parametrize("length_k", [64, 256, 1024])
+    def test_mfu_equals_tgs_times_flops_per_token_over_peak(self, gpt7b, length_k):
+        """MFU and TGS are two views of the same throughput."""
+        sequence = tokens(length_k)
+        iteration_time = 123.4
+        mfu = compute_mfu(gpt7b, sequence, 16, 8, A800, iteration_time)
+        tgs = compute_tgs(sequence, 16, 8, iteration_time)
+        derived = tgs * model_flops_per_token(gpt7b, sequence) / A800.peak_half_precision_flops
+        assert mfu == pytest.approx(derived, rel=1e-12)
+
+    def test_report_metrics_are_consistent(self):
+        report = MemoSystem().run(Workload("7B", tokens(256), 8))
+        derived_mfu = (
+            report.tgs
+            * model_flops_per_token(report.workload.model, report.workload.sequence_length)
+            / A800.peak_half_precision_flops
+        )
+        assert report.mfu == pytest.approx(derived_mfu, rel=1e-9)
+        expected_tokens = report.workload.global_batch_samples * report.workload.sequence_length
+        assert report.tgs * 8 * report.iteration_time_s == pytest.approx(expected_tokens, rel=1e-9)
+
+
+class TestTable3Consistency:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_table3(workloads=[("7B", 8)], sequence_lengths_k=[64, 256])
+
+    def test_all_three_metrics_rendered_for_every_cell(self, grid):
+        for metric in ("mfu", "tgs", "wall_clock"):
+            table = grid.to_table(metric)
+            assert len(table.rows) == 2
+            assert all(len(row) == len(table.columns) for row in table.rows)
+
+    def test_wall_clock_orders_match_tgs_orders(self, grid):
+        """Within one cell row, a higher TGS must mean a shorter wall clock."""
+        for length in (64, 256):
+            reports = [
+                grid.cell("7B", length, system).report for system in ("DS", "Mega", "Memo")
+            ]
+            feasible = [r for r in reports if r.feasible]
+            by_tgs = sorted(feasible, key=lambda r: r.tgs, reverse=True)
+            by_time = sorted(feasible, key=lambda r: r.iteration_time_s)
+            assert [r.system for r in by_tgs] == [r.system for r in by_time]
+
+
+class TestSearchVersusFixedConfiguration:
+    def test_search_never_loses_to_the_pinned_ablation_config(self):
+        """The free search must be at least as good as the TP=4/CP=2 pin."""
+        workload = Workload("7B", tokens(256), 8)
+        free = MemoSystem().run(workload)
+        pinned = MemoSystem(fixed_parallel=ablation_parallel_config()).run(workload)
+        assert free.feasible and pinned.feasible
+        assert free.mfu >= pinned.mfu - 1e-9
+
+    def test_alpha_solution_matches_framework_pipeline(self):
+        """The system-level search and the component-level framework agree on alpha
+        for the same pinned configuration."""
+        from repro.core.framework import MemoFramework
+
+        workload = Workload("7B", tokens(256), 8)
+        pinned = MemoSystem(fixed_parallel=ablation_parallel_config()).run(workload)
+        framework = MemoFramework.for_workload("7B", tokens(256), 8, tensor_parallel=4,
+                                               context_parallel=2, use_exact_planner=False)
+        plan = framework.prepare()
+        assert pinned.alpha == pytest.approx(plan.schedule.alpha, abs=1e-9)
+
+
+class TestSwapScheduleInsideExecutor:
+    def test_memo_timeline_has_no_stalls_at_long_context(self):
+        """At 512K the offload hides entirely under compute (Observation 1)."""
+        report = MemoSystem(fixed_parallel=ablation_parallel_config()).run(
+            Workload("7B", tokens(512), 8)
+        )
+        assert report.feasible
+        assert report.timeline is not None
+        assert report.timeline.total_stall_s == pytest.approx(0.0, abs=1e-6)
+
+    def test_full_offload_stalls_at_short_context(self):
+        """At 64K, forcing alpha = 1 stalls the compute stream (Table 5 logic)."""
+        from repro.systems.memo import MemoVariant
+
+        report = MemoSystem(
+            variant=MemoVariant.FULL_SWAP, fixed_parallel=ablation_parallel_config(),
+        ).run(Workload("7B", tokens(64), 8))
+        assert report.feasible
+        assert report.timeline.total_stall_s > 0
+
+    def test_memo_iteration_time_close_to_pure_compute(self):
+        """MEMO's iteration should be within a few percent of the no-offload,
+        no-recompute compute time -- that is the whole point of the design."""
+        memo = MemoSystem().run(Workload("7B", tokens(768), 8))
+        assert memo.feasible
+        timeline = memo.timeline
+        compute_only = timeline.compute_busy_s
+        assert timeline.total_s <= 1.05 * compute_only
+
+
+class TestBaselineInternals:
+    def test_megatron_uses_full_recompute_only_when_needed(self):
+        short = MegatronSystem().run(Workload("7B", tokens(8), 8))
+        long = MegatronSystem().run(Workload("7B", tokens(512), 8))
+        from repro.parallel.strategy import RecomputeMode
+
+        assert short.parallel.recompute is RecomputeMode.NONE
+        assert long.parallel.recompute is RecomputeMode.FULL
+
+    def test_unplanned_memory_estimate_includes_fragmentation(self):
+        report = MegatronSystem().run(Workload("7B", tokens(256), 8))
+        assert report.memory is not None
+        assert report.memory.fragmentation_bytes > 0
+
+    def test_memo_memory_estimate_has_no_fragmentation(self):
+        report = MemoSystem().run(Workload("7B", tokens(256), 8))
+        assert report.memory is not None
+        assert report.memory.fragmentation_bytes == 0
+        assert report.memory.rounding_buffer_bytes > 0

@@ -1,0 +1,111 @@
+"""Tests for block/segment structures, timelines and fragmentation analysis."""
+
+import pytest
+
+from repro.config import GiB, MiB
+from repro.memory.block import Block, Segment
+from repro.memory.fragmentation import analyze_trace
+from repro.memory.request import MemoryRequest, RequestKind
+from repro.memory.snapshot import MemoryTimeline
+from repro.model.trace import full_model_trace
+
+
+class TestSegment:
+    def test_initial_single_free_block(self):
+        segment = Segment(start=0, size=1024)
+        assert len(segment.blocks) == 1
+        assert segment.free_bytes == 1024
+        assert segment.is_fully_free
+
+    def test_allocation_splits_block(self):
+        segment = Segment(start=0, size=1024)
+        segment.allocate_in_block(0, 256, "a")
+        assert [b.size for b in segment.blocks] == [256, 768]
+        assert segment.allocated_bytes == 256
+
+    def test_exact_fit_does_not_split(self):
+        segment = Segment(start=0, size=512)
+        segment.allocate_in_block(0, 512, "a")
+        assert len(segment.blocks) == 1
+
+    def test_free_coalesces_both_sides(self):
+        segment = Segment(start=0, size=900)
+        segment.allocate_in_block(0, 300, "a")
+        segment.allocate_in_block(1, 300, "b")
+        segment.allocate_in_block(2, 300, "c")
+        segment.free_tensor("a")
+        segment.free_tensor("c")
+        segment.free_tensor("b")
+        assert len(segment.blocks) == 1
+        assert segment.is_fully_free
+
+    def test_best_fit_prefers_smallest_gap(self):
+        segment = Segment(start=0, size=1000)
+        segment.allocate_in_block(0, 400, "a")   # [a:400][free:600]
+        segment.allocate_in_block(1, 500, "b")   # [a][b:500][free:100]
+        segment.free_tensor("a")                 # [free:400][b][free:100]
+        index = segment.find_free_block(80)
+        assert segment.blocks[index].size == 100
+
+    def test_cannot_allocate_in_allocated_block(self):
+        segment = Segment(start=0, size=100)
+        segment.allocate_in_block(0, 100, "a")
+        with pytest.raises(ValueError):
+            segment.allocate_in_block(0, 10, "b")
+
+    def test_block_end(self):
+        assert Block(offset=10, size=5).end == 15
+
+
+class TestMemoryTimeline:
+    def test_records_and_peaks(self):
+        timeline = MemoryTimeline()
+        timeline.record(0, 10, 20)
+        timeline.record(1, 15, 20)
+        timeline.record(2, 5, 30)
+        assert timeline.peak_allocated_bytes == 15
+        assert timeline.peak_reserved_bytes == 30
+        assert timeline.peak_fragmentation_bytes == 25
+        assert timeline.fragmentation_at_peak_reserved() == 25
+
+    def test_rejects_reserved_below_allocated(self):
+        timeline = MemoryTimeline()
+        with pytest.raises(ValueError):
+            timeline.record(0, 10, 5)
+
+    def test_downsample(self):
+        timeline = MemoryTimeline()
+        for step in range(100):
+            timeline.record(step, step, step + 1)
+        sampled = timeline.downsample(10)
+        assert len(sampled) == 10
+        with pytest.raises(ValueError):
+            timeline.downsample(0)
+
+    def test_series_in_gib(self):
+        timeline = MemoryTimeline()
+        timeline.record(0, GiB, 2 * GiB)
+        series = timeline.series()
+        assert series["allocated_gib"] == [1.0]
+        assert series["reserved_gib"] == [2.0]
+
+
+class TestFragmentationAnalysis:
+    def test_analyze_small_trace(self, small_layer_trace):
+        report = analyze_trace(small_layer_trace, capacity_bytes=4 * GiB)
+        assert not report.oom
+        assert report.peak_reserved_bytes >= report.peak_allocated_bytes >= report.peak_live_bytes
+
+    def test_analyze_detects_oom(self, gpt7b):
+        trace = full_model_trace(gpt7b, 1, 8192, num_layers=8)
+        report = analyze_trace(trace, capacity_bytes=2 * GiB)
+        assert report.oom
+        assert report.oom_requested_bytes is not None
+
+    def test_fragmentation_ratio_non_negative(self):
+        trace = [
+            MemoryRequest(RequestKind.MALLOC, "a", 2 * MiB),
+            MemoryRequest(RequestKind.FREE, "a", 2 * MiB),
+        ]
+        report = analyze_trace(trace, capacity_bytes=64 * MiB)
+        assert report.fragmentation_ratio >= 0.0

@@ -1,0 +1,96 @@
+"""Tests for memory request primitives and trace utilities."""
+
+import pytest
+
+from repro.memory.request import (
+    MemoryRequest,
+    RequestKind,
+    TraceError,
+    concat_traces,
+    peak_live_bytes,
+    tensor_lifespans,
+    trace_from_strings,
+    trace_to_strings,
+    validate_trace,
+)
+
+
+def malloc(name, size):
+    return MemoryRequest(RequestKind.MALLOC, name, size)
+
+
+def free(name, size):
+    return MemoryRequest(RequestKind.FREE, name, size)
+
+
+class TestMemoryRequest:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            malloc("a", 0)
+
+    def test_rejects_empty_tensor_id(self):
+        with pytest.raises(ValueError):
+            malloc("", 16)
+
+    def test_string_format_matches_profiler(self):
+        assert str(malloc("t1", 512)) == "malloc t1 512"
+        assert str(free("t1", 512)) == "free t1 512"
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        validate_trace([malloc("a", 10), malloc("b", 20), free("a", 10), free("b", 20)])
+
+    def test_double_malloc_rejected(self):
+        with pytest.raises(TraceError, match="malloc'd while live"):
+            validate_trace([malloc("a", 10), malloc("a", 10)])
+
+    def test_free_unallocated_rejected(self):
+        with pytest.raises(TraceError, match="freed while not live"):
+            validate_trace([free("a", 10)])
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(TraceError, match="freed with size"):
+            validate_trace([malloc("a", 10), free("a", 12)])
+
+    def test_tensor_may_stay_live_at_end(self):
+        validate_trace([malloc("a", 10)])
+
+
+class TestPeakAndLifespans:
+    def test_peak_live_bytes(self):
+        trace = [malloc("a", 10), malloc("b", 30), free("a", 10), malloc("c", 5), free("b", 30), free("c", 5)]
+        assert peak_live_bytes(trace) == 40
+
+    def test_lifespans(self):
+        trace = [malloc("a", 10), malloc("b", 20), free("a", 10)]
+        spans = tensor_lifespans(trace)
+        assert spans["a"] == (0, 2, 10)
+        assert spans["b"] == (1, 3, 20)  # never freed -> lives to end of trace
+
+    def test_concat(self):
+        first = [malloc("a", 10), free("a", 10)]
+        second = [malloc("b", 5), free("b", 5)]
+        assert len(concat_traces([first, second])) == 4
+
+
+class TestTextRoundTrip:
+    def test_round_trip(self):
+        trace = [malloc("x", 100), free("x", 100)]
+        assert trace_from_strings(trace_to_strings(trace)) == trace
+
+    def test_parses_comments_and_blank_lines(self):
+        lines = ["# comment", "", "malloc t 64", "free t 64"]
+        assert len(trace_from_strings(lines)) == 2
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(TraceError):
+            trace_from_strings(["malloc t"])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(TraceError):
+            trace_from_strings(["alloc t 64"])
+
+    def test_rejects_non_integer_size(self):
+        with pytest.raises(TraceError):
+            trace_from_strings(["malloc t big"])

@@ -1,0 +1,82 @@
+"""Tests for the skeletal/transient activation catalogue (Section 3, Figure 4)."""
+
+import pytest
+
+from repro.config import PrecisionConfig
+from repro.model.activations import (
+    SKELETAL_ELEMENTS_PER_TOKEN,
+    TensorRole,
+    skeletal_breakdown_bytes,
+    skeletal_bytes_per_layer,
+    skeletal_elements_per_layer,
+    skeletal_tensors,
+    transient_backward_tensors,
+    transient_forward_tensors,
+)
+
+
+class TestSkeletalCatalogue:
+    def test_ten_skeletal_tensors(self, gpt7b):
+        assert len(skeletal_tensors(gpt7b)) == 10
+
+    def test_total_is_16_bsh_elements(self, gpt7b):
+        """Figure 4: the skeletal activations of one layer total 16 b s h."""
+        batch, seq = 2, 1000
+        elements = skeletal_elements_per_layer(gpt7b, batch, seq)
+        assert elements == SKELETAL_ELEMENTS_PER_TOKEN * batch * seq * gpt7b.hidden_size
+
+    def test_paper_headline_4096_gib(self, gpt7b):
+        """7B model, 1M tokens, half precision: ~4096 GB of skeletal activations."""
+        per_layer = skeletal_bytes_per_layer(gpt7b, 1, 1024 * 1024)
+        total_gib = per_layer * gpt7b.num_layers / 1024 ** 3
+        assert total_gib == pytest.approx(4096, rel=0.01)
+
+    def test_all_marked_skeletal(self, gpt7b):
+        assert all(t.role is TensorRole.SKELETAL for t in skeletal_tensors(gpt7b))
+
+    def test_names_match_figure4(self, gpt7b):
+        names = {t.name for t in skeletal_tensors(gpt7b)}
+        assert {"input", "q", "k", "v", "flash_attn_output", "gelu_output"} <= names
+
+    def test_ffn_tensors_are_4x(self, gpt7b):
+        by_name = {t.name: t for t in skeletal_tensors(gpt7b)}
+        assert by_name["h_to_4h_output"].elements_per_token == 4 * by_name["input"].elements_per_token
+
+    def test_bytes_respect_precision(self, gpt7b):
+        fp32 = PrecisionConfig(activation_bytes=4)
+        tensor = skeletal_tensors(gpt7b)[0]
+        assert tensor.bytes(1, 100, fp32) == 2 * tensor.bytes(1, 100)
+
+
+class TestTransientCatalogue:
+    def test_transients_outnumber_skeletal_in_count(self, gpt7b):
+        """Section 3.3: there are more transient tensors than skeletal ones."""
+        transients = len(transient_forward_tensors(gpt7b)) + len(transient_backward_tensors(gpt7b))
+        assert transients > len(skeletal_tensors(gpt7b))
+
+    def test_all_marked_transient(self, gpt7b):
+        for tensor in transient_forward_tensors(gpt7b) + transient_backward_tensors(gpt7b):
+            assert tensor.role is TensorRole.TRANSIENT
+
+
+class TestBreakdown:
+    def test_breakdown_sums_to_total(self, gpt7b):
+        batch, seq = 1, 4096
+        breakdown = skeletal_breakdown_bytes(gpt7b, batch, seq)
+        assert sum(breakdown.values()) == skeletal_bytes_per_layer(gpt7b, batch, seq)
+
+    def test_attention_output_is_one_sixteenth(self, gpt7b):
+        """Section 4.1: the FlashAttention output is 6.25% of the skeletal size."""
+        breakdown = skeletal_breakdown_bytes(gpt7b, 1, 4096)
+        total = sum(breakdown.values())
+        assert breakdown["attn"] / total == pytest.approx(1 / 16)
+
+    def test_input_is_one_sixteenth(self, gpt7b):
+        breakdown = skeletal_breakdown_bytes(gpt7b, 1, 4096)
+        total = sum(breakdown.values())
+        assert breakdown["input"] / total == pytest.approx(1 / 16)
+
+    def test_others_is_the_rest(self, gpt7b):
+        breakdown = skeletal_breakdown_bytes(gpt7b, 1, 4096)
+        total = sum(breakdown.values())
+        assert breakdown["others"] / total == pytest.approx(14 / 16)

@@ -1,0 +1,72 @@
+"""Tests for the model registry and parameter counting (Table 2)."""
+
+import pytest
+
+from repro.model.specs import MODEL_REGISTRY, ModelConfig, get_model_config
+
+
+class TestRegistry:
+    def test_contains_all_paper_models(self):
+        assert set(MODEL_REGISTRY) == {"7B", "13B", "30B", "65B"}
+
+    @pytest.mark.parametrize(
+        "name, layers, hidden, ffn, heads",
+        [
+            ("7B", 32, 4096, 16384, 32),
+            ("13B", 40, 5120, 20480, 40),
+            ("30B", 48, 7168, 28672, 56),
+            ("65B", 80, 8192, 32768, 64),
+        ],
+    )
+    def test_table2_hyperparameters(self, name, layers, hidden, ffn, heads):
+        model = get_model_config(name)
+        assert model.num_layers == layers
+        assert model.hidden_size == hidden
+        assert model.ffn_hidden_size == ffn
+        assert model.num_heads == heads
+        assert model.vocab_size == 50257
+
+    def test_unknown_model_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="7B"):
+            get_model_config("3B")
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize(
+        "name, billions_low, billions_high",
+        [("7B", 6.0, 7.5), ("13B", 12.0, 14.0), ("30B", 28.0, 33.0), ("65B", 62.0, 68.0)],
+    )
+    def test_total_parameters_match_nominal_size(self, name, billions_low, billions_high):
+        model = get_model_config(name)
+        billions = model.num_parameters / 1e9
+        assert billions_low <= billions <= billions_high
+
+    def test_per_layer_parameters_are_12_h_squared_plus_norms(self, gpt7b):
+        h = gpt7b.hidden_size
+        assert gpt7b.attention_parameters_per_layer == 4 * h * h
+        assert gpt7b.ffn_parameters_per_layer == 8 * h * h
+        assert gpt7b.parameters_per_layer == 12 * h * h + 4 * h
+
+    def test_embedding_parameters(self, gpt7b):
+        assert gpt7b.embedding_parameters == 50257 * 4096
+
+    def test_head_dim(self, gpt7b):
+        assert gpt7b.head_dim == 128
+
+
+class TestValidation:
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig("bad", num_layers=2, hidden_size=100, ffn_hidden_size=400,
+                        num_heads=3, vocab_size=10)
+
+    def test_positive_layers_required(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", num_layers=0, hidden_size=64, ffn_hidden_size=256,
+                        num_heads=4, vocab_size=10)
+
+    def test_sharded_view(self, gpt7b):
+        view = gpt7b.scaled(8)
+        assert view.parameters_per_device * 8 >= gpt7b.num_parameters
+        with pytest.raises(ValueError):
+            gpt7b.scaled(0)

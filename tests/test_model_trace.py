@@ -1,0 +1,107 @@
+"""Tests for the memory request trace generator (Figure 3(b) / Figure 8)."""
+
+import pytest
+
+from repro.memory.request import (
+    RequestKind,
+    peak_live_bytes,
+    tensor_lifespans,
+    validate_trace,
+)
+from repro.model.trace import (
+    classifier_trace,
+    embedding_trace,
+    full_model_trace,
+    layer_backward_trace,
+    layer_forward_trace,
+)
+
+
+class TestLayerForwardTrace:
+    def test_trace_is_well_formed(self, gpt7b):
+        trace = layer_forward_trace(gpt7b, 1, 2048)
+        validate_trace(trace)
+
+    def test_transients_freed_skeletal_retained(self, gpt7b):
+        trace = layer_forward_trace(gpt7b, 1, 2048, include_skeletal=True)
+        spans = tensor_lifespans(trace)
+        open_tensors = [name for name, (_, end, _) in spans.items() if end == len(trace)]
+        # The skeletal tensors (including the retained layer input) stay live.
+        assert len(open_tensors) == 10
+        assert all(".fwd." in name for name in open_tensors)
+
+    def test_memo_mode_has_no_skeletal_allocations(self, gpt7b):
+        trace = layer_forward_trace(gpt7b, 1, 2048, include_skeletal=False)
+        spans = tensor_lifespans(trace)
+        open_tensors = [name for name, (_, end, _) in spans.items() if end == len(trace)]
+        assert open_tensors == []
+
+    def test_peak_scales_with_sequence_length(self, gpt7b):
+        short = peak_live_bytes(layer_forward_trace(gpt7b, 1, 1024))
+        long = peak_live_bytes(layer_forward_trace(gpt7b, 1, 4096))
+        assert long == pytest.approx(4 * short, rel=0.05)
+
+    def test_layer_index_prefixes_tensor_ids(self, gpt7b):
+        trace = layer_forward_trace(gpt7b, 1, 512, layer_index=7)
+        assert all(request.tensor_id.startswith("L7.fwd.") for request in trace)
+
+
+class TestLayerBackwardTrace:
+    def test_backward_alone_is_not_self_contained(self, gpt7b):
+        """The backward trace frees forward skeletal tensors, so validating it
+        in isolation must fail -- it only makes sense after a forward trace."""
+        trace = layer_backward_trace(gpt7b, 1, 1024)
+        with pytest.raises(Exception):
+            validate_trace(trace)
+
+    def test_forward_plus_backward_balances(self, gpt7b):
+        forward = layer_forward_trace(gpt7b, 1, 1024, include_skeletal=True)
+        backward = layer_backward_trace(gpt7b, 1, 1024, include_skeletal_frees=True)
+        combined = forward + backward
+        validate_trace(combined)
+        spans = tensor_lifespans(combined)
+        assert all(end < len(combined) or True for _, (_, end, _) in spans.items())
+        live_at_end = [name for name, (_, end, _) in spans.items() if end == len(combined)]
+        assert live_at_end == []
+
+
+class TestFullModelTrace:
+    def test_full_iteration_is_balanced(self, gpt7b):
+        trace = full_model_trace(gpt7b, 1, 1024, num_layers=3)
+        validate_trace(trace)
+        spans = tensor_lifespans(trace)
+        live_at_end = [name for name, (_, end, _) in spans.items() if end == len(trace)]
+        assert live_at_end == []
+
+    def test_more_layers_more_requests(self, gpt7b):
+        short = full_model_trace(gpt7b, 1, 1024, num_layers=2)
+        deep = full_model_trace(gpt7b, 1, 1024, num_layers=6)
+        assert len(deep) > len(short)
+
+    def test_peak_with_skeletal_far_exceeds_memo_mode(self, gpt7b):
+        """Retaining skeletal activations dominates memory; MEMO's allocator
+        trace (rounding buffers hold the skeletal tensors) stays small."""
+        with_skeletal = peak_live_bytes(full_model_trace(gpt7b, 1, 2048, num_layers=8))
+        memo_mode = peak_live_bytes(
+            full_model_trace(gpt7b, 1, 2048, num_layers=8, include_skeletal=False)
+        )
+        assert with_skeletal > 3 * memo_mode
+
+    def test_embedding_and_classifier_present(self, gpt7b):
+        trace = full_model_trace(gpt7b, 1, 512, num_layers=1)
+        ids = {request.tensor_id for request in trace}
+        assert "embedding.hidden_states" in ids
+        assert "classifier.logits_chunk" in ids
+
+
+class TestAuxiliaryTraces:
+    def test_embedding_trace_single_malloc(self, gpt7b):
+        trace = embedding_trace(gpt7b, 1, 1024)
+        assert len(trace) == 1
+        assert trace[0].kind is RequestKind.MALLOC
+
+    def test_classifier_chunks_logits(self, gpt7b):
+        trace = classifier_trace(gpt7b, 1, 1 << 20)
+        logits = [r for r in trace if r.tensor_id == "classifier.logits_chunk"][0]
+        # Chunked to 4096 tokens regardless of the full sequence length.
+        assert logits.size == 4096 * gpt7b.vocab_size * 4

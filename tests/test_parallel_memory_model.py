@@ -1,0 +1,127 @@
+"""Tests for per-GPU memory accounting under parallelism strategies."""
+
+import pytest
+
+from repro.config import GiB
+from repro.parallel.comm_model import estimate_communication
+from repro.parallel.memory_model import estimate_memory
+from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+
+
+def memory(gpt7b, cluster8, sequence_length=65536, **kwargs):
+    parallel_kwargs = {}
+    call_kwargs = {}
+    for key, value in kwargs.items():
+        if key in ("offload_alpha", "planned_transient_peak_bytes", "batch_size"):
+            call_kwargs[key] = value
+        else:
+            parallel_kwargs[key] = value
+    parallel = ParallelismConfig(**parallel_kwargs)
+    return estimate_memory(gpt7b, cluster8, parallel, sequence_length, **call_kwargs)
+
+
+class TestModelStates:
+    def test_model_states_roughly_16_bytes_per_param(self, gpt7b, cluster8):
+        breakdown = memory(gpt7b, cluster8, tensor_parallel=8)
+        expected = gpt7b.num_parameters / 8 * 16
+        assert breakdown.model_state_bytes == pytest.approx(expected, rel=1e-6)
+
+    def test_zero1_shards_optimizer_only(self, gpt7b, cluster8):
+        plain = memory(gpt7b, cluster8, tensor_parallel=4, data_parallel=2, zero_stage=0)
+        zero1 = memory(gpt7b, cluster8, tensor_parallel=4, data_parallel=2, zero_stage=1)
+        assert zero1.optimizer_bytes == pytest.approx(plain.optimizer_bytes / 2)
+        assert zero1.parameter_bytes == plain.parameter_bytes
+
+    def test_zero3_shards_everything(self, gpt7b, cluster8):
+        zero3 = memory(gpt7b, cluster8, ulysses_parallel=8, zero_stage=3)
+        expected = gpt7b.num_parameters * 16 / 8
+        assert zero3.model_state_bytes == pytest.approx(expected, rel=1e-6)
+
+    def test_context_parallel_counts_toward_zero_group(self, gpt7b, cluster8):
+        cp = memory(gpt7b, cluster8, tensor_parallel=4, context_parallel=2, zero_stage=1)
+        nocp = memory(gpt7b, cluster8, tensor_parallel=4, data_parallel=2, zero_stage=0)
+        assert cp.optimizer_bytes < nocp.optimizer_bytes
+
+
+class TestActivations:
+    def test_no_recompute_stores_all_layers(self, gpt7b, cluster8):
+        breakdown = memory(gpt7b, cluster8, tensor_parallel=8)
+        per_layer = 16 * 65536 * 4096 * 2 / 8
+        assert breakdown.skeletal_activation_bytes == pytest.approx(
+            gpt7b.num_layers * per_layer, rel=1e-6
+        )
+
+    def test_full_recompute_keeps_only_inputs(self, gpt7b, cluster8):
+        full = memory(gpt7b, cluster8, tensor_parallel=8)
+        recompute = memory(gpt7b, cluster8, tensor_parallel=8, recompute=RecomputeMode.FULL)
+        assert recompute.skeletal_activation_bytes < 0.2 * full.skeletal_activation_bytes
+
+    def test_offload_replaces_skeletal_with_two_buffers(self, gpt7b, cluster8):
+        offload = memory(
+            gpt7b, cluster8, tensor_parallel=8, offload=OffloadMode.TOKEN_WISE, offload_alpha=0.5,
+        )
+        per_layer = 16 * 65536 * 4096 * 2 / 8
+        assert offload.skeletal_activation_bytes == 0
+        assert offload.rounding_buffer_bytes == pytest.approx(2 * per_layer, rel=1e-6)
+        assert offload.host_offload_bytes > 0
+
+    def test_host_offload_grows_with_alpha(self, gpt7b, cluster8):
+        low = memory(gpt7b, cluster8, tensor_parallel=8,
+                     offload=OffloadMode.TOKEN_WISE, offload_alpha=0.1)
+        high = memory(gpt7b, cluster8, tensor_parallel=8,
+                      offload=OffloadMode.TOKEN_WISE, offload_alpha=0.9)
+        assert high.host_offload_bytes > low.host_offload_bytes
+
+    def test_planned_transient_peak_removes_fragmentation(self, gpt7b, cluster8):
+        unplanned = memory(gpt7b, cluster8, tensor_parallel=8)
+        planned = memory(gpt7b, cluster8, tensor_parallel=8,
+                         planned_transient_peak_bytes=2 * GiB)
+        assert unplanned.fragmentation_bytes > 0
+        assert planned.fragmentation_bytes == 0
+        assert planned.transient_bytes == 2 * GiB
+
+    def test_sequence_sharding_reduces_activations(self, gpt7b, cluster8):
+        wide = memory(gpt7b, cluster8, tensor_parallel=8)
+        sharded = memory(gpt7b, cluster8, tensor_parallel=4, context_parallel=2)
+        assert sharded.activation_bytes < wide.activation_bytes * 1.01
+
+
+class TestFits:
+    def test_fits_and_host_fits(self, gpt7b, cluster8):
+        breakdown = memory(gpt7b, cluster8, tensor_parallel=8, recompute=RecomputeMode.FULL)
+        assert breakdown.fits(cluster8.gpu.memory_bytes)
+        assert breakdown.host_fits(cluster8.node.cpu_memory_per_gpu_bytes)
+
+    def test_long_context_without_recompute_does_not_fit(self, gpt7b, cluster8):
+        breakdown = memory(gpt7b, cluster8, sequence_length=1 << 20, tensor_parallel=8)
+        assert not breakdown.fits(cluster8.gpu.memory_bytes)
+
+    def test_rejects_bad_sequence(self, gpt7b, cluster8):
+        with pytest.raises(ValueError):
+            memory(gpt7b, cluster8, sequence_length=0)
+
+
+class TestCommModel:
+    def test_tp_volume_matches_formula(self, gpt7b, cluster8):
+        parallel = ParallelismConfig(tensor_parallel=8)
+        comm = estimate_communication(gpt7b, parallel, 65536)
+        activation = 65536 * 4096 * 2
+        assert comm.tp_bytes_per_layer == pytest.approx(8 * activation * 7 / 8)
+        assert comm.tp_bytes_total == pytest.approx(comm.tp_bytes_per_layer * 32)
+
+    def test_no_parallelism_no_communication(self, gpt7b, cluster8):
+        comm = estimate_communication(gpt7b, ParallelismConfig(), 65536)
+        assert comm.total_bytes == 0.0
+
+    def test_zero3_parameter_traffic(self, gpt7b, cluster8):
+        parallel = ParallelismConfig(ulysses_parallel=4, data_parallel=2, zero_stage=3)
+        comm = estimate_communication(gpt7b, parallel, 65536)
+        assert comm.zero3_parameter_bytes > 0
+        assert comm.dp_gradient_bytes > 0
+
+    def test_ulysses_and_cp_volumes(self, gpt7b, cluster8):
+        ulysses = estimate_communication(gpt7b, ParallelismConfig(ulysses_parallel=8), 65536)
+        cp = estimate_communication(gpt7b, ParallelismConfig(context_parallel=8), 65536)
+        assert ulysses.ulysses_bytes_per_layer > 0
+        assert cp.cp_bytes_per_layer > 0
+        assert ulysses.cp_bytes_per_layer == 0

@@ -1,0 +1,79 @@
+"""Tests for the bi-level memory planner (Section 4.2)."""
+
+import pytest
+
+from repro.memory.planned_allocator import PlannedAllocator
+from repro.memory.request import peak_live_bytes
+from repro.model.specs import get_model_config
+from repro.model.trace import full_model_trace, layer_backward_trace, layer_forward_trace
+from repro.planner.bilevel import BiLevelPlanner, plan_iteration
+
+
+@pytest.fixture(scope="module")
+def plan_result(gpt7b_module):
+    planner = BiLevelPlanner(model=gpt7b_module, batch_size=1, sequence_length=1024, use_exact=True)
+    return planner.plan()
+
+
+@pytest.fixture(scope="module")
+def gpt7b_module():
+    return get_model_config("7B")
+
+
+class TestBiLevelPlanner:
+    def test_layer_peak_at_least_live_bytes(self, gpt7b_module, plan_result):
+        forward = layer_forward_trace(gpt7b_module, 1, 1024, include_skeletal=False)
+        assert plan_result.layer_peak_bytes >= peak_live_bytes(forward)
+
+    def test_full_plan_covers_every_layer(self, gpt7b_module, plan_result):
+        for layer in range(gpt7b_module.num_layers):
+            assert f"L{layer}.fwd.qkv_packed" in plan_result.full_plan
+            assert f"L{layer}.bwd.grad_gelu" in plan_result.full_plan
+
+    def test_layers_reuse_the_same_addresses(self, plan_result):
+        """The core claim: every transformer layer reuses one pseudo block."""
+        first = plan_result.full_plan.get("L0.fwd.qkv_packed")
+        for layer in (1, 7, 31):
+            other = plan_result.full_plan.get(f"L{layer}.fwd.qkv_packed")
+            assert other.address == first.address
+            assert other.size == first.size
+
+    def test_total_peak_independent_of_depth(self, gpt7b_module):
+        """Memory for transient activations must not grow with the layer count."""
+        shallow = BiLevelPlanner(gpt7b_module, 1, 1024, use_exact=False)
+        result_shallow = shallow.plan()
+        assert result_shallow.total_peak_bytes == pytest.approx(
+            plan_iteration(gpt7b_module, 1, 1024, use_exact=False).total_peak_bytes
+        )
+
+    def test_total_peak_at_most_sum_of_components(self, plan_result):
+        assert plan_result.total_peak_bytes >= plan_result.layer_peak_bytes
+        assert plan_result.model_plan.peak_bytes == plan_result.total_peak_bytes
+
+    def test_heuristic_planner_is_valid_too(self, gpt7b_module):
+        result = plan_iteration(gpt7b_module, 1, 1024, use_exact=False)
+        assert result.layer_peak_bytes > 0
+        assert len(result.full_plan) > 0
+
+
+class TestPlanExecutability:
+    def test_full_iteration_trace_replays_against_the_plan(self, gpt7b_module):
+        """Integration: the composed plan must execute the whole iteration trace
+        without a single conflict, for any number of layers."""
+        result = plan_iteration(gpt7b_module, 1, 512, use_exact=False)
+        trace = full_model_trace(gpt7b_module, 1, 512, include_skeletal=False)
+        allocator = PlannedAllocator(plan=result.full_plan)
+        allocator.replay(trace)
+        assert allocator.allocated_bytes == 0
+
+    def test_two_iterations_reuse_the_same_plan(self, gpt7b_module):
+        result = plan_iteration(gpt7b_module, 1, 512, use_exact=False)
+        trace = full_model_trace(gpt7b_module, 1, 512, include_skeletal=False)
+        allocator = PlannedAllocator(plan=result.full_plan)
+        allocator.replay(trace)
+        allocator.replay(trace)
+        assert allocator.allocated_bytes == 0
+
+    def test_backward_trace_fits_in_pseudo_block(self, gpt7b_module, plan_result):
+        backward = layer_backward_trace(gpt7b_module, 1, 1024, include_skeletal_frees=False)
+        assert plan_result.layer_peak_bytes >= peak_live_bytes(backward)

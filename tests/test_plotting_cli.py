@@ -1,0 +1,100 @@
+"""Tests for the ASCII plotting helpers and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.plotting import ascii_plot, plot_named_series, sparkline
+from repro.experiments.report import Series
+
+
+def make_series(name="s", points=((0, 0.0), (1, 1.0), (2, 4.0))):
+    series = Series(name)
+    for x, y in points:
+        series.add(x, y)
+    return series
+
+
+class TestAsciiPlot:
+    def test_contains_markers_title_and_legend(self):
+        chart = ascii_plot([make_series("quadratic")], title="demo", x_label="x", y_label="y")
+        assert "demo" in chart
+        assert "*" in chart
+        assert "quadratic" in chart
+        assert "[x: x]" in chart and "[y: y]" in chart
+
+    def test_multiple_series_use_distinct_markers(self):
+        chart = ascii_plot([make_series("a"), make_series("b", ((0, 1.0), (2, 2.0)))])
+        assert "*" in chart and "o" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_plot([make_series("flat", ((0, 1.0), (1, 1.0)))])
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+        with pytest.raises(ValueError):
+            ascii_plot([make_series()], width=5)
+        with pytest.raises(ValueError):
+            ascii_plot([Series("empty")])
+
+    def test_plot_named_series_subset(self):
+        curves = {"a": make_series("a"), "b": make_series("b")}
+        chart = plot_named_series(curves, names=["a"])
+        assert "a" in chart and "b" not in chart.splitlines()[-1].replace("b", "b")
+
+
+class TestSparkline:
+    def test_length_and_monotone_blocks(self):
+        line = sparkline([0.0, 0.5, 1.0], width=3)
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_downsamples_long_series(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestCli:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ("estimate", "plan", "table3", "table4", "table5",
+                        "figure1", "figure6", "figure11a", "convergence"):
+            args = parser.parse_args([command] if command not in ("estimate", "plan") else [command])
+            assert args.command == command
+
+    def test_estimate_command(self, capsys):
+        assert main(["estimate", "--model", "7B", "--gpus", "8", "--seqlen-k", "64"]) == 0
+        output = capsys.readouterr().out
+        assert "Memo" in output and "Megatron-LM" in output and "DeepSpeed" in output
+        assert "MFU" in output
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "--model", "7B", "--gpus", "8", "--seqlen-k", "128",
+                     "--tp", "4", "--cp", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "offload fraction alpha" in output
+        assert "rounding buffers" in output
+
+    def test_table3_command_subset(self, capsys):
+        assert main(["table3", "--models", "7B", "--seqlens-k", "64,256"]) == 0
+        output = capsys.readouterr().out
+        assert "64K" in output and "256K" in output and "average MFU" in output
+
+    def test_figure6_command(self, capsys):
+        assert main(["figure6"]) == 0
+        assert "FlashAttention share" in capsys.readouterr().out
+
+    def test_convergence_command(self, capsys):
+        assert main(["convergence", "--iterations", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "maximum divergence" in output
+        assert "0.000e+00" in output or "e-1" in output
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for the core data structures and solvers."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.caching_allocator import CachingAllocator, OutOfMemoryError
+from repro.memory.planned_allocator import PlannedAllocator
+from repro.memory.request import MemoryRequest, RequestKind, peak_live_bytes, validate_trace
+from repro.planner.dsa import problem_from_trace
+from repro.planner.exact import solve_exact
+from repro.planner.heuristics import solve_best_fit, solve_first_fit_decreasing
+from repro.sim.executor import LayerTask, simulate_iteration
+from repro.swap.alpha import AlphaProblem, solve_alpha
+from repro.train.tensor_ops import layer_norm, layer_norm_backward, softmax
+
+
+# --------------------------------------------------------------------- traces
+@st.composite
+def malloc_free_traces(draw, max_tensors=12):
+    """Random well-formed malloc/free traces (interleaved lifetimes)."""
+    num_tensors = draw(st.integers(min_value=1, max_value=max_tensors))
+    sizes = [draw(st.integers(min_value=1, max_value=1 << 16)) for _ in range(num_tensors)]
+    events: List[MemoryRequest] = []
+    live: List[int] = []
+    for index in range(num_tensors):
+        # Randomly free some currently-live tensors before each new malloc.
+        while live and draw(st.booleans()):
+            victim = live.pop(draw(st.integers(min_value=0, max_value=len(live) - 1)))
+            events.append(MemoryRequest(RequestKind.FREE, f"t{victim}", sizes[victim]))
+        events.append(MemoryRequest(RequestKind.MALLOC, f"t{index}", sizes[index]))
+        live.append(index)
+    free_rest = draw(st.booleans())
+    if free_rest:
+        for victim in list(live):
+            events.append(MemoryRequest(RequestKind.FREE, f"t{victim}", sizes[victim]))
+    return events
+
+
+class TestTraceProperties:
+    @given(malloc_free_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_traces_are_valid(self, trace):
+        validate_trace(trace)
+
+    @given(malloc_free_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_peak_live_bounded_by_total(self, trace):
+        total = sum(r.size for r in trace if r.kind is RequestKind.MALLOC)
+        peak = peak_live_bytes(trace)
+        assert 0 <= peak <= total
+
+
+class TestDSASolverProperties:
+    @given(malloc_free_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_heuristic_plans_are_valid_and_bounded(self, trace):
+        problem = problem_from_trace(trace)
+        for solver in (solve_best_fit, solve_first_fit_decreasing):
+            plan = solver(problem)
+            problem.validate_plan(plan)
+            assert plan.peak_bytes >= problem.lower_bound_bytes()
+            assert plan.peak_bytes <= problem.total_bytes
+
+    @given(malloc_free_traces(max_tensors=7))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_at_least_as_good_as_heuristics(self, trace):
+        problem = problem_from_trace(trace)
+        exact = solve_exact(problem)
+        problem.validate_plan(exact)
+        heuristic = min(
+            solve_best_fit(problem).peak_bytes, solve_first_fit_decreasing(problem).peak_bytes
+        )
+        assert problem.lower_bound_bytes() <= exact.peak_bytes <= heuristic
+
+    @given(malloc_free_traces(max_tensors=10))
+    @settings(max_examples=30, deadline=None)
+    def test_planned_allocator_replays_any_planned_trace(self, trace):
+        problem = problem_from_trace(trace)
+        plan = solve_best_fit(problem)
+        allocator = PlannedAllocator(plan=plan)
+        allocator.replay(trace)
+
+
+class TestCachingAllocatorProperties:
+    @given(malloc_free_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_reserved_never_below_allocated_and_never_above_capacity(self, trace):
+        capacity = 4 * sum(r.size for r in trace if r.kind is RequestKind.MALLOC) + 4096
+        allocator = CachingAllocator(capacity_bytes=capacity)
+        try:
+            allocator.replay(trace)
+        except OutOfMemoryError:
+            pass
+        for point in allocator.timeline.points:
+            assert point.reserved_bytes >= point.allocated_bytes
+            assert point.reserved_bytes <= capacity
+
+    @given(malloc_free_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_allocated_matches_live_bytes_at_every_step(self, trace):
+        capacity = 4 * sum(r.size for r in trace if r.kind is RequestKind.MALLOC) + 4096
+        allocator = CachingAllocator(
+            capacity_bytes=capacity, round_to_bytes=1, small_segment_bytes=1,
+        )
+        allocator.replay(trace)
+        live = 0
+        for index, request in enumerate(trace):
+            live += request.size if request.kind is RequestKind.MALLOC else -request.size
+            assert allocator.timeline.points[index].allocated_bytes == live
+
+
+class TestAlphaProperties:
+    @given(
+        st.floats(min_value=1e6, max_value=1e10),
+        st.floats(min_value=1e6, max_value=1e10),
+        st.floats(min_value=0.0, max_value=1e11),
+        st.floats(min_value=1e8, max_value=1e11),
+        st.floats(min_value=1e-3, max_value=100.0),
+        st.integers(min_value=1, max_value=128),
+        st.floats(min_value=0.0, max_value=1e13),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_alpha_always_in_unit_interval_and_constraints_hold(
+        self, input_bytes, attn_bytes, other_bytes, bandwidth, layer_time, layers, cpu,
+    ):
+        problem = AlphaProblem(
+            input_bytes=input_bytes,
+            attn_output_bytes=attn_bytes,
+            other_bytes=other_bytes,
+            pcie_bandwidth_bytes_per_s=bandwidth,
+            layer_forward_time_s=layer_time,
+            num_layers=layers,
+            cpu_memory_bytes=cpu,
+        )
+        solution = solve_alpha(problem)
+        assert 0.0 <= solution.alpha <= 1.0
+        if solution.feasible and problem.swapping_layers > 0:
+            assert solution.cpu_bytes_used <= cpu * (1 + 1e-9)
+        # The solution is maximal: nudging alpha upward violates a constraint
+        # or exceeds 1.
+        bumped = min(solution.alpha + 1e-3, 1.0)
+        if solution.feasible and bumped > solution.alpha:
+            over_bandwidth = problem.offload_time(bumped) > layer_time + 1e-12
+            over_cpu = problem.swapping_layers * problem.offloaded_bytes(bumped) > cpu + 1e-6
+            assert over_bandwidth or over_cpu or solution.alpha == 1.0 or (
+                # alpha was clipped at a bound below both constraints only when
+                # the bounds themselves were below zero (mandatory part blocks).
+                solution.bandwidth_bound < 0 or solution.cpu_memory_bound < 0
+            )
+
+
+class TestExecutorProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=2.0),   # forward
+                st.floats(min_value=0.01, max_value=4.0),   # backward
+                st.floats(min_value=0.0, max_value=5e9),    # offload bytes
+                st.floats(min_value=0.0, max_value=1.0),    # recompute
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_iteration_time_at_least_compute_and_stalls_consistent(self, layer_specs):
+        tasks = [
+            LayerTask(
+                forward_compute_s=fwd, backward_compute_s=bwd,
+                offload_bytes=off, prefetch_bytes=off, recompute_s=rec,
+            )
+            for fwd, bwd, off, rec in layer_specs
+        ]
+        timeline = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=5e9)
+        compute = sum(t.forward_compute_s + t.backward_compute_s + t.recompute_s for t in tasks)
+        assert timeline.total_s >= compute - 1e-9
+        assert timeline.compute_busy_s == pytest.approx(compute)
+        assert timeline.forward_stall_s >= 0 and timeline.backward_stall_s >= 0
+        assert timeline.total_s <= compute + timeline.total_stall_s + 1e-6
+
+
+class TestNumericalProperties:
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=2, max_value=24))
+    @settings(max_examples=40, deadline=None)
+    def test_layer_norm_backward_consistent_with_forward(self, rows, hidden):
+        rng = np.random.default_rng(rows * 100 + hidden)
+        x = rng.normal(size=(1, rows, hidden))
+        weight = rng.normal(size=hidden)
+        bias = rng.normal(size=hidden)
+        out, mean, inv_std = layer_norm(x, weight, bias)
+        grad_out = rng.normal(size=out.shape)
+        grad_in, grad_w, grad_b = layer_norm_backward(grad_out, x, weight, mean, inv_std)
+        assert grad_in.shape == x.shape
+        assert np.isfinite(grad_in).all() and np.isfinite(grad_w).all()
+        # Directional derivative check.
+        direction = rng.normal(size=x.shape)
+        epsilon = 1e-6
+        plus, _, _ = layer_norm(x + epsilon * direction, weight, bias)
+        minus, _, _ = layer_norm(x - epsilon * direction, weight, bias)
+        numeric = float(((plus - minus) / (2 * epsilon) * grad_out).sum())
+        analytic = float((grad_in * direction).sum())
+        assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=2, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_is_a_distribution(self, rows, cols):
+        rng = np.random.default_rng(rows * 31 + cols)
+        probs = softmax(rng.normal(scale=10.0, size=(rows, cols)))
+        assert (probs >= 0).all()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(rows), atol=1e-9)

@@ -1,0 +1,122 @@
+"""Additional property-based tests: bi-level planning, swap schedules and the
+mini-GPT's offload/recompute equivalence over random shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GiB
+from repro.memory.planned_allocator import PlannedAllocator
+from repro.model.specs import ModelConfig
+from repro.model.trace import full_model_trace
+from repro.planner.bilevel import BiLevelPlanner
+from repro.swap.schedule import build_swap_schedule
+from repro.train.gpt import MiniGPT, MiniGPTConfig
+from repro.train.offload import ActivationManager, HostPool, OffloadPolicy
+
+
+@st.composite
+def small_models(draw):
+    """Random (but legal) small model configurations."""
+    heads = draw(st.sampled_from([2, 4, 8]))
+    hidden = heads * draw(st.sampled_from([32, 64, 128]))
+    layers = draw(st.integers(min_value=2, max_value=6))
+    return ModelConfig(
+        name="random",
+        num_layers=layers,
+        hidden_size=hidden,
+        ffn_hidden_size=4 * hidden,
+        num_heads=heads,
+        vocab_size=1024,
+    )
+
+
+class TestBiLevelPlannerProperties:
+    @given(small_models(), st.sampled_from([256, 1024, 4096]))
+    @settings(max_examples=12, deadline=None)
+    def test_plan_executes_full_iteration_for_any_model_shape(self, model, sequence):
+        result = BiLevelPlanner(model, 1, sequence, use_exact=False).plan()
+        trace = full_model_trace(model, 1, sequence, include_skeletal=False)
+        allocator = PlannedAllocator(plan=result.full_plan)
+        allocator.replay(trace)
+        assert allocator.allocated_bytes == 0
+        assert result.total_peak_bytes >= result.layer_peak_bytes > 0
+
+    @given(small_models())
+    @settings(max_examples=10, deadline=None)
+    def test_layer_plans_identical_across_layers(self, model):
+        result = BiLevelPlanner(model, 1, 512, use_exact=False).plan()
+        reference = result.full_plan.get("L0.fwd.qkv_packed")
+        for layer in range(model.num_layers):
+            entry = result.full_plan.get(f"L{layer}.fwd.qkv_packed")
+            assert entry.address == reference.address
+            assert entry.size == reference.size
+
+
+class TestSwapScheduleProperties:
+    @given(
+        st.sampled_from([8, 16, 32]),          # layers
+        st.floats(min_value=0.0, max_value=1.0),
+        st.sampled_from([1, 2, 4, 8]),         # tensor shards
+        st.sampled_from([32 * 1024, 131072, 524288]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_conserves_skeletal_bytes(self, layers, alpha, shards, sequence):
+        from repro.model.specs import get_model_config
+
+        model = get_model_config("7B")
+        schedule = build_swap_schedule(
+            model=model,
+            batch_size=1,
+            sequence_length=sequence,
+            layer_forward_time_s=1.0,
+            pcie_bandwidth_bytes_per_s=12 * GiB,
+            host_capacity_bytes=10_000 * GiB,
+            num_layers=layers,
+            alpha=alpha,
+            tensor_shards=shards,
+        )
+        assert schedule.num_layers == layers
+        expected = 16 * sequence * model.hidden_size * 2 / shards
+        for plan in schedule.layers:
+            # Offloaded + recomputed + resident always equals the layer's
+            # skeletal size, whatever alpha and sharding are.
+            assert plan.skeletal_bytes == pytest.approx(expected, rel=1e-6)
+            assert plan.offload_bytes >= 0 and plan.recompute_bytes >= 0
+        # Exactly the last two layers stay fully resident.
+        resident = [p for p in schedule.layers if p.resident_bytes == pytest.approx(expected, rel=1e-6)]
+        assert len(resident) == 2
+
+
+class TestOffloadEquivalenceProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+        st.integers(min_value=4, max_value=20),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_loss_and_gradients_identical_for_random_inputs(self, seed, alpha, sequence):
+        config = MiniGPTConfig(
+            vocab_size=17, hidden_size=16, ffn_hidden_size=32, num_layers=3,
+            num_heads=2, max_sequence_length=32, seed=7,
+        )
+        rng = np.random.default_rng(seed)
+        tokens = rng.integers(0, config.vocab_size, size=(1, sequence))
+        targets = rng.integers(0, config.vocab_size, size=(1, sequence))
+
+        resident = MiniGPT(config)
+        resident.zero_grad()
+        loss_resident = resident.forward_backward(tokens, targets)
+
+        offloaded = MiniGPT(config)
+        offloaded.zero_grad()
+        manager = ActivationManager(
+            OffloadPolicy(alpha=alpha), num_layers=config.num_layers, host_pool=HostPool(),
+        )
+        loss_offloaded = offloaded.forward_backward(tokens, targets, activation_manager=manager)
+
+        assert loss_offloaded == pytest.approx(loss_resident, abs=1e-12)
+        for name, grad in resident.named_gradients().items():
+            np.testing.assert_allclose(offloaded.named_gradients()[name], grad, atol=1e-10)

@@ -1,0 +1,88 @@
+"""Tests for the discrete-event engine and the stream abstraction."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.streams import Stream, StreamKind
+
+
+class TestStream:
+    def test_serialised_execution(self):
+        stream = Stream(StreamKind.COMPUTE)
+        start1, end1 = stream.submit(0.0, 1.0, "a")
+        start2, end2 = stream.submit(0.0, 2.0, "b")
+        assert (start1, end1) == (0.0, 1.0)
+        assert (start2, end2) == (1.0, 3.0)
+        assert stream.busy_time == 3.0
+
+    def test_earliest_start_respected(self):
+        stream = Stream(StreamKind.D2H)
+        start, end = stream.submit(5.0, 1.0)
+        assert (start, end) == (5.0, 6.0)
+
+    def test_idle_time(self):
+        stream = Stream(StreamKind.H2D)
+        stream.submit(2.0, 1.0)
+        assert stream.idle_time(10.0) == pytest.approx(9.0)
+        with pytest.raises(ValueError):
+            stream.idle_time(-1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Stream(StreamKind.COMPUTE).submit(0.0, -1.0)
+
+    def test_intervals_recorded_with_labels(self):
+        stream = Stream(StreamKind.COMPUTE)
+        stream.submit(0.0, 1.0, "fwd:0")
+        assert stream.intervals == [(0.0, 1.0, "fwd:0")]
+
+
+class TestSimulationEngine:
+    def test_events_processed_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(2.0, "late", lambda e: order.append("late"))
+        engine.schedule(1.0, "early", lambda e: order.append("early"))
+        engine.run()
+        assert order == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_ties_broken_by_insertion_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(1.0, "first", lambda e: order.append("first"))
+        engine.schedule(1.0, "second", lambda e: order.append("second"))
+        engine.run()
+        assert order == ["first", "second"]
+
+    def test_actions_may_schedule_more_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def chain(e):
+            seen.append(e.now)
+            if len(seen) < 3:
+                e.schedule(1.0, "chain", chain)
+
+        engine.schedule(1.0, "chain", chain)
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_run_until_stops_early(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, "a")
+        engine.schedule(5.0, "b")
+        engine.run(until=2.0)
+        assert engine.now == 2.0
+        assert engine.pending == 1
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, "a")
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(0.5, "too late")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule(-1.0)

@@ -1,0 +1,142 @@
+"""Tests for the iteration executor: overlap, stalls and buffer dependencies."""
+
+import pytest
+
+from repro.sim.executor import LayerTask, simulate_iteration
+
+GB = 1e9
+
+
+def uniform_tasks(num_layers, forward=1.0, backward=2.0, offload_bytes=0.0,
+                  prefetch_bytes=None, recompute=0.0, resident_last_two=True):
+    tasks = []
+    for index in range(num_layers):
+        resident = resident_last_two and index >= num_layers - 2
+        tasks.append(
+            LayerTask(
+                forward_compute_s=forward,
+                backward_compute_s=backward,
+                offload_bytes=0.0 if resident else offload_bytes,
+                prefetch_bytes=0.0 if resident else (
+                    offload_bytes if prefetch_bytes is None else prefetch_bytes
+                ),
+                recompute_s=0.0 if resident else recompute,
+                resident=resident,
+            )
+        )
+    return tasks
+
+
+class TestComputeOnly:
+    def test_total_is_sum_of_compute(self):
+        tasks = uniform_tasks(4, offload_bytes=0.0)
+        timeline = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB)
+        assert timeline.total_s == pytest.approx(4 * (1.0 + 2.0))
+        assert timeline.total_stall_s == 0.0
+        assert timeline.compute_busy_s == pytest.approx(timeline.total_s)
+
+    def test_boundary_and_serial_overheads_added(self):
+        tasks = uniform_tasks(2, offload_bytes=0.0)
+        timeline = simulate_iteration(
+            tasks, pcie_bandwidth_bytes_per_s=10 * GB,
+            boundary_compute_s=0.5, serial_overhead_s=1.5,
+        )
+        assert timeline.total_s == pytest.approx(2 * 3.0 + 0.5 + 1.5)
+        assert timeline.serial_overhead_s == 1.5
+
+    def test_full_recompute_extends_backward(self):
+        plain = simulate_iteration(uniform_tasks(4), pcie_bandwidth_bytes_per_s=10 * GB)
+        recomputed = simulate_iteration(
+            uniform_tasks(4, recompute=1.0), pcie_bandwidth_bytes_per_s=10 * GB
+        )
+        # Two non-resident layers recompute for 1s each.
+        assert recomputed.total_s == pytest.approx(plain.total_s + 2.0)
+
+
+class TestOffloadOverlap:
+    def test_fast_offload_fully_overlaps(self):
+        """Offloading 5 GB at 10 GB/s (0.5 s) hides under a 1 s forward pass."""
+        tasks = uniform_tasks(8, offload_bytes=5 * GB)
+        timeline = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB)
+        baseline = simulate_iteration(uniform_tasks(8), pcie_bandwidth_bytes_per_s=10 * GB)
+        assert timeline.forward_stall_s == 0.0
+        assert timeline.total_s == pytest.approx(baseline.total_s, rel=1e-6)
+        assert timeline.d2h_busy_s > 0
+
+    def test_slow_offload_stalls_forward(self):
+        """Offloading 30 GB at 10 GB/s (3 s) cannot hide under a 1 s forward."""
+        tasks = uniform_tasks(8, offload_bytes=30 * GB)
+        timeline = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB)
+        assert timeline.forward_stall_s > 0
+        baseline = simulate_iteration(uniform_tasks(8), pcie_bandwidth_bytes_per_s=10 * GB)
+        assert timeline.total_s > baseline.total_s
+
+    def test_stall_grows_with_offload_size(self):
+        small = simulate_iteration(
+            uniform_tasks(8, offload_bytes=15 * GB), pcie_bandwidth_bytes_per_s=10 * GB
+        )
+        large = simulate_iteration(
+            uniform_tasks(8, offload_bytes=40 * GB), pcie_bandwidth_bytes_per_s=10 * GB
+        )
+        assert large.forward_stall_s > small.forward_stall_s
+
+    def test_higher_bandwidth_removes_stall(self):
+        tasks = uniform_tasks(8, offload_bytes=30 * GB)
+        slow = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB)
+        fast = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=100 * GB)
+        assert fast.total_s < slow.total_s
+        assert fast.forward_stall_s == 0.0
+
+    def test_first_two_layers_never_wait(self):
+        """With two rounding buffers, layers 0 and 1 have no offload dependency."""
+        tasks = uniform_tasks(8, offload_bytes=50 * GB)
+        timeline = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB)
+        assert timeline.layer_forward_starts[0] == pytest.approx(0.0)
+        assert timeline.layer_forward_starts[1] == pytest.approx(1.0)
+        # Layer 2 must wait for layer 0's offload (starts at 1.0, takes 5 s).
+        assert timeline.layer_forward_starts[2] == pytest.approx(6.0, rel=1e-3)
+
+    def test_more_buffers_relax_the_dependency(self):
+        tasks = uniform_tasks(8, offload_bytes=30 * GB)
+        two = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB, num_buffers=2)
+        four = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB, num_buffers=4)
+        assert four.total_s <= two.total_s
+
+
+class TestBackwardPrefetch:
+    def test_prefetch_overlaps_backward(self):
+        """Backward compute (2 s/layer) easily hides a 0.5 s prefetch."""
+        tasks = uniform_tasks(8, offload_bytes=5 * GB)
+        timeline = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB)
+        assert timeline.backward_stall_s == 0.0
+        assert timeline.h2d_busy_s > 0
+
+    def test_slow_prefetch_stalls_backward(self):
+        tasks = uniform_tasks(8, offload_bytes=50 * GB)
+        timeline = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB)
+        assert timeline.backward_stall_s > 0
+
+    def test_resident_layers_start_backward_immediately(self):
+        tasks = uniform_tasks(6, offload_bytes=20 * GB)
+        timeline = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=10 * GB)
+        # The first backward layer (the last model layer, resident) starts right
+        # after the forward pass / boundary.
+        assert timeline.layer_backward_starts[0] == pytest.approx(timeline.forward_end_s)
+
+
+class TestValidation:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            simulate_iteration(uniform_tasks(2), pcie_bandwidth_bytes_per_s=0)
+
+    def test_rejects_negative_overheads(self):
+        with pytest.raises(ValueError):
+            simulate_iteration(uniform_tasks(2), 1e9, boundary_compute_s=-1)
+
+    def test_rejects_zero_buffers(self):
+        with pytest.raises(ValueError):
+            simulate_iteration(uniform_tasks(2), 1e9, num_buffers=0)
+
+    def test_overlap_efficiency_bounded(self):
+        timeline = simulate_iteration(uniform_tasks(4, offload_bytes=5 * GB), 10 * GB)
+        assert 0.0 < timeline.overlap_efficiency <= 1.0

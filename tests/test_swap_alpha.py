@@ -1,0 +1,106 @@
+"""Tests for the offload-fraction LP (Section 4.1)."""
+
+import pytest
+
+from repro.config import GiB
+from repro.swap.alpha import AlphaProblem, solve_alpha
+
+
+def make_problem(**overrides):
+    defaults = dict(
+        input_bytes=1.0 * GiB,
+        attn_output_bytes=1.0 * GiB,
+        other_bytes=14.0 * GiB,
+        pcie_bandwidth_bytes_per_s=12.0 * GiB,
+        layer_forward_time_s=1.0,
+        num_layers=32,
+        cpu_memory_bytes=256.0 * GiB,
+    )
+    defaults.update(overrides)
+    return AlphaProblem(**defaults)
+
+
+class TestAlphaProblem:
+    def test_always_offloaded_is_input_plus_attention(self):
+        problem = make_problem()
+        assert problem.always_offloaded_bytes == 2.0 * GiB
+
+    def test_offloaded_bytes_linear_in_alpha(self):
+        problem = make_problem()
+        assert problem.offloaded_bytes(0.0) == 2.0 * GiB
+        assert problem.offloaded_bytes(1.0) == 16.0 * GiB
+        assert problem.offloaded_bytes(0.5) == 9.0 * GiB
+
+    def test_last_two_layers_never_swap(self):
+        assert make_problem(num_layers=32).swapping_layers == 30
+        assert make_problem(num_layers=2).swapping_layers == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_problem(pcie_bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            make_problem(num_layers=0)
+        with pytest.raises(ValueError):
+            make_problem(input_bytes=-1)
+
+
+class TestSolveAlpha:
+    def test_bandwidth_bound_binds_for_short_layers(self):
+        """When the layer computes quickly, only part of the tensors can hide."""
+        problem = make_problem(layer_forward_time_s=0.5)
+        solution = solve_alpha(problem)
+        # bandwidth bound: (0.5 * 12 - 2) / 14 = 0.2857
+        assert solution.alpha == pytest.approx((0.5 * 12 - 2) / 14, rel=1e-6)
+        assert solution.bandwidth_bound < solution.cpu_memory_bound
+
+    def test_cpu_bound_binds_for_long_sequences(self):
+        problem = make_problem(layer_forward_time_s=10.0, cpu_memory_bytes=120.0 * GiB)
+        solution = solve_alpha(problem)
+        expected = (120.0 / 30 - 2.0) / 14.0
+        assert solution.alpha == pytest.approx(expected, rel=1e-6)
+        assert solution.cpu_memory_bound < solution.bandwidth_bound
+
+    def test_alpha_clipped_to_one_when_everything_fits(self):
+        problem = make_problem(layer_forward_time_s=10.0, cpu_memory_bytes=600.0 * GiB)
+        solution = solve_alpha(problem)
+        assert solution.alpha == 1.0
+        assert solution.feasible
+
+    def test_alpha_zero_when_mandatory_already_blocks(self):
+        problem = make_problem(layer_forward_time_s=0.01)
+        solution = solve_alpha(problem)
+        assert solution.alpha == 0.0
+        assert solution.feasible  # bandwidth violations stall but do not fail
+
+    def test_infeasible_when_mandatory_exceeds_host_memory(self):
+        problem = make_problem(cpu_memory_bytes=30.0 * GiB)  # 30 layers x 2 GiB = 60 > 30
+        solution = solve_alpha(problem)
+        assert not solution.feasible
+        assert solution.alpha == 0.0
+
+    def test_two_layer_model_never_constrained_by_host(self):
+        problem = make_problem(num_layers=2, cpu_memory_bytes=0.0)
+        solution = solve_alpha(problem)
+        assert solution.feasible
+
+    def test_offload_time_consistent(self):
+        problem = make_problem()
+        solution = solve_alpha(problem)
+        assert solution.offload_time_s == pytest.approx(
+            problem.offloaded_bytes(solution.alpha) / problem.pcie_bandwidth_bytes_per_s
+        )
+
+    def test_cpu_bytes_used_scales_with_swapping_layers(self):
+        problem = make_problem(layer_forward_time_s=10.0)
+        solution = solve_alpha(problem)
+        assert solution.cpu_bytes_used == pytest.approx(30 * problem.offloaded_bytes(solution.alpha))
+
+    def test_recompute_fraction_complements_alpha(self):
+        solution = solve_alpha(make_problem(layer_forward_time_s=0.5))
+        assert solution.recompute_fraction == pytest.approx(1.0 - solution.alpha)
+
+    def test_zero_other_bytes_cases(self):
+        fits = solve_alpha(make_problem(other_bytes=0.0, layer_forward_time_s=1.0))
+        assert fits.alpha == 1.0
+        blocked = solve_alpha(make_problem(other_bytes=0.0, layer_forward_time_s=0.01))
+        assert blocked.alpha == 0.0

@@ -1,0 +1,155 @@
+"""Tests for the training systems (MEMO, Megatron-LM, DeepSpeed) and metrics."""
+
+import pytest
+
+from repro.config import tokens
+from repro.parallel.strategy import OffloadMode, RecomputeMode
+from repro.systems.base import Workload
+from repro.systems.deepspeed import DeepSpeedSystem
+from repro.systems.megatron import MegatronSystem
+from repro.systems.memo import MemoSystem, MemoVariant
+from repro.systems.metrics import compute_mfu, compute_tgs, format_wall_clock
+from repro.hardware.gpu import A800
+from repro.experiments.table4 import ablation_parallel_config
+
+
+class TestMetrics:
+    def test_mfu_definition(self, gpt7b):
+        mfu = compute_mfu(gpt7b, 4096, 16, 8, A800, iteration_time_s=2.3)
+        assert 0.3 < mfu < 0.7
+
+    def test_tgs_definition(self):
+        assert compute_tgs(4096, 16, 8, 2.0) == pytest.approx(4096 * 16 / (8 * 2.0))
+
+    def test_mfu_inverse_to_time(self, gpt7b):
+        fast = compute_mfu(gpt7b, 4096, 16, 8, A800, 1.0)
+        slow = compute_mfu(gpt7b, 4096, 16, 8, A800, 2.0)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_invalid_inputs_rejected(self, gpt7b):
+        with pytest.raises(ValueError):
+            compute_mfu(gpt7b, 4096, 16, 8, A800, 0.0)
+        with pytest.raises(ValueError):
+            compute_tgs(4096, 0, 8, 1.0)
+
+    @pytest.mark.parametrize(
+        "seconds, expected",
+        [(2.29, "2.29s"), (26.1, "26.10s"), (771, "12m51s"), (2 * 3600 + 6 * 60, "2h6m"),
+         (59.9, "59.90s"), (3599, "59m59s")],
+    )
+    def test_wall_clock_format(self, seconds, expected):
+        assert format_wall_clock(seconds) == expected
+
+    def test_wall_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_wall_clock(-1)
+
+
+class TestWorkload:
+    def test_defaults(self):
+        workload = Workload("7B", tokens(256), 8)
+        assert workload.global_batch_samples == 16
+        assert workload.model.name == "7B"
+        assert workload.cluster().num_gpus == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload("7B", 0, 8)
+        with pytest.raises(ValueError):
+            Workload("7B", 1024, 0)
+
+
+class TestMemoSystem:
+    def test_reports_feasible_with_high_mfu_at_256k(self):
+        report = MemoSystem().run(Workload("7B", tokens(256), 8))
+        assert report.feasible
+        assert report.mfu > 0.45
+        assert report.tgs > 0
+        assert report.parallel is not None
+        assert report.alpha is not None
+
+    def test_supports_one_million_tokens_on_8_gpus(self):
+        """The paper's headline: 7B with a 1M context on 8 GPUs, MFU > 50%."""
+        report = MemoSystem().run(Workload("7B", tokens(1024), 8))
+        assert report.feasible
+        assert report.mfu > 0.45
+
+    def test_eventually_runs_out_of_memory(self):
+        report = MemoSystem().run(Workload("7B", tokens(4096), 8))
+        assert not report.feasible
+        assert report.failure_reason in ("oom", "oohm")
+
+    def test_fixed_alpha_and_parallel(self):
+        system = MemoSystem(fixed_alpha=0.5, fixed_parallel=ablation_parallel_config())
+        report = system.run(Workload("7B", tokens(256), 8))
+        assert report.feasible
+        assert report.alpha == pytest.approx(0.5)
+        assert report.parallel.tensor_parallel == 4
+        assert report.parallel.context_parallel == 2
+
+    def test_variants_have_expected_modes(self):
+        assert MemoSystem(variant=MemoVariant.FULL_SWAP)._modes() == (
+            RecomputeMode.NONE, OffloadMode.FULL,
+        )
+        assert MemoSystem(variant=MemoVariant.FULL_RECOMPUTE)._modes() == (
+            RecomputeMode.FULL, OffloadMode.NONE,
+        )
+        assert not MemoSystem(variant=MemoVariant.FULL_RECOMPUTE_NO_PLAN).uses_memory_planning
+        assert MemoSystem(variant=MemoVariant.FULL).uses_memory_planning
+
+    def test_cell_rendering(self):
+        report = MemoSystem().run(Workload("7B", tokens(64), 8))
+        assert report.cell("mfu").endswith("%")
+        assert report.cell("tgs").replace(".", "").isdigit()
+        with pytest.raises(ValueError):
+            report.cell("latency")
+
+
+class TestBaselines:
+    def test_megatron_feasible_at_moderate_length(self):
+        report = MegatronSystem().run(Workload("7B", tokens(128), 8))
+        assert report.feasible
+        assert 0.15 < report.mfu < 0.6
+
+    def test_megatron_ooms_before_memo(self):
+        workload = Workload("7B", tokens(1024), 8)
+        assert not MegatronSystem().run(workload).feasible
+        assert MemoSystem().run(workload).feasible
+
+    def test_deepspeed_sp_degree_limited_by_heads_and_gpus(self):
+        system = DeepSpeedSystem()
+        space = system.search_space(Workload("30B", tokens(64), 32))
+        assert max(space.ulysses_parallel) == 8  # 56 heads on 32 GPUs -> at most 8
+
+    def test_deepspeed_ooms_before_megatron_at_long_context(self):
+        workload = Workload("7B", tokens(640), 8)
+        assert not DeepSpeedSystem().run(workload).feasible
+        assert MegatronSystem().run(workload).feasible
+
+    def test_failure_reports_render_markers(self):
+        report = DeepSpeedSystem().run(Workload("7B", tokens(1024), 8))
+        assert not report.feasible
+        assert report.cell("mfu").startswith("%oo")
+
+
+class TestSystemComparison:
+    @pytest.mark.parametrize("length_k", [128, 256, 512])
+    def test_memo_beats_baselines(self, length_k):
+        """The central end-to-end claim of the paper."""
+        workload = Workload("7B", tokens(length_k), 8)
+        memo = MemoSystem().run(workload)
+        megatron = MegatronSystem().run(workload)
+        deepspeed = DeepSpeedSystem().run(workload)
+        assert memo.feasible
+        for baseline in (megatron, deepspeed):
+            if baseline.feasible:
+                assert memo.mfu > baseline.mfu
+                assert memo.iteration_time_s < baseline.iteration_time_s
+
+    def test_max_sequence_length_ordering(self):
+        grid = [128, 256, 384, 512, 640, 768, 1024, 1280]
+        memo_max = MemoSystem().max_sequence_length("7B", 8, grid)
+        megatron_max = MegatronSystem().max_sequence_length("7B", 8, grid)
+        deepspeed_max = DeepSpeedSystem().max_sequence_length("7B", 8, grid)
+        assert memo_max >= 1024
+        assert deepspeed_max <= megatron_max < memo_max

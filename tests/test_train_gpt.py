@@ -1,0 +1,172 @@
+"""Tests for the mini-GPT model, optimizer, data and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.train.data import SyntheticTextDataset
+from repro.train.gpt import MiniGPT, MiniGPTConfig
+from repro.train.offload import ActivationManager, HostPool, OffloadPolicy
+from repro.train.optimizer import Adam
+from repro.train.trainer import Trainer, train_with_alpha
+
+
+class TestMiniGPTModel:
+    def test_forward_shapes(self, tiny_gpt, tiny_gpt_config, rng):
+        tokens = rng.integers(0, tiny_gpt_config.vocab_size, size=(2, 8))
+        logits = tiny_gpt.forward(tokens)
+        assert logits.shape == (2, 8, tiny_gpt_config.vocab_size)
+
+    def test_forward_backward_returns_finite_loss(self, tiny_gpt, tiny_gpt_config, rng):
+        tokens = rng.integers(0, tiny_gpt_config.vocab_size, size=(2, 8))
+        targets = rng.integers(0, tiny_gpt_config.vocab_size, size=(2, 8))
+        tiny_gpt.zero_grad()
+        loss = tiny_gpt.forward_backward(tokens, targets)
+        assert np.isfinite(loss)
+        assert loss == pytest.approx(np.log(tiny_gpt_config.vocab_size), rel=0.3)
+
+    def test_gradients_cover_all_parameters(self, tiny_gpt, tiny_gpt_config, rng):
+        tokens = rng.integers(0, tiny_gpt_config.vocab_size, size=(1, 8))
+        tiny_gpt.zero_grad()
+        tiny_gpt.forward_backward(tokens, tokens)
+        grads = tiny_gpt.named_gradients()
+        params = tiny_gpt.named_parameters()
+        assert set(grads) == set(params)
+        nonzero = sum(1 for g in grads.values() if np.abs(g).sum() > 0)
+        assert nonzero > 0.9 * len(grads)
+
+    def test_embedding_gradient_matches_numerical(self, tiny_gpt_config, rng):
+        model = MiniGPT(tiny_gpt_config)
+        tokens = rng.integers(0, tiny_gpt_config.vocab_size, size=(1, 6))
+        targets = rng.integers(0, tiny_gpt_config.vocab_size, size=(1, 6))
+
+        model.zero_grad()
+        model.forward_backward(tokens, targets)
+        index = (int(tokens[0, 0]), 3)
+        # Copy the value: the later loss evaluations accumulate into the same
+        # gradient buffers.
+        analytic = float(model.named_gradients()["tok_emb.weight"][index])
+
+        weight = model.token_embedding.params["weight"]
+        epsilon = 1e-6
+        original = weight[index]
+        weight[index] = original + epsilon
+        plus = model.forward_backward(tokens, targets)
+        weight[index] = original - epsilon
+        minus = model.forward_backward(tokens, targets)
+        weight[index] = original
+        numeric = (plus - minus) / (2 * epsilon)
+        assert analytic == pytest.approx(numeric, abs=1e-5)
+
+    def test_rejects_overlong_sequence(self, tiny_gpt, tiny_gpt_config, rng):
+        tokens = rng.integers(0, tiny_gpt_config.vocab_size,
+                              size=(1, tiny_gpt_config.max_sequence_length + 1))
+        with pytest.raises(ValueError):
+            tiny_gpt.forward_backward(tokens, tokens)
+
+    def test_offloaded_backward_matches_resident_backward(self, tiny_gpt_config, rng):
+        """The gradients, not just the loss, must be identical under offloading."""
+        tokens = rng.integers(0, tiny_gpt_config.vocab_size, size=(2, 10))
+        targets = rng.integers(0, tiny_gpt_config.vocab_size, size=(2, 10))
+
+        resident = MiniGPT(tiny_gpt_config)
+        resident.zero_grad()
+        loss_resident = resident.forward_backward(tokens, targets)
+
+        offloaded = MiniGPT(tiny_gpt_config)
+        offloaded.zero_grad()
+        manager = ActivationManager(
+            OffloadPolicy(alpha=0.3), num_layers=tiny_gpt_config.num_layers, host_pool=HostPool(),
+        )
+        loss_offloaded = offloaded.forward_backward(tokens, targets, activation_manager=manager)
+
+        assert loss_offloaded == pytest.approx(loss_resident, abs=1e-12)
+        for name, grad in resident.named_gradients().items():
+            np.testing.assert_allclose(
+                offloaded.named_gradients()[name], grad, atol=1e-10, err_msg=name,
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MiniGPTConfig(hidden_size=30, num_heads=4)
+
+
+class TestAdam:
+    def test_step_moves_towards_minimum(self):
+        params = {"x": np.array([10.0])}
+        optimizer = Adam(learning_rate=0.5)
+        for _ in range(200):
+            grads = {"x": 2 * params["x"]}
+            optimizer.step(params, grads)
+        assert abs(params["x"][0]) < 0.5
+
+    def test_missing_gradient_is_skipped(self):
+        params = {"x": np.array([1.0]), "y": np.array([2.0])}
+        Adam().step(params, {"x": np.array([1.0])})
+        assert params["y"][0] == 2.0
+
+    def test_state_bytes_accounting(self):
+        optimizer = Adam()
+        params = {"x": np.zeros(10)}
+        optimizer.step(params, {"x": np.ones(10)})
+        assert optimizer.state_bytes() == 2 * 10 * 8
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+
+class TestSyntheticDataset:
+    def test_batches_are_deterministic(self):
+        dataset = SyntheticTextDataset(vocab_size=50, sequence_length=16, batch_size=2)
+        tokens_a, targets_a = dataset.batch(3)
+        tokens_b, targets_b = dataset.batch(3)
+        np.testing.assert_array_equal(tokens_a, tokens_b)
+        np.testing.assert_array_equal(targets_a, targets_b)
+
+    def test_targets_are_shifted_tokens(self):
+        dataset = SyntheticTextDataset(vocab_size=50, sequence_length=16, batch_size=2)
+        tokens, targets = dataset.batch(0)
+        np.testing.assert_array_equal(tokens[:, 1:], targets[:, :-1])
+
+    def test_tokens_in_range(self):
+        dataset = SyntheticTextDataset(vocab_size=13, sequence_length=8, batch_size=3)
+        tokens, targets = dataset.batch(1)
+        assert tokens.min() >= 0 and tokens.max() < 13
+        assert targets.min() >= 0 and targets.max() < 13
+
+    def test_batches_iterator(self):
+        dataset = SyntheticTextDataset(vocab_size=13, sequence_length=8, batch_size=1)
+        assert len(list(dataset.batches(5))) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticTextDataset(vocab_size=1)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_gpt_config):
+        dataset = SyntheticTextDataset(
+            vocab_size=tiny_gpt_config.vocab_size, sequence_length=24, batch_size=2,
+        )
+        trainer = Trainer(MiniGPT(tiny_gpt_config), dataset, optimizer=Adam(learning_rate=5e-3))
+        run = trainer.train(25)
+        assert run.final_loss < run.losses[0]
+
+    def test_train_with_alpha_tracks_offload_stats(self, tiny_gpt_config):
+        dataset = SyntheticTextDataset(
+            vocab_size=tiny_gpt_config.vocab_size, sequence_length=16, batch_size=1,
+        )
+        run = train_with_alpha(0.5, num_iterations=3, config=tiny_gpt_config, dataset=dataset)
+        assert run.offloaded_bytes > 0
+        assert run.recomputed_bytes > 0
+        baseline = train_with_alpha(None, num_iterations=3, config=tiny_gpt_config, dataset=dataset)
+        assert baseline.offloaded_bytes == 0
+
+    def test_rejects_bad_iteration_count(self, tiny_gpt_config):
+        dataset = SyntheticTextDataset(vocab_size=tiny_gpt_config.vocab_size,
+                                       sequence_length=8, batch_size=1)
+        trainer = Trainer(MiniGPT(tiny_gpt_config), dataset)
+        with pytest.raises(ValueError):
+            trainer.train(0)

@@ -1,0 +1,170 @@
+"""Gradient-correctness tests for the mini-GPT layers (numerical checks)."""
+
+import numpy as np
+import pytest
+
+from repro.train.layers import (
+    CausalSelfAttention,
+    LayerNorm,
+    Linear,
+    TransformerBlock,
+)
+from repro.train.tensor_ops import cross_entropy, gelu, gelu_backward, softmax
+
+
+def numerical_grad(function, x, epsilon=1e-6):
+    """Central-difference numerical gradient of a scalar function."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = function()
+        flat[index] = original - epsilon
+        minus = function()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+class TestTensorOps:
+    def test_gelu_backward_matches_numerical(self, rng):
+        x = rng.normal(size=(4, 5))
+        grad_out = rng.normal(size=(4, 5))
+        analytic = gelu_backward(x, grad_out)
+        numeric = numerical_grad(lambda: float((gelu(x) * grad_out).sum()), x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(3, 7)))
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(3), atol=1e-12)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0, -1e4]]))
+        assert np.isfinite(probs).all()
+
+    def test_cross_entropy_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(2, 3, 5))
+        targets = rng.integers(0, 5, size=(2, 3))
+        _, grad = cross_entropy(logits, targets)
+        numeric = numerical_grad(lambda: cross_entropy(logits, targets)[0], logits)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_cross_entropy_of_perfect_prediction_is_small(self):
+        logits = np.full((1, 2, 3), -20.0)
+        logits[0, 0, 1] = 20.0
+        logits[0, 1, 2] = 20.0
+        loss, _ = cross_entropy(logits, np.array([[1, 2]]))
+        assert loss < 1e-6
+
+
+class TestLinear:
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Linear(4, 3, rng, "lin")
+        x = rng.normal(size=(2, 5, 4))
+        grad_out = rng.normal(size=(2, 5, 3))
+        layer.zero_grad()
+        analytic = layer.backward(x, grad_out)
+        numeric = numerical_grad(lambda: float((layer.forward(x) * grad_out).sum()), x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Linear(4, 3, rng, "lin")
+        x = rng.normal(size=(2, 5, 4))
+        grad_out = rng.normal(size=(2, 5, 3))
+        layer.zero_grad()
+        layer.backward(x, grad_out)
+        numeric = numerical_grad(
+            lambda: float((layer.forward(x) * grad_out).sum()), layer.params["weight"]
+        )
+        np.testing.assert_allclose(layer.grads["weight"], numeric, atol=1e-5)
+
+    def test_gradients_accumulate(self, rng):
+        layer = Linear(4, 3, rng, "lin")
+        x = rng.normal(size=(1, 2, 4))
+        grad_out = rng.normal(size=(1, 2, 3))
+        layer.zero_grad()
+        layer.backward(x, grad_out)
+        once = layer.grads["weight"].copy()
+        layer.backward(x, grad_out)
+        np.testing.assert_allclose(layer.grads["weight"], 2 * once)
+
+
+class TestLayerNorm:
+    def test_output_is_normalised(self, rng):
+        layer = LayerNorm(8, "ln")
+        x = rng.normal(loc=3.0, scale=2.0, size=(2, 4, 8))
+        out, _, _ = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.var(axis=-1), 1.0, atol=1e-4)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = LayerNorm(6, "ln")
+        layer.params["weight"] = rng.normal(size=6)
+        layer.params["bias"] = rng.normal(size=6)
+        x = rng.normal(size=(1, 3, 6))
+        grad_out = rng.normal(size=(1, 3, 6))
+        layer.zero_grad()
+        out, mean, inv_std = layer.forward(x)
+        analytic = layer.backward(grad_out, x, mean, inv_std)
+        numeric = numerical_grad(lambda: float((layer.forward(x)[0] * grad_out).sum()), x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestAttention:
+    def test_causality(self, rng):
+        """Changing a future token must not affect earlier outputs."""
+        attention = CausalSelfAttention(num_heads=2)
+        q = rng.normal(size=(1, 6, 8))
+        k = rng.normal(size=(1, 6, 8))
+        v = rng.normal(size=(1, 6, 8))
+        out = attention.forward(q, k, v)
+        k2, v2 = k.copy(), v.copy()
+        k2[0, 5] += 10.0
+        v2[0, 5] -= 3.0
+        out2 = attention.forward(q, k2, v2)
+        np.testing.assert_allclose(out[0, :5], out2[0, :5], atol=1e-12)
+        assert not np.allclose(out[0, 5], out2[0, 5])
+
+    def test_gradients_match_numerical(self, rng):
+        attention = CausalSelfAttention(num_heads=2)
+        q = rng.normal(size=(1, 4, 6))
+        k = rng.normal(size=(1, 4, 6))
+        v = rng.normal(size=(1, 4, 6))
+        grad_out = rng.normal(size=(1, 4, 6))
+        grad_q, grad_k, grad_v = attention.backward(q, k, v, grad_out)
+        loss = lambda: float((attention.forward(q, k, v) * grad_out).sum())
+        np.testing.assert_allclose(grad_q, numerical_grad(loss, q), atol=1e-5)
+        np.testing.assert_allclose(grad_k, numerical_grad(loss, k), atol=1e-5)
+        np.testing.assert_allclose(grad_v, numerical_grad(loss, v), atol=1e-5)
+
+
+class TestTransformerBlock:
+    def test_input_gradient_matches_numerical(self, rng):
+        block = TransformerBlock(hidden=8, ffn_hidden=16, num_heads=2, rng=rng, name="blk")
+        x = rng.normal(size=(1, 3, 8))
+        grad_out = rng.normal(size=(1, 3, 8))
+        block.zero_grad()
+        _, stash = block.forward(x)
+        analytic = block.backward(grad_out, stash)
+        numeric = numerical_grad(lambda: float((block.forward(x)[0] * grad_out).sum()), x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_rebuild_skeletal_matches_forward_exactly(self, rng):
+        """Token-wise recomputation reproduces the original activations."""
+        block = TransformerBlock(hidden=8, ffn_hidden=16, num_heads=2, rng=rng, name="blk")
+        x = rng.normal(size=(2, 6, 8))
+        _, stash = block.forward(x)
+        rebuilt = block.rebuild_skeletal(stash["input"], stash["attn_out"], token_start=2)
+        for name, tensor in rebuilt.items():
+            np.testing.assert_allclose(tensor, stash[name][:, 2:, ...], atol=1e-12, err_msg=name)
+
+    def test_stash_contains_figure4_tensors(self, rng):
+        block = TransformerBlock(hidden=8, ffn_hidden=16, num_heads=2, rng=rng, name="blk")
+        _, stash = block.forward(rng.normal(size=(1, 4, 8)))
+        assert {"input", "q", "k", "v", "attn_out", "h1", "gelu_out"} <= set(stash)
+
+    def test_hidden_must_divide_heads(self, rng):
+        with pytest.raises(ValueError):
+            TransformerBlock(hidden=10, ffn_hidden=16, num_heads=3, rng=rng, name="bad")

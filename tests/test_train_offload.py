@@ -1,0 +1,133 @@
+"""Tests for the host pool and the activation manager (offload/recompute engine)."""
+
+import numpy as np
+import pytest
+
+from repro.train.gpt import MiniGPT
+from repro.train.layers import ALWAYS_OFFLOADED_KEYS
+from repro.train.offload import (
+    ActivationManager,
+    HostPool,
+    HostPoolExhaustedError,
+    OffloadPolicy,
+)
+
+
+class TestHostPool:
+    def test_put_get_pop_accounting(self):
+        pool = HostPool()
+        array = np.zeros(10)
+        pool.put("a", array)
+        assert pool.used_bytes == array.nbytes
+        assert "a" in pool
+        assert pool.get("a") is array
+        assert pool.pop("a") is array
+        assert pool.used_bytes == 0
+        assert pool.peak_bytes == array.nbytes
+
+    def test_duplicate_key_rejected(self):
+        pool = HostPool()
+        pool.put("a", np.zeros(2))
+        with pytest.raises(KeyError):
+            pool.put("a", np.zeros(2))
+
+    def test_capacity_enforced(self):
+        pool = HostPool(capacity_bytes=100)
+        pool.put("a", np.zeros(10))  # 80 bytes
+        with pytest.raises(HostPoolExhaustedError):
+            pool.put("b", np.zeros(10))
+
+
+class TestOffloadPolicy:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            OffloadPolicy(alpha=1.5)
+        with pytest.raises(ValueError):
+            OffloadPolicy(alpha=-0.1)
+
+    def test_defaults_match_paper(self):
+        policy = OffloadPolicy()
+        assert policy.keep_resident_layers == 2
+        assert policy.offload_enabled
+
+
+class TestActivationManager:
+    def run_iteration(self, model, manager, rng, config):
+        tokens = rng.integers(0, config.vocab_size, size=(1, 12))
+        model.zero_grad()
+        return model.forward_backward(tokens, tokens, activation_manager=manager)
+
+    def test_store_and_fetch_round_trip(self, tiny_gpt, tiny_gpt_config, rng):
+        manager = ActivationManager(OffloadPolicy(alpha=0.5), tiny_gpt_config.num_layers)
+        x = rng.normal(size=(1, 12, tiny_gpt_config.hidden_size))
+        block = tiny_gpt.blocks[0]
+        _, stash = block.forward(x)
+        original = {name: tensor.copy() for name, tensor in stash.items()}
+        manager.store(0, block, stash)
+        fetched = manager.fetch(0, block)
+        for name, tensor in original.items():
+            np.testing.assert_allclose(fetched[name], tensor, atol=1e-12, err_msg=name)
+
+    def test_last_layers_stay_resident(self, tiny_gpt, tiny_gpt_config, rng):
+        manager = ActivationManager(OffloadPolicy(alpha=1.0), tiny_gpt_config.num_layers)
+        last = tiny_gpt_config.num_layers - 1
+        x = rng.normal(size=(1, 8, tiny_gpt_config.hidden_size))
+        block = tiny_gpt.blocks[last]
+        _, stash = block.forward(x)
+        manager.store(last, block, stash)
+        assert len(manager.host_pool) == 0
+        assert manager.stats.resident_bytes > 0
+
+    def test_alpha_zero_only_offloads_mandatory_tensors(self, tiny_gpt, tiny_gpt_config, rng):
+        manager = ActivationManager(OffloadPolicy(alpha=0.0), tiny_gpt_config.num_layers)
+        x = rng.normal(size=(1, 8, tiny_gpt_config.hidden_size))
+        block = tiny_gpt.blocks[0]
+        _, stash = block.forward(x)
+        full_bytes = {name: stash[name].nbytes for name in ALWAYS_OFFLOADED_KEYS}
+        manager.store(0, block, stash)
+        assert manager.stats.offloaded_bytes == sum(full_bytes.values())
+        assert manager.stats.discarded_bytes > 0
+
+    def test_release_frees_host_memory(self, tiny_gpt, tiny_gpt_config, rng):
+        manager = ActivationManager(OffloadPolicy(alpha=1.0), tiny_gpt_config.num_layers)
+        x = rng.normal(size=(1, 8, tiny_gpt_config.hidden_size))
+        block = tiny_gpt.blocks[0]
+        _, stash = block.forward(x)
+        manager.store(0, block, stash)
+        assert manager.host_pool.used_bytes > 0
+        manager.release(0)
+        assert manager.host_pool.used_bytes == 0
+
+    def test_disabled_policy_keeps_everything_resident(self, tiny_gpt, tiny_gpt_config, rng):
+        manager = ActivationManager(
+            OffloadPolicy(alpha=1.0, offload_enabled=False), tiny_gpt_config.num_layers,
+        )
+        loss = self.run_iteration(tiny_gpt, manager, rng, tiny_gpt_config)
+        assert np.isfinite(loss)
+        assert manager.stats.offloaded_bytes == 0
+
+    def test_higher_alpha_means_less_recompute(self, tiny_gpt_config, rng):
+        results = {}
+        for alpha in (0.0, 0.5, 1.0):
+            model = MiniGPT(tiny_gpt_config)
+            manager = ActivationManager(OffloadPolicy(alpha=alpha), tiny_gpt_config.num_layers)
+            self.run_iteration(model, manager, rng, tiny_gpt_config)
+            results[alpha] = (manager.stats.offloaded_bytes, manager.stats.recomputed_bytes)
+        assert results[0.0][0] < results[0.5][0] < results[1.0][0]
+        assert results[0.0][1] > results[0.5][1] > results[1.0][1] == 0
+
+    def test_host_pool_exhaustion_propagates(self, tiny_gpt, tiny_gpt_config, rng):
+        manager = ActivationManager(
+            OffloadPolicy(alpha=1.0), tiny_gpt_config.num_layers, host_pool=HostPool(capacity_bytes=128),
+        )
+        with pytest.raises(HostPoolExhaustedError):
+            self.run_iteration(tiny_gpt, manager, rng, tiny_gpt_config)
+
+    def test_reset_clears_everything(self, tiny_gpt, tiny_gpt_config, rng):
+        manager = ActivationManager(OffloadPolicy(alpha=1.0), tiny_gpt_config.num_layers)
+        x = rng.normal(size=(1, 8, tiny_gpt_config.hidden_size))
+        block = tiny_gpt.blocks[0]
+        _, stash = block.forward(x)
+        manager.store(0, block, stash)
+        manager.reset()
+        assert manager.host_pool.used_bytes == 0

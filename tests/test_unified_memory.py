@@ -1,0 +1,110 @@
+"""Tests for the CUDA Unified Memory simulation (profiling fallback)."""
+
+import pytest
+
+from repro.config import GiB, MiB
+from repro.memory.request import MemoryRequest, RequestKind
+from repro.memory.unified_memory import (
+    UnifiedMemoryExhaustedError,
+    UnifiedMemoryPool,
+    profile_oversized_trace,
+)
+from repro.model.specs import get_model_config
+from repro.model.trace import full_model_trace
+
+
+def make_pool(gpu=64 * MiB, host=1024 * MiB, page=2 * MiB):
+    return UnifiedMemoryPool(gpu_capacity_bytes=gpu, host_capacity_bytes=host, page_bytes=page)
+
+
+class TestUnifiedMemoryPool:
+    def test_allocations_beyond_gpu_capacity_succeed(self):
+        pool = make_pool()
+        pool.malloc("a", 48 * MiB)
+        pool.malloc("b", 48 * MiB)  # 96 MiB total > 64 MiB of GPU memory
+        assert pool.allocated_bytes == 96 * MiB
+        assert pool.resident_bytes <= pool.gpu_capacity_bytes
+
+    def test_allocation_fails_only_beyond_gpu_plus_host(self):
+        pool = make_pool(gpu=16 * MiB, host=16 * MiB)
+        pool.malloc("a", 30 * MiB)
+        with pytest.raises(UnifiedMemoryExhaustedError):
+            pool.malloc("b", 4 * MiB)
+
+    def test_touch_faults_in_pages_and_evicts_lru(self):
+        pool = make_pool(gpu=8 * MiB, host=64 * MiB, page=2 * MiB)
+        pool.malloc("a", 6 * MiB)
+        pool.malloc("b", 6 * MiB)  # evicts part of a
+        assert pool.stats.evicted_to_host_bytes > 0
+        # Touching a again faults its pages back in.
+        faults_before = pool.stats.page_faults
+        time = pool.touch("a")
+        assert pool.stats.page_faults > faults_before
+        assert time > 0
+
+    def test_touch_resident_tensor_is_free(self):
+        pool = make_pool()
+        pool.malloc("a", 4 * MiB)
+        assert pool.touch("a") == 0.0
+
+    def test_free_releases_allocation_and_residency(self):
+        pool = make_pool()
+        pool.malloc("a", 8 * MiB)
+        pool.free("a")
+        assert pool.allocated_bytes == 0
+        assert pool.resident_bytes == 0
+        with pytest.raises(KeyError):
+            pool.free("a")
+
+    def test_double_malloc_rejected(self):
+        pool = make_pool()
+        pool.malloc("a", MiB)
+        with pytest.raises(ValueError):
+            pool.malloc("a", MiB)
+
+    def test_oversized_single_tensor_capped_at_device_capacity(self):
+        pool = make_pool(gpu=8 * MiB, host=128 * MiB)
+        pool.malloc("huge", 64 * MiB)
+        assert pool.resident_bytes <= 64 * MiB
+        assert pool.allocated_bytes == 64 * MiB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnifiedMemoryPool(gpu_capacity_bytes=0, host_capacity_bytes=1)
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.malloc("a", 0)
+        with pytest.raises(KeyError):
+            pool.touch("ghost")
+
+
+class TestProfilingFallback:
+    def test_oversized_profiling_trace_completes(self):
+        """The paper's scenario: the profiling iteration does not fit in GPU
+        memory, but Unified Memory lets the profiler observe the full request
+        sequence anyway."""
+        model = get_model_config("7B")
+        trace = full_model_trace(model, 1, 16 * 1024, num_layers=8, include_skeletal=True)
+        # The trace's live peak is far above 8 GiB of "GPU" memory.
+        stats = profile_oversized_trace(
+            trace, gpu_capacity_bytes=8 * GiB, host_capacity_bytes=256 * GiB,
+        )
+        mallocs = sum(1 for r in trace if r.kind is RequestKind.MALLOC)
+        assert stats.num_allocations == mallocs
+        assert stats.num_frees == len(trace) - mallocs
+        assert stats.evicted_to_host_bytes > 0
+        assert stats.migrated_total_bytes > 0
+
+    def test_small_trace_causes_no_eviction(self):
+        trace = [
+            MemoryRequest(RequestKind.MALLOC, "x", 4 * MiB),
+            MemoryRequest(RequestKind.FREE, "x", 4 * MiB),
+        ]
+        stats = profile_oversized_trace(trace, gpu_capacity_bytes=64 * MiB,
+                                        host_capacity_bytes=64 * MiB)
+        assert stats.evicted_to_host_bytes == 0
+
+    def test_migration_time_estimate(self):
+        pool = make_pool(gpu=8 * MiB, host=64 * MiB)
+        pool.malloc("a", 32 * MiB)
+        assert pool.estimated_migration_time_s() > 0
