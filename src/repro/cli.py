@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.cli estimate --model 7B --gpus 8 --seqlen-k 1024
     python -m repro.cli plan     --model 7B --gpus 8 --seqlen-k 256 --tp 4 --cp 2
+    python -m repro.cli sim-pipeline --model 7B --gpus 8 --seqlen-k 256 --pp 4 \
+        --schedule 1f1b --micro-batches 8
     python -m repro.cli table3   --models 7B --seqlens-k 64,256,1024
     python -m repro.cli table4
     python -m repro.cli table5
@@ -24,6 +26,16 @@ from typing import List, Optional, Sequence
 
 from repro.config import GiB, tokens
 from repro.core.framework import MemoFramework
+from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
+from repro.parallel.memory_model import estimate_memory
+from repro.parallel.search import resolve_schedule
+from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+from repro.sim.pipeline import (
+    simulate_pipeline,
+    stage_costs_from_iteration,
+    stage_peak_memory,
+)
+from repro.sim.schedules import ScheduleKind
 from repro.experiments.figure1 import crossover_sequence_length_k, run_figure1a, run_figure1b
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure11 import max_loss_divergence, run_figure11a, run_figure11d
@@ -61,6 +73,27 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--seqlen-k", type=int, default=256)
     plan.add_argument("--tp", type=int, default=4)
     plan.add_argument("--cp", type=int, default=2)
+
+    sim_pipeline = subparsers.add_parser(
+        "sim-pipeline",
+        help="simulate pipeline-parallel schedules (GPipe / 1F1B / interleaved)",
+    )
+    sim_pipeline.add_argument("--model", default="7B", choices=["7B", "13B", "30B", "65B"])
+    sim_pipeline.add_argument("--gpus", type=int, default=8)
+    sim_pipeline.add_argument("--seqlen-k", type=int, default=256)
+    sim_pipeline.add_argument("--pp", type=int, default=4, help="pipeline-parallel degree")
+    sim_pipeline.add_argument("--tp", type=int, default=2, help="tensor-parallel degree")
+    sim_pipeline.add_argument("--cp", type=int, default=1, help="context-parallel degree")
+    sim_pipeline.add_argument("--micro-batches", type=int, default=8)
+    sim_pipeline.add_argument("--chunks", type=int, default=2,
+                              help="virtual chunks per rank for the interleaved schedule")
+    sim_pipeline.add_argument("--schedule", default="all",
+                              choices=["gpipe", "1f1b", "interleaved", "all"])
+    sim_pipeline.add_argument("--offload", default="none",
+                              choices=["none", "token_wise", "full"],
+                              help="activation swapping mode of every stage")
+    sim_pipeline.add_argument("--recompute", default="none",
+                              choices=["none", "full", "token_wise"])
 
     table3 = subparsers.add_parser("table3", help="regenerate Table 3 (or a subset)")
     table3.add_argument("--models", default="7B",
@@ -118,6 +151,82 @@ def _command_plan(args) -> int:
           f"of {plan.schedule.host_capacity_bytes / GiB:.1f} GiB")
     print(f"  iteration time         : {result.iteration_time_s:.2f} s "
           f"(stalls {result.stalls_s:.3f} s, overlap {result.overlap_efficiency:.1%})")
+    return 0
+
+
+def _command_sim_pipeline(args) -> int:
+    model_parallel = args.tp * args.cp * args.pp
+    if args.gpus % model_parallel != 0:
+        print(f"error: TP x CP x PP ({model_parallel}) must divide --gpus ({args.gpus})",
+              file=sys.stderr)
+        return 2
+    parallel = ParallelismConfig(
+        tensor_parallel=args.tp,
+        context_parallel=args.cp,
+        pipeline_parallel=args.pp,
+        data_parallel=args.gpus // model_parallel,
+        recompute=RecomputeMode(args.recompute),
+        offload=OffloadMode(args.offload),
+        micro_batches=args.micro_batches,
+    )
+    workload = Workload(args.model, tokens(args.seqlen_k), args.gpus)
+    system = MemoSystem()
+    execution = system.stage_execution(workload, parallel)
+    memory = estimate_memory(
+        model=workload.model,
+        cluster=workload.cluster(),
+        parallel=parallel,
+        sequence_length=workload.sequence_length,
+        batch_size=workload.micro_batch_size,
+        offload_alpha=execution.effective_alpha or 0.0,
+    )
+    p2p_bytes = pipeline_p2p_bytes_per_micro_batch(
+        workload.model, parallel, workload.sequence_length, workload.micro_batch_size,
+    )
+    p2p_time = execution.cost_model.pipeline_p2p_time(p2p_bytes)
+
+    print(f"Pipeline simulation: {args.model} GPT, {args.seqlen_k}K tokens, "
+          f"{args.gpus} GPUs ({parallel.describe()})")
+    print(f"  stages {args.pp}, micro-batches {args.micro_batches}, "
+          f"per-stage forward {execution.forward_s * 1e3:.1f} ms, "
+          f"backward {execution.backward_s * 1e3:.1f} ms, "
+          f"P2P hop {p2p_time * 1e3:.2f} ms")
+    if execution.swap_schedule is not None:
+        print(f"  swap schedule alpha {execution.swap_schedule.alpha:.3f}, "
+              f"offload {execution.swap_schedule.total_offload_bytes / GiB:.2f} GiB/stage/micro-batch")
+    print()
+    header = (f"{'schedule':<13} {'total':>9} {'bubble':>8} {'analytic':>9} "
+              f"{'stage-0 peak':>13}  in-flight per stage")
+    print(header)
+    print("-" * len(header))
+
+    names = ["gpipe", "1f1b", "interleaved"] if args.schedule == "all" else [args.schedule]
+    for name in names:
+        kind = ScheduleKind.from_name(name)
+        chunks = args.chunks if kind is ScheduleKind.INTERLEAVED else 1
+        schedule = resolve_schedule(parallel, kind, args.micro_batches, chunks)
+        per_mb_activation = memory.skeletal_activation_bytes + memory.rounding_buffer_bytes
+        costs = stage_costs_from_iteration(
+            execution.timeline,
+            p2p_bytes=p2p_bytes,
+            num_chunks=schedule.num_chunks,
+            activation_bytes=per_mb_activation,
+        )
+        timeline = simulate_pipeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=p2p_bytes / p2p_time if p2p_time > 0 else float("inf"),
+            pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
+        )
+        stages = stage_peak_memory(
+            schedule, costs,
+            base_bytes=memory.model_state_bytes,
+            transient_peak_bytes=memory.transient_bytes + memory.classifier_bytes,
+        )
+        label = name if schedule.kind is kind else f"{name}->1f1b"
+        print(f"{label:<13} {timeline.total_s:>8.2f}s {timeline.bubble_fraction:>8.3f} "
+              f"{timeline.analytic_bubble_fraction:>9.3f} "
+              f"{stages[0].total_bytes / GiB:>9.2f} GiB  "
+              f"{timeline.rank_peak_in_flight}")
     return 0
 
 
@@ -198,6 +307,7 @@ def _command_convergence(args) -> int:
 COMMANDS = {
     "estimate": _command_estimate,
     "plan": _command_plan,
+    "sim-pipeline": _command_sim_pipeline,
     "table3": _command_table3,
     "table4": _command_table4,
     "table5": _command_table5,

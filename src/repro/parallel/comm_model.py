@@ -42,6 +42,29 @@ class CommBreakdown:
         )
 
 
+def pipeline_p2p_bytes_per_micro_batch(
+    model: ModelConfig,
+    parallel: ParallelismConfig,
+    sequence_length: int,
+    batch_size: int = 1,
+    precision: PrecisionConfig = DEFAULT_PRECISION,
+) -> float:
+    """Bytes one stage hands to the next per micro-batch (one direction).
+
+    The boundary tensor is the hidden state of the micro-batch's local
+    sequence shard; the backward pass returns a gradient of the same size, so
+    one micro-batch crossing one boundary moves twice this amount in total
+    (which is how :func:`estimate_communication` counts ``pipeline_bytes``).
+    The pipeline schedule simulator charges each direction separately.
+    """
+    if sequence_length <= 0:
+        raise ValueError("sequence_length must be positive")
+    if parallel.pipeline_parallel <= 1:
+        return 0.0
+    local_tokens = parallel.local_sequence_length(sequence_length)
+    return batch_size * local_tokens * model.hidden_size * precision.activation_bytes
+
+
 def estimate_communication(
     model: ModelConfig,
     parallel: ParallelismConfig,

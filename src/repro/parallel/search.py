@@ -12,11 +12,19 @@ training performance".
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.model.specs import ModelConfig
-from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+from repro.parallel.strategy import (
+    DegenerateScheduleWarning,
+    OffloadMode,
+    ParallelismConfig,
+    RecomputeMode,
+)
+from repro.sim.pipeline import PipelineTimeline, StageCosts, simulate_pipeline
+from repro.sim.schedules import ScheduleKind, build_schedule
 
 
 @dataclass(frozen=True)
@@ -61,8 +69,22 @@ def enumerate_strategies(
     model: ModelConfig,
     num_gpus: int,
     gpus_per_node: int = 8,
+    global_batch_samples: Optional[int] = None,
 ) -> List[ParallelismConfig]:
-    """All legal strategy combinations for a model on a given GPU count."""
+    """All legal strategy combinations for a model on a given GPU count.
+
+    Args:
+        global_batch_samples: when given, each candidate's ``micro_batches``
+            is the number of micro-iterations its replicas actually run
+            (``global_batch // dp``), which is what the pipeline schedules
+            operate on; otherwise the legacy ``max(dp, 1)`` placeholder is
+            kept.
+
+    Degenerate PP points (``micro_batches < pipeline_parallel``) are
+    enumerated without emitting :class:`DegenerateScheduleWarning` -- the
+    search scores them with their (poor) simulated bubble, which is the
+    warning's message in quantitative form.
+    """
     if num_gpus <= 0:
         raise ValueError("num_gpus must be positive")
     candidates: List[ParallelismConfig] = []
@@ -91,10 +113,17 @@ def enumerate_strategies(
                         zero_group = dp * cp * ulysses
                         if zero > 0 and zero_group == 1 and zero != min(space.zero_stages):
                             continue
+                        if global_batch_samples is None:
+                            micro_batches = max(dp, 1)
+                        else:
+                            micro_batches = max(global_batch_samples // max(dp, 1), 1)
                         for recompute in space.recompute_modes:
                             for offload in space.offload_modes:
-                                candidates.append(
-                                    ParallelismConfig(
+                                with warnings.catch_warnings():
+                                    warnings.simplefilter(
+                                        "ignore", DegenerateScheduleWarning,
+                                    )
+                                    candidate = ParallelismConfig(
                                         tensor_parallel=tp,
                                         context_parallel=cp,
                                         ulysses_parallel=ulysses,
@@ -103,10 +132,90 @@ def enumerate_strategies(
                                         zero_stage=zero,
                                         recompute=recompute,
                                         offload=offload,
-                                        micro_batches=max(dp, 1),
+                                        micro_batches=micro_batches,
                                     )
-                                )
+                                candidates.append(candidate)
     return candidates
+
+
+def resolve_schedule(
+    parallel: ParallelismConfig,
+    schedule_kind: ScheduleKind,
+    num_micro_batches: Optional[int] = None,
+    num_chunks: int = 1,
+):
+    """Build the schedule a PP candidate would run.
+
+    Interleaving silently falls back to plain 1F1B when Megatron's
+    ``m % p == 0`` constraint does not hold for this candidate (or fewer than
+    two chunks were requested).
+    """
+    micro_batches = parallel.micro_batches if num_micro_batches is None else num_micro_batches
+    stages = parallel.pipeline_parallel
+    chunks = num_chunks if schedule_kind is ScheduleKind.INTERLEAVED else 1
+    if schedule_kind is ScheduleKind.INTERLEAVED and (
+        chunks < 2 or (stages > 1 and micro_batches % stages != 0)
+    ):
+        schedule_kind, chunks = ScheduleKind.ONE_F_ONE_B, 1
+    return build_schedule(schedule_kind, stages, micro_batches, num_chunks=chunks)
+
+
+def simulate_pipeline_schedule(
+    parallel: ParallelismConfig,
+    schedule_kind: ScheduleKind,
+    forward_s: float,
+    backward_s: float,
+    num_micro_batches: Optional[int] = None,
+    num_chunks: int = 1,
+    p2p_time_s: float = 0.0,
+    offload_bytes: float = 0.0,
+    prefetch_bytes: float = 0.0,
+    activation_bytes: float = 0.0,
+    pcie_bandwidth_bytes_per_s: float = 16e9,
+) -> PipelineTimeline:
+    """Score one PP strategy point by simulating its pipeline schedule.
+
+    The per-stage forward/backward times come from the single-stage executor
+    (swap/recompute stalls already resolved); the returned timeline's
+    ``total_s`` and ``bubble_fraction`` replace the analytic
+    ``(p - 1) / (m + p - 1)`` approximation in the strategy search.
+    """
+    schedule = resolve_schedule(parallel, schedule_kind, num_micro_batches, num_chunks)
+    chunks = schedule.num_chunks
+    costs = StageCosts(
+        forward_s=forward_s / chunks,
+        backward_s=backward_s / chunks,
+        # Encode the transfer as (1 byte, 1/t bytes/s) so callers can hand us a
+        # precomputed per-hop time from CostModel.pipeline_p2p_time.
+        p2p_bytes=1.0 if p2p_time_s > 0 else 0.0,
+        offload_bytes=offload_bytes / chunks,
+        prefetch_bytes=prefetch_bytes / chunks,
+        activation_bytes=activation_bytes / chunks,
+    )
+    return simulate_pipeline(
+        schedule,
+        costs,
+        p2p_bandwidth_bytes_per_s=(1.0 / p2p_time_s) if p2p_time_s > 0 else float("inf"),
+        pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+    )
+
+
+def simulated_bubble_fraction(
+    parallel: ParallelismConfig,
+    schedule_kind: ScheduleKind,
+    forward_s: float,
+    backward_s: float,
+    num_chunks: int = 1,
+    p2p_time_s: float = 0.0,
+) -> float:
+    """Measured bubble fraction of a PP candidate under a concrete schedule."""
+    if parallel.pipeline_parallel <= 1:
+        return 0.0
+    timeline = simulate_pipeline_schedule(
+        parallel, schedule_kind, forward_s, backward_s,
+        num_chunks=num_chunks, p2p_time_s=p2p_time_s,
+    )
+    return timeline.bubble_fraction
 
 
 def find_best_strategy(

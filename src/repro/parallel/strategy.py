@@ -2,10 +2,22 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import warnings
+from dataclasses import dataclass, field, replace
 from enum import Enum
 
 from repro.model.specs import ModelConfig
+
+
+class DegenerateScheduleWarning(UserWarning):
+    """A pipeline configuration whose schedule cannot hide the bubble.
+
+    Raised (as a warning) when ``micro_batches < pipeline_parallel``: the
+    schedule is still legal, but most stages idle most of the time, so the
+    configuration is almost never what the user meant.  Constructing the
+    config with ``strict_micro_batching=True`` turns the warning into a
+    ``ValueError``.
+    """
 
 
 class RecomputeMode(Enum):
@@ -43,6 +55,9 @@ class ParallelismConfig:
         recompute: activation recomputation mode.
         offload: activation swapping mode.
         micro_batches: number of pipeline micro-batches per iteration.
+        strict_micro_batching: when True, ``micro_batches < pipeline_parallel``
+            is rejected with a ``ValueError`` instead of a
+            :class:`DegenerateScheduleWarning`.
     """
 
     tensor_parallel: int = 1
@@ -54,6 +69,7 @@ class ParallelismConfig:
     recompute: RecomputeMode = RecomputeMode.NONE
     offload: OffloadMode = OffloadMode.NONE
     micro_batches: int = 1
+    strict_micro_batching: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         for name in ("tensor_parallel", "context_parallel", "ulysses_parallel",
@@ -62,6 +78,27 @@ class ParallelismConfig:
                 raise ValueError(f"{name} must be >= 1")
         if not 0 <= self.zero_stage <= 3:
             raise ValueError("zero_stage must be between 0 and 3")
+        if self.pipeline_parallel > 1 and self.micro_batches < self.pipeline_parallel:
+            message = (
+                f"micro_batches ({self.micro_batches}) < pipeline_parallel "
+                f"({self.pipeline_parallel}): the pipeline schedule is degenerate "
+                f"(bubble fraction {self.pipeline_bubble_lower_bound():.0%}); "
+                "raise micro_batches or lower pipeline_parallel"
+            )
+            if self.strict_micro_batching:
+                raise ValueError(message)
+            warnings.warn(message, DegenerateScheduleWarning, stacklevel=2)
+
+    def pipeline_bubble_lower_bound(self) -> float:
+        """Analytic 1F1B/GPipe bubble fraction ``(p-1)/(m+p-1)`` of this config."""
+        if self.pipeline_parallel <= 1:
+            return 0.0
+        return (self.pipeline_parallel - 1) / (self.micro_batches + self.pipeline_parallel - 1)
+
+    @property
+    def has_degenerate_schedule(self) -> bool:
+        """True when fewer micro-batches than pipeline stages are configured."""
+        return self.pipeline_parallel > 1 and self.micro_batches < self.pipeline_parallel
 
     # ------------------------------------------------------------ derived sizes
     @property

@@ -1,9 +1,27 @@
-"""Discrete-event training simulator: streams, cost model and iteration executor."""
+"""Discrete-event training simulator: streams, cost model, iteration executor
+and pipeline-parallel schedules."""
 
 from repro.sim.engine import SimulationEngine, SimEvent
 from repro.sim.streams import Stream, StreamKind
 from repro.sim.costs import LayerCosts, CostModel
 from repro.sim.executor import IterationTimeline, LayerTask, simulate_iteration
+from repro.sim.schedules import (
+    OpKind,
+    PipelineSchedule,
+    ScheduleKind,
+    StageOp,
+    build_schedule,
+)
+from repro.sim.pipeline import (
+    PipelineOpRecord,
+    PipelineTimeline,
+    StageCosts,
+    StagePeakMemory,
+    peak_activation_bytes,
+    simulate_pipeline,
+    stage_costs_from_iteration,
+    stage_peak_memory,
+)
 
 __all__ = [
     "SimulationEngine",
@@ -15,4 +33,17 @@ __all__ = [
     "IterationTimeline",
     "LayerTask",
     "simulate_iteration",
+    "OpKind",
+    "PipelineSchedule",
+    "ScheduleKind",
+    "StageOp",
+    "build_schedule",
+    "PipelineOpRecord",
+    "PipelineTimeline",
+    "StageCosts",
+    "StagePeakMemory",
+    "peak_activation_bytes",
+    "simulate_pipeline",
+    "stage_costs_from_iteration",
+    "stage_peak_memory",
 ]

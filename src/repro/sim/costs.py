@@ -256,12 +256,33 @@ class CostModel:
         return volume / bandwidth
 
     def pipeline_bubble_fraction(self) -> float:
-        """Fraction of iteration time lost to the pipeline bubble."""
+        """Analytic fraction of iteration time lost to the pipeline bubble.
+
+        The GPipe/1F1B bound ``(p - 1) / (m + p - 1)``; the schedule simulator
+        (:mod:`repro.sim.pipeline`) measures the actual bubble including P2P
+        transfer and swap effects, and the strategy search prefers the
+        simulated value when a schedule is configured.
+        """
         pp = self.parallel.pipeline_parallel
         if pp <= 1:
             return 0.0
         micro = max(self.parallel.micro_batches, 1)
         return (pp - 1) / (micro + pp - 1)
+
+    def pipeline_p2p_time(self, num_bytes: float) -> float:
+        """Transfer time of one inter-stage activation/gradient hand-off.
+
+        Adjacent pipeline stages exchange point-to-point messages; the link is
+        NVLink when the whole model-parallel x pipeline group fits in one node
+        and the per-GPU InfiniBand share otherwise.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if self.parallel.pipeline_parallel <= 1 or num_bytes == 0:
+            return 0.0
+        span = self.parallel.model_parallel_size * self.parallel.pipeline_parallel
+        bandwidth = self._collective_bandwidth(span)
+        return num_bytes / bandwidth
 
     def pcie_offload_time(self, num_bytes: float) -> float:
         """D2H or H2D transfer time of ``num_bytes`` at effective PCIe bandwidth."""

@@ -1,0 +1,471 @@
+"""Event-driven execution of pipeline-parallel schedules.
+
+Lowers a :class:`repro.sim.schedules.PipelineSchedule` onto the discrete-event
+:class:`repro.sim.engine.SimulationEngine`: every rank owns a compute, a D2H
+and an H2D :class:`~repro.sim.streams.Stream`, ranks execute their op lists in
+schedule order, and inter-stage activation/gradient hand-offs become P2P
+transfer events whose completion unblocks the neighbouring rank.
+
+Per-stage peak-memory accounting composes with the rest of the system the way
+MEMO's memory model does: the in-flight micro-batch count multiplies the
+per-micro-batch state a stage must pin between a micro-batch's forward and
+backward -- its skeletal activations, or for swapped systems its resident
+(rounding-buffer-sized) share -- while the bi-level planner's transient peak
+(``BiLevelPlanResult.total_peak_bytes``) is re-planned into the same
+addresses for every micro-batch and is charged once.  Fold the per-micro-batch
+resident share into :attr:`StageCosts.activation_bytes`; the
+``rounding_buffer_bytes`` argument of :func:`stage_peak_memory` is for
+transfer-staging buffers that are drained and reused between micro-batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.executor import IterationTimeline
+from repro.sim.schedules import OpKind, PipelineSchedule, StageOp
+from repro.sim.streams import Stream, StreamKind
+
+
+@dataclass(frozen=True)
+class StageCosts:
+    """Per-micro-batch costs of one *virtual* stage.
+
+    Attributes:
+        forward_s: compute-stream time of one micro-batch's forward pass
+            through the stage (including intra-stage stalls already resolved
+            by :func:`repro.sim.executor.simulate_iteration`).
+        backward_s: compute-stream time of one micro-batch's backward pass.
+        p2p_bytes: activation bytes handed to the next stage after the forward
+            pass; the gradient returned during backward is the same size.
+        offload_bytes: bytes the stage offloads to the host per micro-batch
+            (drained on the stage's D2H stream after each forward).
+        prefetch_bytes: bytes prefetched from the host before each backward
+            (submitted to the stage's H2D stream when the backward reaches the
+            head of the rank's queue).
+        recompute_s: extra compute-stream time spent rematerialising
+            activations right before each backward.
+        activation_bytes: per-micro-batch skeletal activation bytes the stage
+            keeps on the GPU between a micro-batch's forward and backward
+            (what the in-flight count multiplies).
+    """
+
+    forward_s: float
+    backward_s: float
+    p2p_bytes: float = 0.0
+    offload_bytes: float = 0.0
+    prefetch_bytes: float = 0.0
+    recompute_s: float = 0.0
+    activation_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.forward_s < 0 or self.backward_s < 0 or self.recompute_s < 0:
+            raise ValueError("stage times must be non-negative")
+        for name in ("p2p_bytes", "offload_bytes", "prefetch_bytes", "activation_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class PipelineOpRecord:
+    """One executed op with its simulated start/end times."""
+
+    op: StageOp
+    start_s: float
+    end_s: float
+
+
+@dataclass(frozen=True)
+class StagePeakMemory:
+    """Peak activation memory of one pipeline rank under a schedule."""
+
+    rank: int
+    peak_micro_batches: int
+    activation_bytes: float
+    base_bytes: float
+    transient_bytes: float
+    rounding_buffer_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.base_bytes
+            + self.activation_bytes
+            + self.transient_bytes
+            + self.rounding_buffer_bytes
+        )
+
+
+@dataclass
+class PipelineTimeline:
+    """Timing and memory results of one simulated pipeline iteration."""
+
+    schedule: PipelineSchedule
+    total_s: float
+    rank_compute_busy_s: List[float]
+    rank_d2h_busy_s: List[float]
+    rank_h2d_busy_s: List[float]
+    rank_peak_in_flight: List[int]
+    rank_peak_activation_bytes: List[float]
+    records: List[PipelineOpRecord] = field(default_factory=list)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Measured fraction of rank-time the compute streams sat idle."""
+        if self.total_s <= 0:
+            return 0.0
+        ranks = len(self.rank_compute_busy_s)
+        busy = sum(self.rank_compute_busy_s)
+        return max(1.0 - busy / (ranks * self.total_s), 0.0)
+
+    @property
+    def analytic_bubble_fraction(self) -> float:
+        """The uniform-stage analytic bound the measurement is compared to."""
+        return self.schedule.analytic_bubble_fraction()
+
+    def rank_bubble_fraction(self, rank: int) -> float:
+        """Idle fraction of one rank's compute stream."""
+        if self.total_s <= 0:
+            return 0.0
+        return max(1.0 - self.rank_compute_busy_s[rank] / self.total_s, 0.0)
+
+    def record(self, kind: OpKind, virtual_stage: int, micro_batch: int) -> PipelineOpRecord:
+        """Look up the record of one op (tests and timeline rendering)."""
+        for entry in self.records:
+            op = entry.op
+            if op.kind is kind and op.virtual_stage == virtual_stage and op.micro_batch == micro_batch:
+                return entry
+        raise KeyError(f"no record for {kind.value}(vs={virtual_stage}, mb={micro_batch})")
+
+
+def _normalise_costs(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+) -> List[StageCosts]:
+    if isinstance(costs, StageCosts):
+        return [costs] * schedule.num_virtual_stages
+    costs = list(costs)
+    if len(costs) != schedule.num_virtual_stages:
+        raise ValueError(
+            f"expected {schedule.num_virtual_stages} per-virtual-stage costs, "
+            f"got {len(costs)}"
+        )
+    return costs
+
+
+def peak_activation_bytes(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+) -> List[float]:
+    """Per-rank peak of in-flight skeletal activation bytes under a schedule."""
+    per_stage = _normalise_costs(schedule, costs)
+    peaks: List[float] = []
+    for ops in schedule.rank_ops:
+        live = 0.0
+        peak = 0.0
+        for op in ops:
+            size = per_stage[op.virtual_stage].activation_bytes
+            live += size if op.kind is OpKind.FORWARD else -size
+            peak = max(peak, live)
+        peaks.append(peak)
+    return peaks
+
+
+def stage_peak_memory(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    base_bytes: Union[float, Sequence[float]] = 0.0,
+    transient_peak_bytes: float = 0.0,
+    rounding_buffer_bytes: float = 0.0,
+) -> List[StagePeakMemory]:
+    """Compose per-rank peak memory from schedule, planner and swap inputs.
+
+    Args:
+        base_bytes: per-rank model-state bytes (parameters, gradients,
+            optimizer states); a scalar is broadcast to every rank.
+        transient_peak_bytes: the bi-level planner's ``total_peak_bytes`` --
+            transient tensors are re-planned into the same addresses for every
+            micro-batch, so the peak is charged once, not per in-flight
+            micro-batch.
+        rounding_buffer_bytes: transfer-staging buffers that are drained and
+            reused between micro-batches, likewise charged once.  A swapped
+            stage's *resident* per-micro-batch share belongs in
+            ``StageCosts.activation_bytes`` instead, so it multiplies with the
+            in-flight count.
+    """
+    if isinstance(base_bytes, (int, float)):
+        base = [float(base_bytes)] * schedule.num_stages
+    else:
+        base = [float(value) for value in base_bytes]
+        if len(base) != schedule.num_stages:
+            raise ValueError(f"expected {schedule.num_stages} base_bytes entries")
+    activation_peaks = peak_activation_bytes(schedule, costs)
+    return [
+        StagePeakMemory(
+            rank=rank,
+            peak_micro_batches=schedule.max_in_flight(rank),
+            activation_bytes=activation_peaks[rank],
+            base_bytes=base[rank],
+            transient_bytes=transient_peak_bytes,
+            rounding_buffer_bytes=rounding_buffer_bytes,
+        )
+        for rank in range(schedule.num_stages)
+    ]
+
+
+def stage_costs_from_iteration(
+    timeline: IterationTimeline,
+    p2p_bytes: float = 0.0,
+    num_chunks: int = 1,
+    activation_bytes: float = 0.0,
+    offload_bytes: float = 0.0,
+    prefetch_bytes: float = 0.0,
+) -> StageCosts:
+    """Convert a single-stage :class:`IterationTimeline` into per-chunk costs.
+
+    The single-stage executor already resolves the intra-stage swap/recompute
+    overlap, so its forward/backward spans (stalls included) become the
+    pipeline's per-micro-batch stage times; with ``num_chunks > 1`` the stage
+    is split into that many equal virtual chunks.
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    forward = timeline.forward_end_s / num_chunks
+    backward = (timeline.total_s - timeline.forward_end_s) / num_chunks
+    return StageCosts(
+        forward_s=forward,
+        backward_s=backward,
+        p2p_bytes=p2p_bytes,
+        offload_bytes=offload_bytes / num_chunks,
+        prefetch_bytes=prefetch_bytes / num_chunks,
+        activation_bytes=activation_bytes / num_chunks,
+    )
+
+
+class _PipelineState:
+    """Mutable simulation state shared by the event actions."""
+
+    def __init__(
+        self,
+        schedule: PipelineSchedule,
+        costs: List[StageCosts],
+        p2p_bandwidth_bytes_per_s: float,
+        p2p_latency_s: float,
+        pcie_bandwidth_bytes_per_s: float,
+    ) -> None:
+        self.schedule = schedule
+        self.costs = costs
+        self.p2p_bandwidth = p2p_bandwidth_bytes_per_s
+        self.p2p_latency = p2p_latency_s
+        self.pcie_bandwidth = pcie_bandwidth_bytes_per_s
+        p = schedule.num_stages
+        self.compute = [Stream(StreamKind.COMPUTE) for _ in range(p)]
+        self.d2h = [Stream(StreamKind.D2H) for _ in range(p)]
+        self.h2d = [Stream(StreamKind.H2D) for _ in range(p)]
+        self.pointer = [0] * p
+        # Dependency tables, filled in by engine events as they fire.
+        self.forward_ready: Dict[Tuple[int, int], float] = {
+            (0, mb): 0.0 for mb in range(schedule.num_micro_batches)
+        }
+        self.grad_ready: Dict[Tuple[int, int], float] = {}
+        self.forward_done: Dict[Tuple[int, int], float] = {}
+        self.prefetch_end: Dict[Tuple[int, int], float] = {}
+        self.records: List[PipelineOpRecord] = []
+
+    # ------------------------------------------------------------- dispatching
+    def poke(self, engine: SimulationEngine, rank: int) -> None:
+        """Dispatch the rank's next ops while their inputs are available."""
+        ops = self.schedule.rank_ops[rank]
+        while self.pointer[rank] < len(ops):
+            op = ops[self.pointer[rank]]
+            if op.kind is OpKind.FORWARD:
+                if not self._dispatch_forward(engine, op):
+                    return
+            else:
+                if not self._dispatch_backward(engine, op):
+                    return
+            self.pointer[rank] += 1
+
+    def _dispatch_forward(self, engine: SimulationEngine, op: StageOp) -> bool:
+        key = (op.virtual_stage, op.micro_batch)
+        ready = self.forward_ready.get(key)
+        if ready is None:
+            return False
+        stage = self.costs[op.virtual_stage]
+        start, end = self.compute[op.rank].submit(
+            ready, stage.forward_s, f"fwd:vs{op.virtual_stage}:mb{op.micro_batch}"
+        )
+        self.records.append(PipelineOpRecord(op, start, end))
+        engine.schedule_at(
+            end,
+            f"fwd-done:vs{op.virtual_stage}:mb{op.micro_batch}",
+            lambda e, op=op, end=end: self._on_forward_complete(e, op, end),
+        )
+        return True
+
+    def _dispatch_backward(self, engine: SimulationEngine, op: StageOp) -> bool:
+        key = (op.virtual_stage, op.micro_batch)
+        forward_end = self.forward_done.get(key)
+        if forward_end is None:
+            return False
+        stage = self.costs[op.virtual_stage]
+        # The backward is at the head of the rank's queue: its prefetch can be
+        # issued now, even if the upstream gradient has not arrived yet.
+        if stage.prefetch_bytes > 0 and key not in self.prefetch_end:
+            transfer = stage.prefetch_bytes / self.pcie_bandwidth
+            _, self.prefetch_end[key] = self.h2d[op.rank].submit(
+                engine.now, transfer, f"prefetch:vs{op.virtual_stage}:mb{op.micro_batch}"
+            )
+        if op.virtual_stage == self.schedule.num_virtual_stages - 1:
+            grad = forward_end  # loss gradient is available right after the forward
+        else:
+            ready = self.grad_ready.get(key)
+            if ready is None:
+                return False
+            grad = ready
+        earliest = max(grad, forward_end, self.prefetch_end.get(key, 0.0))
+        duration = stage.recompute_s + stage.backward_s
+        start, end = self.compute[op.rank].submit(
+            earliest, duration, f"bwd:vs{op.virtual_stage}:mb{op.micro_batch}"
+        )
+        self.records.append(PipelineOpRecord(op, start, end))
+        engine.schedule_at(
+            end,
+            f"bwd-done:vs{op.virtual_stage}:mb{op.micro_batch}",
+            lambda e, op=op, end=end: self._on_backward_complete(e, op, end),
+        )
+        return True
+
+    # -------------------------------------------------------------- completions
+    def _transfer_time(self, src_rank: int, dst_rank: int, num_bytes: float) -> float:
+        if src_rank == dst_rank or num_bytes <= 0:
+            return 0.0
+        return self.p2p_latency + num_bytes / self.p2p_bandwidth
+
+    def _on_forward_complete(self, engine: SimulationEngine, op: StageOp, end: float) -> None:
+        key = (op.virtual_stage, op.micro_batch)
+        self.forward_done[key] = end
+        stage = self.costs[op.virtual_stage]
+        if stage.offload_bytes > 0:
+            self.d2h[op.rank].submit(
+                end,
+                stage.offload_bytes / self.pcie_bandwidth,
+                f"offload:vs{op.virtual_stage}:mb{op.micro_batch}",
+            )
+        if op.virtual_stage < self.schedule.num_virtual_stages - 1:
+            dst_stage = op.virtual_stage + 1
+            dst_rank = dst_stage % self.schedule.num_stages
+            transfer = self._transfer_time(op.rank, dst_rank, stage.p2p_bytes)
+            engine.schedule_at(
+                end + transfer,
+                f"p2p-act:vs{dst_stage}:mb{op.micro_batch}",
+                lambda e, dst_stage=dst_stage, dst_rank=dst_rank, mb=op.micro_batch: (
+                    self._on_activation_arrival(e, dst_stage, dst_rank, mb)
+                ),
+            )
+        self.poke(engine, op.rank)
+
+    def _on_activation_arrival(
+        self, engine: SimulationEngine, virtual_stage: int, rank: int, micro_batch: int,
+    ) -> None:
+        self.forward_ready[(virtual_stage, micro_batch)] = engine.now
+        self.poke(engine, rank)
+
+    def _on_backward_complete(self, engine: SimulationEngine, op: StageOp, end: float) -> None:
+        if op.virtual_stage > 0:
+            dst_stage = op.virtual_stage - 1
+            dst_rank = dst_stage % self.schedule.num_stages
+            transfer = self._transfer_time(
+                op.rank, dst_rank, self.costs[dst_stage].p2p_bytes
+            )
+            engine.schedule_at(
+                end + transfer,
+                f"p2p-grad:vs{dst_stage}:mb{op.micro_batch}",
+                lambda e, dst_stage=dst_stage, dst_rank=dst_rank, mb=op.micro_batch: (
+                    self._on_grad_arrival(e, dst_stage, dst_rank, mb)
+                ),
+            )
+        self.poke(engine, op.rank)
+
+    def _on_grad_arrival(
+        self, engine: SimulationEngine, virtual_stage: int, rank: int, micro_batch: int,
+    ) -> None:
+        self.grad_ready[(virtual_stage, micro_batch)] = engine.now
+        self.poke(engine, rank)
+
+
+def simulate_pipeline(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    p2p_bandwidth_bytes_per_s: float = float("inf"),
+    p2p_latency_s: float = 0.0,
+    pcie_bandwidth_bytes_per_s: float = 16e9,
+    engine: Optional[SimulationEngine] = None,
+) -> PipelineTimeline:
+    """Simulate one iteration of a pipeline-parallel schedule.
+
+    Args:
+        schedule: the per-rank op lists (see :func:`repro.sim.schedules.build_schedule`).
+        costs: per-virtual-stage costs, or one :class:`StageCosts` broadcast to
+            every stage.
+        p2p_bandwidth_bytes_per_s / p2p_latency_s: inter-stage transfer model;
+            transfers between virtual stages co-located on one rank are free.
+        pcie_bandwidth_bytes_per_s: effective host-transfer bandwidth for the
+            per-stage offload/prefetch streams.
+        engine: an existing :class:`SimulationEngine` to run on (a fresh one is
+            created by default).
+
+    Returns:
+        A :class:`PipelineTimeline`; ``bubble_fraction`` is measured from the
+        simulated compute-stream occupancy.
+
+    Raises:
+        RuntimeError: if the schedule deadlocks (an op's dependencies are never
+            satisfied) -- a validated schedule from ``build_schedule`` cannot.
+    """
+    per_stage = _normalise_costs(schedule, costs)
+    if p2p_bandwidth_bytes_per_s <= 0:
+        raise ValueError("p2p_bandwidth_bytes_per_s must be positive")
+    if p2p_latency_s < 0:
+        raise ValueError("p2p_latency_s must be non-negative")
+    if pcie_bandwidth_bytes_per_s <= 0:
+        raise ValueError("pcie_bandwidth_bytes_per_s must be positive")
+    if engine is None:
+        engine = SimulationEngine()
+
+    state = _PipelineState(
+        schedule, per_stage, p2p_bandwidth_bytes_per_s, p2p_latency_s,
+        pcie_bandwidth_bytes_per_s,
+    )
+    engine.schedule(
+        0.0, "pipeline-start",
+        lambda e: [state.poke(e, rank) for rank in range(schedule.num_stages)],
+    )
+    engine.run()
+
+    stuck = [
+        (rank, state.schedule.rank_ops[rank][state.pointer[rank]])
+        for rank in range(schedule.num_stages)
+        if state.pointer[rank] < len(state.schedule.rank_ops[rank])
+    ]
+    if stuck:
+        summary = ", ".join(f"rank {rank}: {op}" for rank, op in stuck)
+        raise RuntimeError(f"pipeline schedule deadlocked at {summary}")
+
+    total = max(
+        [stream.available_at for stream in state.compute]
+        + [stream.available_at for stream in state.d2h]
+        + [stream.available_at for stream in state.h2d]
+    )
+    return PipelineTimeline(
+        schedule=schedule,
+        total_s=total,
+        rank_compute_busy_s=[stream.busy_time for stream in state.compute],
+        rank_d2h_busy_s=[stream.busy_time for stream in state.d2h],
+        rank_h2d_busy_s=[stream.busy_time for stream in state.h2d],
+        rank_peak_in_flight=schedule.peak_in_flight(),
+        rank_peak_activation_bytes=peak_activation_bytes(schedule, per_stage),
+        records=state.records,
+    )

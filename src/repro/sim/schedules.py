@@ -1,0 +1,270 @@
+"""Pipeline-parallel schedule construction (GPipe / 1F1B / interleaved-1F1B).
+
+A schedule lowers ``(num_stages, num_micro_batches, num_chunks)`` into one
+statically-ordered op list per pipeline rank.  Ranks execute their list *in
+order* (that in-order discipline is what distinguishes 1F1B from a greedy
+work-conserving executor), while the event-driven simulator in
+:mod:`repro.sim.pipeline` resolves the cross-rank data dependencies:
+
+* the forward of micro-batch ``k`` on virtual stage ``s`` needs the forward
+  output of ``k`` on virtual stage ``s - 1``;
+* the backward of micro-batch ``k`` on virtual stage ``s`` needs the gradient
+  produced by ``k``'s backward on virtual stage ``s + 1`` (and its own
+  forward, which the op order already guarantees).
+
+Interleaving follows Megatron-LM's virtual-pipeline layout: rank ``r`` holds
+``num_chunks`` model chunks, chunk ``c`` of rank ``r`` is virtual stage
+``c * num_stages + r``, and micro-batches advance through all
+``num_stages * num_chunks`` virtual stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+
+class ScheduleKind(Enum):
+    """The pipeline schedules the simulator understands."""
+
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+    INTERLEAVED = "interleaved"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ScheduleKind":
+        """Parse a CLI-style schedule name (``gpipe`` / ``1f1b`` / ``interleaved``)."""
+        for kind in cls:
+            if kind.value == name.lower():
+                return kind
+        raise ValueError(
+            f"unknown schedule {name!r}; expected one of "
+            f"{', '.join(k.value for k in cls)}"
+        )
+
+
+class OpKind(Enum):
+    """Direction of one micro-batch step on one virtual stage."""
+
+    FORWARD = "F"
+    BACKWARD = "B"
+
+
+@dataclass(frozen=True)
+class StageOp:
+    """One unit of pipeline work: a micro-batch pass through a virtual stage.
+
+    Attributes:
+        kind: forward or backward.
+        rank: physical pipeline rank executing the op.
+        chunk: model chunk on that rank (0 unless interleaved).
+        micro_batch: micro-batch index in ``[0, num_micro_batches)``.
+        virtual_stage: ``chunk * num_stages + rank`` -- position in the
+            logical layer order.
+    """
+
+    kind: OpKind
+    rank: int
+    chunk: int
+    micro_batch: int
+    virtual_stage: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.value}(vs={self.virtual_stage}, mb={self.micro_batch})"
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """A complete schedule: one ordered op list per pipeline rank."""
+
+    kind: ScheduleKind
+    num_stages: int
+    num_micro_batches: int
+    num_chunks: int
+    rank_ops: Tuple[Tuple[StageOp, ...], ...]
+
+    @property
+    def num_virtual_stages(self) -> int:
+        return self.num_stages * self.num_chunks
+
+    @property
+    def ops_per_rank(self) -> int:
+        """Forward plus backward steps each rank executes."""
+        return 2 * self.num_micro_batches * self.num_chunks
+
+    def analytic_bubble_fraction(self) -> float:
+        """The textbook bubble bound for uniform stage times and free P2P.
+
+        GPipe and 1F1B both idle for ``(p - 1)`` stage slots out of
+        ``(m + p - 1)``; interleaving with ``v`` chunks shrinks a slot by
+        ``v``, giving ``(p - 1) / (v * m + p - 1)``.
+        """
+        p = self.num_stages
+        if p <= 1:
+            return 0.0
+        m = self.num_micro_batches
+        v = self.num_chunks
+        return (p - 1) / (v * m + p - 1)
+
+    def max_in_flight(self, rank: int) -> int:
+        """Peak number of micro-batch activations held by a rank.
+
+        Walks the rank's op list counting forwards minus backwards; for 1F1B
+        this is the classic ``min(p - rank, m)`` bound, for GPipe it is ``m``.
+        Interleaved ranks count activations across all their chunks.
+        """
+        live = 0
+        peak = 0
+        for op in self.rank_ops[rank]:
+            live += 1 if op.kind is OpKind.FORWARD else -1
+            peak = max(peak, live)
+        return peak
+
+    def peak_in_flight(self) -> List[int]:
+        """``max_in_flight`` for every rank, first stage first."""
+        return [self.max_in_flight(rank) for rank in range(self.num_stages)]
+
+    def validate(self) -> None:
+        """Check the schedule is executable.
+
+        Raises:
+            ValueError: when a rank misses or repeats a (chunk, micro-batch)
+                step, or orders a backward before its own forward.
+        """
+        for rank, ops in enumerate(self.rank_ops):
+            seen: Dict[Tuple[OpKind, int, int], int] = {}
+            forward_position: Dict[Tuple[int, int], int] = {}
+            for position, op in enumerate(ops):
+                if op.rank != rank:
+                    raise ValueError(f"op {op} listed under rank {rank}")
+                key = (op.kind, op.chunk, op.micro_batch)
+                if key in seen:
+                    raise ValueError(f"rank {rank} repeats {op}")
+                seen[key] = position
+                if op.kind is OpKind.FORWARD:
+                    forward_position[(op.chunk, op.micro_batch)] = position
+                elif (op.chunk, op.micro_batch) not in forward_position:
+                    raise ValueError(f"rank {rank} runs {op} before its forward")
+            expected = self.ops_per_rank
+            if len(ops) != expected:
+                raise ValueError(
+                    f"rank {rank} has {len(ops)} ops, expected {expected}"
+                )
+
+
+def _interleaved_chunk_and_micro_batch(
+    step: int, num_stages: int, num_chunks: int, forward: bool,
+) -> Tuple[int, int]:
+    """Map a rank-local step index to (chunk, micro_batch), Megatron-style.
+
+    Micro-batches advance in groups of ``num_stages``: the first ``p`` steps
+    run chunk 0 for micro-batches ``0..p-1``, the next ``p`` steps chunk 1 for
+    the same micro-batches, and so on; backward steps traverse chunks in
+    reverse.
+    """
+    group, in_group = divmod(step, num_stages * num_chunks)
+    chunk = in_group // num_stages
+    if not forward:
+        chunk = num_chunks - 1 - chunk
+    micro_batch = group * num_stages + in_group % num_stages
+    return chunk, micro_batch
+
+
+def build_schedule(
+    kind: ScheduleKind,
+    num_stages: int,
+    num_micro_batches: int,
+    num_chunks: int = 1,
+) -> PipelineSchedule:
+    """Construct a validated pipeline schedule.
+
+    Args:
+        kind: GPipe, 1F1B or interleaved-1F1B.
+        num_stages: pipeline-parallel degree ``p``.
+        num_micro_batches: micro-batches ``m`` per iteration.
+        num_chunks: virtual chunks per rank ``v``; must be 1 unless
+            interleaved.  Interleaving additionally requires
+            ``m % p == 0`` (Megatron's constraint) so that micro-batch groups
+            tile the virtual pipeline.
+
+    Raises:
+        ValueError: on inconsistent ``(kind, p, m, v)`` combinations.
+    """
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if num_micro_batches < 1:
+        raise ValueError("num_micro_batches must be >= 1")
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    if kind is not ScheduleKind.INTERLEAVED and num_chunks != 1:
+        raise ValueError(f"{kind.value} schedules use exactly one chunk per rank")
+    if kind is ScheduleKind.INTERLEAVED and num_chunks > 1 and num_stages > 1:
+        if num_micro_batches % num_stages != 0:
+            raise ValueError(
+                "interleaved schedules need num_micro_batches divisible by "
+                f"num_stages ({num_micro_batches} % {num_stages} != 0)"
+            )
+
+    p, m, v = num_stages, num_micro_batches, num_chunks
+    builders = {
+        ScheduleKind.GPIPE: _gpipe_rank_ops,
+        ScheduleKind.ONE_F_ONE_B: _one_f_one_b_rank_ops,
+        ScheduleKind.INTERLEAVED: _interleaved_rank_ops,
+    }
+    rank_ops = tuple(tuple(builders[kind](rank, p, m, v)) for rank in range(p))
+    schedule = PipelineSchedule(
+        kind=kind,
+        num_stages=p,
+        num_micro_batches=m,
+        num_chunks=v,
+        rank_ops=rank_ops,
+    )
+    schedule.validate()
+    return schedule
+
+
+def _op(kind: OpKind, rank: int, chunk: int, micro_batch: int, p: int) -> StageOp:
+    return StageOp(
+        kind=kind, rank=rank, chunk=chunk, micro_batch=micro_batch,
+        virtual_stage=chunk * p + rank,
+    )
+
+
+def _gpipe_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
+    """GPipe: all forwards, then all backwards in reverse micro-batch order."""
+    ops = [_op(OpKind.FORWARD, rank, 0, mb, p) for mb in range(m)]
+    ops.extend(_op(OpKind.BACKWARD, rank, 0, mb, p) for mb in reversed(range(m)))
+    return ops
+
+
+def _one_f_one_b_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
+    """Non-interleaved 1F1B: warmup forwards, steady 1F1B, cooldown backwards."""
+    warmup = min(p - 1 - rank, m)
+    ops = [_op(OpKind.FORWARD, rank, 0, mb, p) for mb in range(warmup)]
+    for index in range(m - warmup):
+        ops.append(_op(OpKind.FORWARD, rank, 0, warmup + index, p))
+        ops.append(_op(OpKind.BACKWARD, rank, 0, index, p))
+    ops.extend(_op(OpKind.BACKWARD, rank, 0, mb, p) for mb in range(m - warmup, m))
+    return ops
+
+
+def _interleaved_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
+    """Megatron-LM interleaved 1F1B over ``v`` chunks per rank."""
+    if v == 1:
+        return _one_f_one_b_rank_ops(rank, p, m, v)
+    total = m * v
+    warmup = min((p - 1 - rank) * 2 + (v - 1) * p, total)
+    ops: List[StageOp] = []
+    for step in range(warmup):
+        chunk, mb = _interleaved_chunk_and_micro_batch(step, p, v, forward=True)
+        ops.append(_op(OpKind.FORWARD, rank, chunk, mb, p))
+    for index in range(total - warmup):
+        chunk, mb = _interleaved_chunk_and_micro_batch(warmup + index, p, v, forward=True)
+        ops.append(_op(OpKind.FORWARD, rank, chunk, mb, p))
+        chunk, mb = _interleaved_chunk_and_micro_batch(index, p, v, forward=False)
+        ops.append(_op(OpKind.BACKWARD, rank, chunk, mb, p))
+    for index in range(total - warmup, total):
+        chunk, mb = _interleaved_chunk_and_micro_batch(index, p, v, forward=False)
+        ops.append(_op(OpKind.BACKWARD, rank, chunk, mb, p))
+    return ops

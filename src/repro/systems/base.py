@@ -6,16 +6,28 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.config import CalibrationConstants, DEFAULT_CALIBRATION, DEFAULT_PRECISION, PrecisionConfig
 from repro.hardware.cluster import ClusterSpec, make_a800_cluster
 from repro.model.specs import ModelConfig, get_model_config
+from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
 from repro.parallel.memory_model import MemoryBreakdown, estimate_memory
-from repro.parallel.search import StrategySearchSpace, enumerate_strategies, find_best_strategy
+from repro.parallel.search import (
+    StrategySearchSpace,
+    enumerate_strategies,
+    find_best_strategy,
+    resolve_schedule,
+)
 from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
-from repro.sim.costs import CostModel
+from repro.sim.costs import CostModel, LayerCosts
 from repro.sim.executor import IterationTimeline, LayerTask, simulate_iteration
+from repro.sim.pipeline import (
+    PipelineTimeline,
+    simulate_pipeline,
+    stage_costs_from_iteration,
+)
+from repro.sim.schedules import ScheduleKind
 from repro.swap.schedule import SwapSchedule, build_swap_schedule
 from repro.systems.metrics import compute_mfu, compute_tgs, format_wall_clock
 
@@ -76,6 +88,7 @@ class TrainingReport:
     alpha: Optional[float] = None
     memory: Optional[MemoryBreakdown] = None
     timeline: Optional[IterationTimeline] = None
+    pipeline_timeline: Optional[PipelineTimeline] = None
     notes: List[str] = field(default_factory=list)
 
     @property
@@ -107,8 +120,53 @@ class StrategyEvaluation:
     reason: Optional[str]
     memory: Optional[MemoryBreakdown] = None
     timeline: Optional[IterationTimeline] = None
+    pipeline: Optional[PipelineTimeline] = None
     alpha: Optional[float] = None
     reorganizations: int = 0
+
+
+@dataclass
+class StageExecution:
+    """One pipeline stage's lowered execution: costs, swap plan and timeline.
+
+    Produced by :meth:`TrainingSystem.stage_execution`; the timeline is the
+    single-stage executor's result for one micro-batch (swap/recompute stalls
+    resolved), which the pipeline simulator consumes as per-stage costs.  It
+    is simulated lazily so that strategy candidates rejected on memory
+    grounds never pay for a discrete-event run.
+    """
+
+    cost_model: CostModel
+    layer_costs: LayerCosts
+    layers_per_stage: int
+    pcie_bandwidth_bytes_per_s: float
+    swap_schedule: Optional[SwapSchedule]
+    effective_alpha: Optional[float]
+    boundary_compute_s: float
+    tasks: List[LayerTask]
+    _timeline: Optional[IterationTimeline] = field(default=None, repr=False)
+
+    @property
+    def timeline(self) -> IterationTimeline:
+        """Single-stage, single-micro-batch timeline (simulated on first use)."""
+        if self._timeline is None:
+            self._timeline = simulate_iteration(
+                self.tasks,
+                pcie_bandwidth_bytes_per_s=self.pcie_bandwidth_bytes_per_s,
+                boundary_compute_s=self.boundary_compute_s,
+                serial_overhead_s=0.0,
+            )
+        return self._timeline
+
+    @property
+    def forward_s(self) -> float:
+        """Per-micro-batch forward span of the stage."""
+        return self.timeline.forward_end_s
+
+    @property
+    def backward_s(self) -> float:
+        """Per-micro-batch backward span (boundary compute included)."""
+        return self.timeline.total_s - self.timeline.forward_end_s
 
 
 class TrainingSystem(ABC):
@@ -132,9 +190,22 @@ class TrainingSystem(ABC):
         self,
         calibration: CalibrationConstants = DEFAULT_CALIBRATION,
         precision: PrecisionConfig = DEFAULT_PRECISION,
+        pipeline_schedule: Optional[Union[ScheduleKind, str]] = ScheduleKind.ONE_F_ONE_B,
+        pipeline_chunks: int = 1,
     ) -> None:
+        """Args:
+            pipeline_schedule: how PP candidates are executed and scored --
+                their iteration time comes from simulating this schedule
+                (1F1B by default, the schedule Megatron-LM and DeepSpeed run).
+                ``None`` falls back to the legacy analytic bubble formula.
+            pipeline_chunks: virtual chunks per rank for interleaved-1F1B.
+        """
         self.calibration = calibration
         self.precision = precision
+        if isinstance(pipeline_schedule, str):
+            pipeline_schedule = ScheduleKind.from_name(pipeline_schedule)
+        self.pipeline_schedule = pipeline_schedule
+        self.pipeline_chunks = pipeline_chunks
 
     # ------------------------------------------------------------- subclass API
     @property
@@ -151,13 +222,28 @@ class TrainingSystem(ABC):
         """Evaluate one strategy: memory feasibility and iteration time."""
 
     # --------------------------------------------------------------- public API
-    def run(self, workload: Workload) -> TrainingReport:
-        """Search the strategy space and report the best achievable efficiency."""
+    def run(self, workload: Workload, schedule: Optional[Union[ScheduleKind, str]] = None) -> TrainingReport:
+        """Search the strategy space and report the best achievable efficiency.
+
+        Args:
+            schedule: pipeline schedule to use for this run only (overrides
+                the schedule the system was constructed with).
+        """
+        if schedule is not None:
+            if isinstance(schedule, str):
+                schedule = ScheduleKind.from_name(schedule)
+            previous = self.pipeline_schedule
+            self.pipeline_schedule = schedule
+            try:
+                return self.run(workload)
+            finally:
+                self.pipeline_schedule = previous
         model = workload.model
         cluster = workload.cluster()
         candidates = enumerate_strategies(
             self.search_space(workload), model, workload.num_gpus,
             gpus_per_node=cluster.node.gpus_per_node,
+            global_batch_samples=workload.global_batch_samples,
         )
         evaluations = {}
 
@@ -195,6 +281,7 @@ class TrainingSystem(ABC):
             alpha=evaluation.alpha,
             memory=evaluation.memory,
             timeline=evaluation.timeline,
+            pipeline_timeline=evaluation.pipeline,
         )
 
     def max_sequence_length(
@@ -219,26 +306,21 @@ class TrainingSystem(ABC):
         return longest
 
     # ------------------------------------------------------------ shared pieces
-    def _shared_evaluation(
+    def stage_execution(
         self,
         workload: Workload,
         parallel: ParallelismConfig,
-        alpha: Optional[float],
-        extra_serial_s: float = 0.0,
-        activation_overhead_factor: Optional[float] = None,
-    ) -> StrategyEvaluation:
-        """Memory check plus iteration-time simulation shared by all systems.
+        alpha: Optional[float] = None,
+    ) -> StageExecution:
+        """Lower one pipeline stage of a strategy to costs and a timeline.
 
-        Subclasses call this after fixing the recompute/offload mode in
-        ``parallel`` and choosing ``alpha`` (MEMO solves it, baselines pass 0).
+        Builds the cost model, the token-wise swap schedule (when the
+        strategy's offload mode requires one) and the single-stage
+        discrete-event timeline of one micro-batch.  Used by
+        :meth:`_shared_evaluation` and by the ``sim-pipeline`` CLI.
         """
         model = workload.model
         cluster = workload.cluster()
-        overhead = (
-            self.activation_overhead_factor
-            if activation_overhead_factor is None
-            else activation_overhead_factor
-        )
         cost_model = CostModel(
             model=model,
             cluster=cluster,
@@ -272,11 +354,60 @@ class TrainingSystem(ABC):
                 precision=self.precision,
             )
             effective_alpha = schedule.alpha
-            if not schedule.feasible:
-                return StrategyEvaluation(
-                    feasible=False, iteration_time_s=float("inf"), reason="oohm",
-                    alpha=effective_alpha,
-                )
+
+        tasks = self._layer_tasks(parallel, layer_costs, layers_per_stage, schedule)
+        boundary = cost_model.embedding_classifier_time(workload.sequence_length)
+        return StageExecution(
+            cost_model=cost_model,
+            layer_costs=layer_costs,
+            layers_per_stage=layers_per_stage,
+            pcie_bandwidth_bytes_per_s=pcie_bandwidth,
+            swap_schedule=schedule,
+            effective_alpha=effective_alpha,
+            boundary_compute_s=boundary,
+            tasks=tasks,
+        )
+
+    def _shared_evaluation(
+        self,
+        workload: Workload,
+        parallel: ParallelismConfig,
+        alpha: Optional[float],
+        extra_serial_s: float = 0.0,
+        activation_overhead_factor: Optional[float] = None,
+    ) -> StrategyEvaluation:
+        """Memory check plus iteration-time simulation shared by all systems.
+
+        Subclasses call this after fixing the recompute/offload mode in
+        ``parallel`` and choosing ``alpha`` (MEMO solves it, baselines pass 0).
+        """
+        model = workload.model
+        cluster = workload.cluster()
+        overhead = (
+            self.activation_overhead_factor
+            if activation_overhead_factor is None
+            else activation_overhead_factor
+        )
+        execution = self.stage_execution(workload, parallel, alpha)
+        cost_model = execution.cost_model
+        schedule = execution.swap_schedule
+        effective_alpha = execution.effective_alpha
+        if schedule is not None and not schedule.feasible:
+            return StrategyEvaluation(
+                feasible=False, iteration_time_s=float("inf"), reason="oohm",
+                alpha=effective_alpha,
+            )
+
+        micro_iterations = max(workload.global_batch_samples // max(parallel.data_parallel, 1), 1)
+        pipeline_schedule = None
+        in_flight = 1.0
+        if parallel.pipeline_parallel > 1 and self.pipeline_schedule is not None:
+            pipeline_schedule = resolve_schedule(
+                parallel, self.pipeline_schedule, micro_iterations, self.pipeline_chunks,
+            )
+            # peak_in_flight counts chunk-level passes; each holds only
+            # 1/num_chunks of the stage's per-micro-batch activations.
+            in_flight = max(pipeline_schedule.peak_in_flight()) / pipeline_schedule.num_chunks
 
         memory = estimate_memory(
             model=model,
@@ -290,6 +421,8 @@ class TrainingSystem(ABC):
             calibration=self.calibration,
         )
         memory = _scale_activations(memory, overhead, planned=self.uses_memory_planning)
+        if in_flight > 1:
+            memory = _scale_pipeline_in_flight(memory, in_flight)
         if not memory.fits(cluster.gpu.memory_bytes):
             return StrategyEvaluation(
                 feasible=False, iteration_time_s=float("inf"), reason="oom", memory=memory,
@@ -299,17 +432,7 @@ class TrainingSystem(ABC):
                 feasible=False, iteration_time_s=float("inf"), reason="oohm", memory=memory,
             )
 
-        tasks = self._layer_tasks(parallel, layer_costs, layers_per_stage, schedule)
-        boundary = cost_model.embedding_classifier_time(workload.sequence_length)
-
-        timeline = simulate_iteration(
-            tasks,
-            pcie_bandwidth_bytes_per_s=pcie_bandwidth,
-            boundary_compute_s=boundary,
-            serial_overhead_s=0.0,
-        )
-
-        micro_iterations = max(workload.global_batch_samples // max(parallel.data_parallel, 1), 1)
+        timeline = execution.timeline
         params_per_gpu = model.num_parameters / (
             parallel.tensor_parallel * parallel.pipeline_parallel
         )
@@ -336,8 +459,39 @@ class TrainingSystem(ABC):
             + reorg_stall
             + extra_serial_s
         )
-        bubble = cost_model.pipeline_bubble_fraction()
-        compute_time = micro_iterations * timeline.total_s / max(1.0 - bubble, 1e-9)
+        pipeline_timeline: Optional[PipelineTimeline] = None
+        if pipeline_schedule is not None:
+            # Score the PP point with its simulated schedule (measured bubble,
+            # P2P transfers) instead of the analytic (p - 1) / (m + p - 1)
+            # approximation.  The stage's own swap traffic is already folded
+            # into forward_s/backward_s by the single-stage executor, so the
+            # offload/prefetch streams stay empty here -- passing the bytes
+            # again would double-charge the PCIe link.
+            p2p_bytes = pipeline_p2p_bytes_per_micro_batch(
+                model, parallel, workload.sequence_length,
+                workload.micro_batch_size, self.precision,
+            )
+            p2p_time = cost_model.pipeline_p2p_time(p2p_bytes)
+            stage_costs = stage_costs_from_iteration(
+                execution.timeline,
+                p2p_bytes=p2p_bytes,
+                num_chunks=pipeline_schedule.num_chunks,
+                activation_bytes=(
+                    memory.skeletal_activation_bytes + memory.rounding_buffer_bytes
+                ) / in_flight,
+            )
+            pipeline_timeline = simulate_pipeline(
+                pipeline_schedule,
+                stage_costs,
+                p2p_bandwidth_bytes_per_s=(
+                    p2p_bytes / p2p_time if p2p_time > 0 else float("inf")
+                ),
+                pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
+            )
+            compute_time = pipeline_timeline.total_s
+        else:
+            bubble = cost_model.pipeline_bubble_fraction()
+            compute_time = micro_iterations * timeline.total_s / max(1.0 - bubble, 1e-9)
         iteration_time = compute_time + per_iteration_serial
         return StrategyEvaluation(
             feasible=True,
@@ -345,6 +499,7 @@ class TrainingSystem(ABC):
             reason=None,
             memory=memory,
             timeline=timeline,
+            pipeline=pipeline_timeline,
             alpha=effective_alpha,
             reorganizations=reorganizations,
         )
@@ -406,6 +561,32 @@ def _scale_activations(memory: MemoryBreakdown, factor: float, planned: bool) ->
         classifier_bytes=memory.classifier_bytes * factor,
         fragmentation_bytes=fragmentation,
         host_offload_bytes=memory.host_offload_bytes,
+    )
+
+
+def _scale_pipeline_in_flight(memory: MemoryBreakdown, in_flight: float) -> MemoryBreakdown:
+    """Charge per-micro-batch state once per in-flight micro-batch.
+
+    Under a pipeline schedule a stage holds up to ``in_flight`` micro-batches
+    between their forward and backward passes (a fraction-weighted count for
+    interleaved schedules, whose chunk passes each pin only part of a stage):
+    each keeps its skeletal activations (or, for swapped systems, its
+    resident rounding-buffer share and its host copy).  Transient tensors and
+    the classifier working set are reused micro-batch by micro-batch and stay
+    charged once.
+    """
+    if in_flight <= 1:
+        return memory
+    return MemoryBreakdown(
+        parameter_bytes=memory.parameter_bytes,
+        gradient_bytes=memory.gradient_bytes,
+        optimizer_bytes=memory.optimizer_bytes,
+        skeletal_activation_bytes=memory.skeletal_activation_bytes * in_flight,
+        rounding_buffer_bytes=memory.rounding_buffer_bytes * in_flight,
+        transient_bytes=memory.transient_bytes,
+        classifier_bytes=memory.classifier_bytes,
+        fragmentation_bytes=memory.fragmentation_bytes,
+        host_offload_bytes=memory.host_offload_bytes * in_flight,
     )
 
 

@@ -1,9 +1,16 @@
 """Tests for parallelism strategy configuration and enumeration."""
 
+import warnings
+
 import pytest
 
 from repro.parallel.search import StrategySearchSpace, enumerate_strategies, find_best_strategy
-from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+from repro.parallel.strategy import (
+    DegenerateScheduleWarning,
+    OffloadMode,
+    ParallelismConfig,
+    RecomputeMode,
+)
 
 
 class TestParallelismConfig:
@@ -55,6 +62,49 @@ class TestParallelismConfig:
             ParallelismConfig(tensor_parallel=0)
         with pytest.raises(ValueError):
             ParallelismConfig(zero_stage=4)
+
+
+class TestMicroBatchValidation:
+    def test_degenerate_schedule_warns_but_constructs(self):
+        with pytest.warns(DegenerateScheduleWarning, match="micro_batches"):
+            config = ParallelismConfig(pipeline_parallel=4, micro_batches=2)
+        assert config.has_degenerate_schedule
+        assert config.pipeline_bubble_lower_bound() == pytest.approx(3 / 5)
+
+    def test_strict_micro_batching_rejects_degenerate_schedules(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            ParallelismConfig(
+                pipeline_parallel=4, micro_batches=2, strict_micro_batching=True,
+            )
+
+    def test_sufficient_micro_batches_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DegenerateScheduleWarning)
+            config = ParallelismConfig(pipeline_parallel=4, micro_batches=4)
+            strict = ParallelismConfig(
+                pipeline_parallel=4, micro_batches=8, strict_micro_batching=True,
+            )
+        assert not config.has_degenerate_schedule
+        assert not strict.has_degenerate_schedule
+
+    def test_no_pipeline_means_no_constraint(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DegenerateScheduleWarning)
+            config = ParallelismConfig(micro_batches=1, strict_micro_batching=True)
+        assert config.pipeline_bubble_lower_bound() == 0.0
+
+    def test_strict_flag_does_not_change_equality_or_hashing(self):
+        relaxed = ParallelismConfig(tensor_parallel=4)
+        strict = ParallelismConfig(tensor_parallel=4, strict_micro_batching=True)
+        assert relaxed == strict
+        assert hash(relaxed) == hash(strict)
+
+    def test_enumerate_with_global_batch_sets_real_micro_batches(self, gpt7b):
+        space = StrategySearchSpace(tensor_parallel=(1,), pipeline_parallel=(2,))
+        candidates = enumerate_strategies(space, gpt7b, 8, global_batch_samples=16)
+        for candidate in candidates:
+            assert candidate.micro_batches == 16 // candidate.data_parallel
+            assert not candidate.has_degenerate_schedule
 
 
 class TestEnumeration:

@@ -86,6 +86,64 @@ class TestDSASolverProperties:
         allocator.replay(trace)
 
 
+class TestPlannerInvariants:
+    """Planner invariants over randomized traces (issue 1 hardening)."""
+
+    @staticmethod
+    def _assert_no_live_overlap(problem, plan):
+        """Explicitly re-derive the no-overlap invariant from lifespans."""
+        tensors = {t.tensor_id: t for t in problem.tensors}
+        entries = list(plan.entries.values())
+        for i, a in enumerate(entries):
+            for b in entries[i + 1:]:
+                ta, tb = tensors[a.tensor_id], tensors[b.tensor_id]
+                if ta.conflicts_with(tb):
+                    assert not a.overlaps(b), (
+                        f"{a.tensor_id} and {b.tensor_id} are live together "
+                        f"but share addresses"
+                    )
+
+    @given(malloc_free_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_heuristic_plans_never_overlap_live_tensors(self, trace):
+        problem = problem_from_trace(trace)
+        for solver in (solve_best_fit, solve_first_fit_decreasing):
+            self._assert_no_live_overlap(problem, solver(problem))
+
+    @given(malloc_free_traces(max_tensors=7))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_plans_never_overlap_live_tensors_and_beat_heuristics(self, trace):
+        problem = problem_from_trace(trace)
+        exact = solve_exact(problem)
+        self._assert_no_live_overlap(problem, exact)
+        heuristic = min(
+            solve_best_fit(problem).peak_bytes,
+            solve_first_fit_decreasing(problem).peak_bytes,
+        )
+        assert exact.peak_bytes <= heuristic
+
+    @given(st.integers(min_value=1, max_value=3), st.sampled_from([256, 1024]))
+    @settings(max_examples=6, deadline=None)
+    def test_bilevel_full_plan_covers_every_traced_tensor_once(
+        self, num_layers, sequence_length,
+    ):
+        import dataclasses
+        from collections import Counter
+
+        from repro.model.specs import get_model_config
+        from repro.model.trace import full_model_trace
+        from repro.planner.bilevel import BiLevelPlanner
+
+        model = dataclasses.replace(get_model_config("7B"), num_layers=num_layers)
+        result = BiLevelPlanner(
+            model, batch_size=1, sequence_length=sequence_length, use_exact=False,
+        ).plan()
+        trace = full_model_trace(model, 1, sequence_length, include_skeletal=False)
+        traced = Counter(r.tensor_id for r in trace if r.kind is RequestKind.MALLOC)
+        assert all(count == 1 for count in traced.values())
+        assert set(traced) == set(result.full_plan.entries)
+
+
 class TestCachingAllocatorProperties:
     @given(malloc_free_traces())
     @settings(max_examples=40, deadline=None)

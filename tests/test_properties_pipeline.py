@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for pipeline schedules, the pipeline
+simulator and the planner invariants they compose with."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.specs import get_model_config
+from repro.model.trace import full_model_trace
+from repro.planner.bilevel import BiLevelPlanner
+from repro.planner.dsa import problem_from_trace
+from repro.sim.executor import LayerTask, simulate_iteration
+from repro.sim.pipeline import StageCosts, peak_activation_bytes, simulate_pipeline, stage_costs_from_iteration
+from repro.sim.schedules import OpKind, ScheduleKind, build_schedule
+
+
+@st.composite
+def schedule_shapes(draw):
+    """Random (kind, p, m, v) combinations that build_schedule accepts."""
+    kind = draw(st.sampled_from(list(ScheduleKind)))
+    p = draw(st.integers(min_value=1, max_value=6))
+    if kind is ScheduleKind.INTERLEAVED:
+        v = draw(st.integers(min_value=1, max_value=3))
+        m = p * draw(st.integers(min_value=1, max_value=4))
+    else:
+        v = 1
+        m = draw(st.integers(min_value=1, max_value=12))
+    return kind, p, m, v
+
+
+class TestScheduleProperties:
+    @given(schedule_shapes())
+    @settings(max_examples=80, deadline=None)
+    def test_every_micro_batch_step_appears_exactly_once(self, shape):
+        kind, p, m, v = shape
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        for ops in schedule.rank_ops:
+            steps = Counter((op.kind, op.chunk, op.micro_batch) for op in ops)
+            assert all(count == 1 for count in steps.values())
+            assert sum(1 for key in steps if key[0] is OpKind.FORWARD) == m * schedule.num_chunks
+            assert sum(1 for key in steps if key[0] is OpKind.BACKWARD) == m * schedule.num_chunks
+
+    @given(schedule_shapes())
+    @settings(max_examples=80, deadline=None)
+    def test_forward_always_precedes_backward(self, shape):
+        kind, p, m, v = shape
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        for ops in schedule.rank_ops:
+            seen_forward = set()
+            for op in ops:
+                if op.kind is OpKind.FORWARD:
+                    seen_forward.add((op.chunk, op.micro_batch))
+                else:
+                    assert (op.chunk, op.micro_batch) in seen_forward
+
+    @given(schedule_shapes())
+    @settings(max_examples=80, deadline=None)
+    def test_in_flight_bounds(self, shape):
+        kind, p, m, v = shape
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        peaks = schedule.peak_in_flight()
+        assert all(peak >= 1 for peak in peaks)
+        assert all(peak <= m * schedule.num_chunks for peak in peaks)
+        if kind is ScheduleKind.ONE_F_ONE_B:
+            for rank, peak in enumerate(peaks):
+                assert peak == min(p - rank, m)
+        if kind is ScheduleKind.GPIPE:
+            assert peaks == [m] * p
+
+
+class TestSimulationProperties:
+    @given(
+        schedule_shapes(),
+        st.floats(min_value=0.01, max_value=2.0),
+        st.floats(min_value=0.01, max_value=4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_bubble_bound(self, shape, forward, backward):
+        """Busy time is exactly the scheduled work; with uniform stages and
+        free P2P the measured bubble matches the analytic bound within 5%."""
+        kind, p, m, v = shape
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        costs = StageCosts(
+            forward_s=forward / schedule.num_chunks,
+            backward_s=backward / schedule.num_chunks,
+        )
+        timeline = simulate_pipeline(schedule, costs)
+        per_rank_work = m * (forward + backward)
+        for busy in timeline.rank_compute_busy_s:
+            assert busy == pytest.approx(per_rank_work, rel=1e-9)
+        assert timeline.total_s >= per_rank_work - 1e-9
+        assert len(timeline.records) == p * schedule.ops_per_rank
+        assert 0.0 <= timeline.bubble_fraction < 1.0
+        assert timeline.bubble_fraction == pytest.approx(
+            timeline.analytic_bubble_fraction, rel=0.05, abs=1e-9,
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_p2p_latency_never_speeds_up_the_pipeline(self, p, m, latency):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, p, m)
+        costs = StageCosts(forward_s=1.0, backward_s=2.0, p2p_bytes=1.0)
+        free = simulate_pipeline(schedule, costs, p2p_bandwidth_bytes_per_s=1e15)
+        delayed = simulate_pipeline(
+            schedule, costs, p2p_bandwidth_bytes_per_s=1e15, p2p_latency_s=latency,
+        )
+        assert delayed.total_s >= free.total_s - 1e-9
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=1.0),
+                st.floats(min_value=0.01, max_value=2.0),
+            ),
+            min_size=1, max_size=6,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_stage_pipeline_reduces_to_the_executor(self, m, layer_specs):
+        tasks = [
+            LayerTask(forward_compute_s=fwd, backward_compute_s=bwd)
+            for fwd, bwd in layer_specs
+        ]
+        iteration = simulate_iteration(tasks, pcie_bandwidth_bytes_per_s=1e9)
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 1, m)
+        pipeline = simulate_pipeline(schedule, stage_costs_from_iteration(iteration))
+        assert pipeline.total_s == pytest.approx(m * iteration.total_s, rel=1e-9)
+
+    @given(schedule_shapes(), st.floats(min_value=1.0, max_value=1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_peak_activation_consistent_with_in_flight_counts(self, shape, per_mb):
+        kind, p, m, v = shape
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        costs = StageCosts(1.0, 1.0, activation_bytes=per_mb)
+        peaks = peak_activation_bytes(schedule, costs)
+        for rank, peak in enumerate(peaks):
+            assert peak == pytest.approx(schedule.max_in_flight(rank) * per_mb, rel=1e-9)
+
+
+class TestPlannerInvariantProperties:
+    """Planner invariants over randomized full-model traces.
+
+    These complement the per-trace DSA properties in test_properties.py by
+    running the composed bi-level pipeline the way the pipeline-parallel
+    memory model consumes it.
+    """
+
+    @given(
+        st.integers(min_value=1, max_value=4),    # layers per stage
+        st.sampled_from([256, 512, 1024, 2048]),  # sequence length
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_every_traced_tensor_planned_exactly_once(self, num_layers, sequence_length):
+        model = dataclasses.replace(get_model_config("7B"), num_layers=num_layers)
+        result = BiLevelPlanner(
+            model, batch_size=1, sequence_length=sequence_length, use_exact=False,
+        ).plan()
+        trace = full_model_trace(model, 1, sequence_length, include_skeletal=False)
+        traced = Counter(
+            request.tensor_id for request in trace if request.kind.name == "MALLOC"
+        )
+        assert all(count == 1 for count in traced.values())
+        planned = set(result.full_plan.entries)
+        assert set(traced) == planned
+
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from([256, 1024]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_full_plan_never_overlaps_live_tensors(self, num_layers, sequence_length):
+        model = dataclasses.replace(get_model_config("7B"), num_layers=num_layers)
+        result = BiLevelPlanner(
+            model, batch_size=1, sequence_length=sequence_length, use_exact=False,
+        ).plan()
+        trace = full_model_trace(model, 1, sequence_length, include_skeletal=False)
+        problem = problem_from_trace(trace)
+        problem.validate_plan(result.full_plan)
+
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.sampled_from([256, 1024]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_bilevel_peak_bounded_by_flat_heuristic_peak_times_layers(
+        self, num_layers, sequence_length,
+    ):
+        """The pseudo-block abstraction may cost memory but never correctness:
+        its peak is at least the flat lower bound and at most the whole trace."""
+        model = dataclasses.replace(get_model_config("7B"), num_layers=num_layers)
+        result = BiLevelPlanner(
+            model, batch_size=1, sequence_length=sequence_length, use_exact=False,
+        ).plan()
+        trace = full_model_trace(model, 1, sequence_length, include_skeletal=False)
+        problem = problem_from_trace(trace)
+        assert result.total_peak_bytes >= problem.lower_bound_bytes()
+        assert result.total_peak_bytes <= problem.total_bytes
+        # Any valid plan needs at least the max-live-bytes of the flat trace.
+        assert result.full_plan.peak_bytes >= problem.lower_bound_bytes()

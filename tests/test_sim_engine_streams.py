@@ -86,3 +86,102 @@ class TestSimulationEngine:
     def test_negative_delay_rejected(self):
         with pytest.raises(ValueError):
             SimulationEngine().schedule(-1.0)
+
+
+class TestSimulationEngineStress:
+    """Edge-case hardening: FIFO ties, run(until=...) semantics, re-entrant
+    scheduling -- the behaviours the pipeline simulator depends on."""
+
+    def test_many_same_time_events_processed_in_insertion_order(self):
+        engine = SimulationEngine()
+        order = []
+        for index in range(50):
+            engine.schedule(1.0, f"e{index}", lambda e, i=index: order.append(i))
+        engine.run()
+        assert order == list(range(50))
+
+    def test_fifo_holds_across_schedule_and_schedule_at(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(2.0, "a", lambda e: order.append("a"))
+        engine.schedule_at(2.0, "b", lambda e: order.append("b"))
+        engine.schedule(2.0, "c", lambda e: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_action_scheduling_at_current_time_runs_in_same_pass(self):
+        engine = SimulationEngine()
+        order = []
+
+        def action(e):
+            order.append("outer")
+            e.schedule(0.0, "inner", lambda e2: order.append("inner"))
+
+        engine.schedule(1.0, "outer", action)
+        engine.schedule(1.0, "peer", lambda e: order.append("peer"))
+        engine.run()
+        # The zero-delay event is sequenced after already-queued ties.
+        assert order == ["outer", "peer", "inner"]
+        assert engine.now == 1.0
+
+    def test_event_exactly_at_until_is_processed(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(2.0, "edge", lambda e: seen.append(e.now))
+        engine.schedule(2.0 + 1e-9, "beyond", lambda e: seen.append(e.now))
+        engine.run(until=2.0)
+        assert seen == [2.0]
+        assert engine.now == 2.0
+        assert engine.pending == 1
+
+    def test_run_until_then_resume_processes_the_rest(self):
+        engine = SimulationEngine()
+        seen = []
+        for delay in (1.0, 3.0, 5.0):
+            engine.schedule(delay, "t", lambda e: seen.append(e.now))
+        assert engine.run(until=2.0) == 2.0
+        assert seen == [1.0]
+        assert engine.run() == 5.0
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_run_until_with_empty_queue_does_not_advance_time(self):
+        engine = SimulationEngine()
+        assert engine.run(until=10.0) == 0.0
+        assert engine.now == 0.0
+
+    def test_scheduling_relative_to_stopped_time_is_allowed(self):
+        engine = SimulationEngine()
+        engine.schedule(5.0, "later")
+        engine.run(until=2.0)
+        # now == 2.0; an absolute event before that is in the past...
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, "past")
+        # ...but scheduling at exactly now, or by relative delay, is legal.
+        engine.schedule_at(2.0, "now")
+        engine.schedule(0.5, "soon")
+        engine.run()
+        assert engine.now == 5.0
+        assert engine.pending == 0
+
+    def test_deep_event_chains_do_not_drift(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def tick(e):
+            ticks.append(e.now)
+            if len(ticks) < 1000:
+                e.schedule(0.125, "tick", tick)
+
+        engine.schedule(0.125, "tick", tick)
+        engine.run()
+        assert len(ticks) == 1000
+        assert ticks[-1] == pytest.approx(1000 * 0.125)
+        assert len(engine.processed) == 1000
+
+    def test_processed_log_preserves_global_time_order(self):
+        engine = SimulationEngine()
+        for delay in (3.0, 1.0, 2.0, 1.0, 3.0):
+            engine.schedule(delay, f"d{delay}")
+        engine.run()
+        times = [event.time for event in engine.processed]
+        assert times == sorted(times)
