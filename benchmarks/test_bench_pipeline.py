@@ -1,11 +1,13 @@
 """Pipeline-schedule ablation: bubble fraction and per-stage memory.
 
-Sweeps GPipe / 1F1B / interleaved-1F1B over a grid of micro-batch counts for a
-fixed model/cluster configuration (7B, 256K tokens, 8 GPUs, TP=2 x PP=4) and
-reports, per schedule:
+Sweeps GPipe / 1F1B / interleaved-1F1B / ZB-H1 over a grid of micro-batch
+counts for a fixed model/cluster configuration (7B, 256K tokens, 8 GPUs,
+TP=2 x PP=4) with heterogeneous per-stage costs (uneven layer partition,
+embedding-heavy stage 0, classifier-heavy last stage) and reports, per
+schedule:
 
 * simulated iteration time and measured bubble fraction vs the analytic
-  ``(p - 1) / (v m + p - 1)`` bound;
+  ``(p - 1) / (v m + p - 1)`` bound -- which ZB-H1 must strictly undercut;
 * per-stage peak activation memory (in-flight micro-batches), with and
   without MEMO's token-wise swapping.
 
@@ -19,11 +21,7 @@ from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
 from repro.parallel.memory_model import estimate_memory
 from repro.parallel.search import resolve_schedule
 from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
-from repro.sim.pipeline import (
-    simulate_pipeline,
-    stage_costs_from_iteration,
-    stage_peak_memory,
-)
+from repro.sim.pipeline import simulate_pipeline, stage_peak_memory
 from repro.sim.schedules import ScheduleKind
 from repro.systems.base import Workload
 from repro.systems.memo import MemoSystem
@@ -35,6 +33,7 @@ SCHEDULES = (
     (ScheduleKind.GPIPE, 1),
     (ScheduleKind.ONE_F_ONE_B, 1),
     (ScheduleKind.INTERLEAVED, 2),
+    (ScheduleKind.ZB_H1, 1),
 )
 
 
@@ -59,13 +58,15 @@ def build_case(offload: OffloadMode, recompute: RecomputeMode, micro_batches: in
 
 
 def simulate_case(parallel, execution, memory, p2p_bytes, kind, chunks, micro_batches):
-    schedule = resolve_schedule(parallel, kind, micro_batches, chunks)
+    workload = Workload(MODEL, tokens(SEQLEN_K), GPUS)
+    schedule = resolve_schedule(
+        parallel, kind, micro_batches, chunks, num_layers=workload.model.num_layers,
+    )
     per_mb = memory.skeletal_activation_bytes + memory.rounding_buffer_bytes
-    costs = stage_costs_from_iteration(
-        execution.timeline,
+    costs = execution.pipeline_stage_costs(
+        schedule, workload.sequence_length,
+        activation_bytes_per_micro_batch=per_mb,
         p2p_bytes=p2p_bytes,
-        num_chunks=schedule.num_chunks,
-        activation_bytes=per_mb,
     )
     p2p_time = execution.cost_model.pipeline_p2p_time(p2p_bytes)
     timeline = simulate_pipeline(
@@ -99,20 +100,39 @@ def test_smoke_pipeline_bubble_across_schedules(benchmark):
 
     rows = run_once(benchmark, sweep)
 
-    print("\n=== Pipeline bubble: 7B, 256K tokens, TP=2 x PP=4, no swap ===")
+    print("\n=== Pipeline bubble: 7B, 256K tokens, TP=2 x PP=4, no swap, "
+          "heterogeneous stages ===")
     print(f"{'schedule':<13} {'m':>3} {'total':>9} {'bubble':>8} {'analytic':>9}")
     for name, micro_batches, schedule, timeline in rows:
         print(f"{name:<13} {micro_batches:>3} {timeline.total_s:>8.1f}s "
               f"{timeline.bubble_fraction:>8.3f} {timeline.analytic_bubble_fraction:>9.3f}")
-        assert timeline.bubble_fraction == timeline.analytic_bubble_fraction or (
-            abs(timeline.bubble_fraction - timeline.analytic_bubble_fraction)
-            <= 0.05 * timeline.analytic_bubble_fraction
-        )
+        if schedule.kind.splits_backward:
+            # Zero-bubble: the measured bubble must undercut the 1F1B bound.
+            assert timeline.bubble_fraction < timeline.analytic_bubble_fraction
+        else:
+            # Mild heterogeneity (embedding/classifier extras) keeps fused
+            # schedules near the uniform-stage analytic bound: within 10%
+            # relative, or 1.5 bubble points absolute once the bound itself
+            # gets small (interleaved at large m).
+            deviation = abs(timeline.bubble_fraction - timeline.analytic_bubble_fraction)
+            assert (
+                deviation <= 0.10 * timeline.analytic_bubble_fraction
+                or deviation <= 0.015
+            )
     by_key = {(name, m): t for name, m, _, t in rows}
     for micro_batches in (4, 8, 16):
         assert (
             by_key[("interleaved", micro_batches)].bubble_fraction
             < by_key[("1f1b", micro_batches)].bubble_fraction
+        )
+        # Acceptance: ZB-H1 strictly beats 1F1B on bubble and total time.
+        assert (
+            by_key[("zb-h1", micro_batches)].bubble_fraction
+            < by_key[("1f1b", micro_batches)].bubble_fraction
+        )
+        assert (
+            by_key[("zb-h1", micro_batches)].total_s
+            < by_key[("1f1b", micro_batches)].total_s
         )
     assert by_key[("1f1b", 16)].bubble_fraction < by_key[("1f1b", 4)].bubble_fraction
 
@@ -152,6 +172,10 @@ def test_smoke_pipeline_stage_memory(benchmark):
         one_f = per_schedule["1f1b"][2]
         gpipe = per_schedule["gpipe"][2]
         assert gpipe[0].total_bytes >= one_f[0].total_bytes
+        # ZB-H1 keeps 1F1B's activation bound on stage 0 (its W ops run
+        # fused there); later stages may add bounded weight-grad stashes.
+        zb = per_schedule["zb-h1"][2]
+        assert zb[0].activation_bytes <= one_f[0].activation_bytes * 1.001
 
     resident_stage0 = results["resident"][1]["1f1b"][2][0]
     swapped_stage0 = results["token-wise swap"][1]["1f1b"][2][0]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in README/docs resolve to real files.
+
+Scans every ``*.md`` at the repository root and under ``docs/`` for inline
+markdown links and image references.  External links (with a URL scheme) and
+pure in-page anchors are ignored; every other target must exist relative to
+the file that references it (anchors are stripped before the check).
+
+Exits non-zero listing each broken link as ``file:line: target``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SCHEME_PATTERN = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def markdown_files(root: Path) -> list:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def check_file(path: Path, root: Path) -> list:
+    broken = []
+    in_code_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if SCHEME_PATTERN.match(target) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(root)}:{number}: {target}")
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        print(f"broken links ({len(broken)}):")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,7 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim_pipeline = subparsers.add_parser(
         "sim-pipeline",
-        help="simulate pipeline-parallel schedules (GPipe / 1F1B / interleaved)",
+        help="simulate pipeline-parallel schedules (GPipe / 1F1B / interleaved / ZB-H1)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "schedules:\n"
+            "  gpipe        all forwards, then all backwards; keeps every "
+            "micro-batch in flight\n"
+            "  1f1b         warm-up forwards, steady 1F/1B, cool-down; "
+            "min(p - rank, m) in flight\n"
+            "  interleaved  Megatron virtual-pipeline 1F1B over --chunks "
+            "chunks per rank; smaller bubble\n"
+            "  zb-h1        zero-bubble: backward split into grad-input (B) "
+            "and deferred grad-weight (W)\n"
+            "               ops; 1F1B activation memory, W fills the bubble\n"
+            "  all          simulate each of the above and tabulate them"
+        ),
     )
     sim_pipeline.add_argument("--model", default="7B", choices=["7B", "13B", "30B", "65B"])
     sim_pipeline.add_argument("--gpus", type=int, default=8)
@@ -88,12 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim_pipeline.add_argument("--chunks", type=int, default=2,
                               help="virtual chunks per rank for the interleaved schedule")
     sim_pipeline.add_argument("--schedule", default="all",
-                              choices=["gpipe", "1f1b", "interleaved", "all"])
+                              choices=["gpipe", "1f1b", "interleaved", "zb-h1", "all"])
     sim_pipeline.add_argument("--offload", default="none",
                               choices=["none", "token_wise", "full"],
                               help="activation swapping mode of every stage")
     sim_pipeline.add_argument("--recompute", default="none",
                               choices=["none", "full", "token_wise"])
+    sim_pipeline.add_argument("--uniform-stages", action="store_true",
+                              help="legacy uniform per-stage costs instead of the "
+                                   "heterogeneous (embedding/classifier-aware) profile")
 
     table3 = subparsers.add_parser("table3", help="regenerate Table 3 (or a subset)")
     table3.add_argument("--models", default="7B",
@@ -194,24 +211,68 @@ def _command_sim_pipeline(args) -> int:
     if execution.swap_schedule is not None:
         print(f"  swap schedule alpha {execution.swap_schedule.alpha:.3f}, "
               f"offload {execution.swap_schedule.total_offload_bytes / GiB:.2f} GiB/stage/micro-batch")
+
+    per_mb_activation = memory.skeletal_activation_bytes + memory.rounding_buffer_bytes
+
+    def stage_costs_for(schedule):
+        if args.uniform_stages:
+            return stage_costs_from_iteration(
+                execution.timeline,
+                p2p_bytes=p2p_bytes,
+                num_chunks=schedule.num_chunks,
+                activation_bytes=per_mb_activation,
+                backward_weight_fraction=(
+                    execution.layer_costs.backward_weight_share
+                    if schedule.kind.splits_backward else None
+                ),
+            )
+        return execution.pipeline_stage_costs(
+            schedule, workload.sequence_length,
+            activation_bytes_per_micro_batch=per_mb_activation,
+            p2p_bytes=p2p_bytes,
+        )
+
+    if not args.uniform_stages:
+        profile = execution.cost_model.stage_cost_profile(
+            workload.sequence_length, args.pp, layer_costs=execution.layer_costs,
+        )
+        # The table shows the B/W split, so lower via the split-backward
+        # ZB-H1 schedule; fused schedules see the same forward/backward sums.
+        costs = execution.pipeline_stage_costs(
+            resolve_schedule(parallel, ScheduleKind.ZB_H1, args.micro_batches),
+            workload.sequence_length,
+            activation_bytes_per_micro_batch=per_mb_activation,
+        )
+        print(f"\nPer-stage costs (uneven partition of {profile.total_layers} layers; "
+              f"embedding on stage 0, classifier on stage {args.pp - 1}):")
+        header = (f"{'stage':>5} {'layers':>7} {'forward':>10} {'backward':>10} "
+                  f"{'grad-in B':>10} {'grad-wt W':>10} {'activation':>11}")
+        print(header)
+        print("-" * len(header))
+        for index, stage in enumerate(costs):
+            print(f"{index:>5} {profile.layers_per_stage[index]:>7} "
+                  f"{stage.forward_s * 1e3:>8.1f}ms {stage.backward_s * 1e3:>8.1f}ms "
+                  f"{stage.split_backward_input_s * 1e3:>8.1f}ms "
+                  f"{stage.split_backward_weight_s * 1e3:>8.1f}ms "
+                  f"{stage.activation_bytes / GiB:>7.2f} GiB")
+
     print()
     header = (f"{'schedule':<13} {'total':>9} {'bubble':>8} {'analytic':>9} "
               f"{'stage-0 peak':>13}  in-flight per stage")
     print(header)
     print("-" * len(header))
 
-    names = ["gpipe", "1f1b", "interleaved"] if args.schedule == "all" else [args.schedule]
+    names = (["gpipe", "1f1b", "interleaved", "zb-h1"]
+             if args.schedule == "all" else [args.schedule])
     for name in names:
         kind = ScheduleKind.from_name(name)
         chunks = args.chunks if kind is ScheduleKind.INTERLEAVED else 1
-        schedule = resolve_schedule(parallel, kind, args.micro_batches, chunks)
-        per_mb_activation = memory.skeletal_activation_bytes + memory.rounding_buffer_bytes
-        costs = stage_costs_from_iteration(
-            execution.timeline,
-            p2p_bytes=p2p_bytes,
-            num_chunks=schedule.num_chunks,
-            activation_bytes=per_mb_activation,
+        # num_layers caps the chunks so every virtual chunk holds a layer.
+        schedule = resolve_schedule(
+            parallel, kind, args.micro_batches, chunks,
+            num_layers=workload.model.num_layers,
         )
+        costs = stage_costs_for(schedule)
         timeline = simulate_pipeline(
             schedule, costs,
             p2p_bandwidth_bytes_per_s=p2p_bytes / p2p_time if p2p_time > 0 else float("inf"),

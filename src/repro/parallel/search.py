@@ -8,6 +8,21 @@ configurations and evaluates each with a caller-supplied function (feasibility
 plus iteration time), mirroring how the paper "manually adjusts the distributed
 parallelism strategies for each system and each workload to achieve optimal
 training performance".
+
+Invariants of the pipeline-schedule scoring helpers:
+
+* PP candidates are scored with a *simulated* schedule
+  (:func:`simulate_pipeline_schedule`), never the analytic bubble formula;
+  the schedule candidate set (:data:`PIPELINE_SCHEDULE_CANDIDATES`) covers
+  1F1B, interleaved-1F1B and the zero-bubble ZB-H1;
+* :func:`resolve_schedule` is total: every (candidate, schedule-kind) pair
+  resolves to *some* buildable schedule, silently falling back to plain 1F1B
+  when the kind's structural constraints (interleaving divisibility, chunk
+  counts) do not hold -- the search must never throw on a legal parallelism
+  point;
+* ``micro_batches`` fed to a schedule is the replica's micro-iteration count
+  (``global_batch // dp``), not the config placeholder, whenever the caller
+  supplies it.
 """
 
 from __future__ import annotations
@@ -25,6 +40,15 @@ from repro.parallel.strategy import (
 )
 from repro.sim.pipeline import PipelineTimeline, StageCosts, simulate_pipeline
 from repro.sim.schedules import ScheduleKind, build_schedule
+
+#: Schedule kinds a training system's strategy search may try for a PP
+#: candidate (GPipe is omitted: it is dominated by 1F1B on both time and
+#: memory and survives only as an explicit CLI/benchmark choice).
+PIPELINE_SCHEDULE_CANDIDATES: Tuple[ScheduleKind, ...] = (
+    ScheduleKind.ONE_F_ONE_B,
+    ScheduleKind.INTERLEAVED,
+    ScheduleKind.ZB_H1,
+)
 
 
 @dataclass(frozen=True)
@@ -143,16 +167,22 @@ def resolve_schedule(
     schedule_kind: ScheduleKind,
     num_micro_batches: Optional[int] = None,
     num_chunks: int = 1,
+    num_layers: Optional[int] = None,
 ):
     """Build the schedule a PP candidate would run.
 
     Interleaving silently falls back to plain 1F1B when Megatron's
     ``m % p == 0`` constraint does not hold for this candidate (or fewer than
-    two chunks were requested).
+    two chunks were requested).  ZB-H1 is defined on the non-interleaved
+    pipeline, so a chunk request is ignored for it.  When the model's
+    ``num_layers`` is given, the chunk count is capped so every virtual
+    stage holds at least one layer -- over-asking degrades, never throws.
     """
     micro_batches = parallel.micro_batches if num_micro_batches is None else num_micro_batches
     stages = parallel.pipeline_parallel
     chunks = num_chunks if schedule_kind is ScheduleKind.INTERLEAVED else 1
+    if num_layers is not None:
+        chunks = min(chunks, max(num_layers // stages, 1))
     if schedule_kind is ScheduleKind.INTERLEAVED and (
         chunks < 2 or (stages > 1 and micro_batches % stages != 0)
     ):
@@ -172,6 +202,8 @@ def simulate_pipeline_schedule(
     prefetch_bytes: float = 0.0,
     activation_bytes: float = 0.0,
     pcie_bandwidth_bytes_per_s: float = 16e9,
+    backward_weight_fraction: Optional[float] = None,
+    num_layers: Optional[int] = None,
 ) -> PipelineTimeline:
     """Score one PP strategy point by simulating its pipeline schedule.
 
@@ -179,18 +211,27 @@ def simulate_pipeline_schedule(
     (swap/recompute stalls already resolved); the returned timeline's
     ``total_s`` and ``bubble_fraction`` replace the analytic
     ``(p - 1) / (m + p - 1)`` approximation in the strategy search.
+    ``backward_weight_fraction`` feeds the grad-input/grad-weight split of
+    zero-bubble schedules (ignored by fused kinds).
     """
-    schedule = resolve_schedule(parallel, schedule_kind, num_micro_batches, num_chunks)
+    schedule = resolve_schedule(
+        parallel, schedule_kind, num_micro_batches, num_chunks, num_layers,
+    )
     chunks = schedule.num_chunks
+    backward = backward_s / chunks
     costs = StageCosts(
         forward_s=forward_s / chunks,
-        backward_s=backward_s / chunks,
+        backward_s=backward,
         # Encode the transfer as (1 byte, 1/t bytes/s) so callers can hand us a
         # precomputed per-hop time from CostModel.pipeline_p2p_time.
         p2p_bytes=1.0 if p2p_time_s > 0 else 0.0,
         offload_bytes=offload_bytes / chunks,
         prefetch_bytes=prefetch_bytes / chunks,
         activation_bytes=activation_bytes / chunks,
+        backward_weight_s=(
+            None if backward_weight_fraction is None
+            else backward_weight_fraction * backward
+        ),
     )
     return simulate_pipeline(
         schedule,
@@ -198,6 +239,49 @@ def simulate_pipeline_schedule(
         p2p_bandwidth_bytes_per_s=(1.0 / p2p_time_s) if p2p_time_s > 0 else float("inf"),
         pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
     )
+
+
+def best_pipeline_schedule(
+    parallel: ParallelismConfig,
+    forward_s: float,
+    backward_s: float,
+    candidates: Sequence[ScheduleKind] = PIPELINE_SCHEDULE_CANDIDATES,
+    num_micro_batches: Optional[int] = None,
+    num_chunks: int = 2,
+    p2p_time_s: float = 0.0,
+    backward_weight_fraction: Optional[float] = None,
+    num_layers: Optional[int] = None,
+) -> Tuple[ScheduleKind, PipelineTimeline]:
+    """Simulate every schedule candidate for a PP point and keep the fastest.
+
+    Candidates that resolve to the same schedule (e.g. interleaved falling
+    back to 1F1B) are deduplicated; ties keep the earlier candidate.  Returns
+    the *requested* kind alongside its timeline, so callers can re-resolve it.
+    This is the uniform-cost quick scorer; the training systems run the same
+    candidate sweep with heterogeneous per-stage costs and per-candidate
+    memory checks (:meth:`repro.systems.base.TrainingSystem._shared_evaluation`).
+    """
+    if not candidates:
+        raise ValueError("candidates must not be empty")
+    best: Optional[Tuple[ScheduleKind, PipelineTimeline]] = None
+    seen = set()
+    for kind in candidates:
+        resolved = resolve_schedule(parallel, kind, num_micro_batches, num_chunks, num_layers)
+        key = (resolved.kind, resolved.num_chunks)
+        if key in seen:
+            continue
+        seen.add(key)
+        timeline = simulate_pipeline_schedule(
+            parallel, kind, forward_s, backward_s,
+            num_micro_batches=num_micro_batches, num_chunks=num_chunks,
+            p2p_time_s=p2p_time_s,
+            backward_weight_fraction=backward_weight_fraction,
+            num_layers=num_layers,
+        )
+        if best is None or timeline.total_s < best[1].total_s:
+            best = (kind, timeline)
+    assert best is not None
+    return best
 
 
 def simulated_bubble_fraction(

@@ -10,7 +10,7 @@ analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.config import CalibrationConstants, DEFAULT_CALIBRATION, DEFAULT_PRECISION, PrecisionConfig
 from repro.hardware.cluster import ClusterSpec
@@ -65,6 +65,123 @@ class LayerCosts:
     @property
     def backward_total_s(self) -> float:
         return self.backward_compute_s + self.backward_comm_s
+
+    @property
+    def backward_weight_share(self) -> float:
+        """Fraction of the layer's backward that is grad-weight (W) work.
+
+        The dgrad and wgrad GEMMs of each dense projection cost the same
+        FLOPs, so the weight share of the dense backward is one half;
+        FlashAttention's backward produces no weight gradients, and the
+        non-overlapped backward communication belongs to the grad-input path
+        (it moves activations/gradients, which wgrad reuses in place).  Used
+        by zero-bubble schedules to split ``backward_s`` into B and W ops.
+        """
+        dense_forward = max(self.forward_compute_s - self.forward_attention_s, 0.0)
+        if self.forward_compute_s <= 0 or self.backward_total_s <= 0:
+            return 0.0
+        dense_backward = self.backward_compute_s * dense_forward / self.forward_compute_s
+        share = 0.5 * dense_backward / self.backward_total_s
+        return min(max(share, 0.0), 0.5)
+
+
+@dataclass(frozen=True)
+class StageCostProfile:
+    """Heterogeneous per-virtual-stage profile of a pipelined model.
+
+    Captures what makes pipeline stages *unequal*: the first stage holds the
+    token embedding, the last stage the classifier projection and the loss,
+    and uneven layer partitioning assigns boundary stages fewer transformer
+    layers to compensate.  :func:`repro.sim.pipeline.heterogeneous_stage_costs`
+    converts the profile into per-stage :class:`~repro.sim.pipeline.StageCosts`.
+
+    Attributes:
+        layers_per_stage: transformer layers held by each virtual stage, in
+            logical order (sums to the model's layer count).
+        embedding_forward_s / embedding_backward_s: token-embedding
+            lookup/scatter time charged to virtual stage 0.  The embedding
+            backward is pure grad-weight work (nothing upstream consumes an
+            input gradient), so split-backward schedules may defer all of it.
+        classifier_forward_s / classifier_backward_s: vocabulary projection +
+            loss time charged to the last virtual stage.
+        backward_weight_fraction: grad-weight share of a transformer layer's
+            backward (:attr:`LayerCosts.backward_weight_share`).
+    """
+
+    layers_per_stage: Tuple[int, ...]
+    embedding_forward_s: float = 0.0
+    embedding_backward_s: float = 0.0
+    classifier_forward_s: float = 0.0
+    classifier_backward_s: float = 0.0
+    backward_weight_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.layers_per_stage:
+            raise ValueError("layers_per_stage must not be empty")
+        if any(count < 1 for count in self.layers_per_stage):
+            raise ValueError("every stage needs at least one layer")
+        for name in ("embedding_forward_s", "embedding_backward_s",
+                     "classifier_forward_s", "classifier_backward_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.backward_weight_fraction <= 1.0:
+            raise ValueError("backward_weight_fraction must lie in [0, 1]")
+
+    @property
+    def num_virtual_stages(self) -> int:
+        return len(self.layers_per_stage)
+
+    @property
+    def total_layers(self) -> int:
+        return sum(self.layers_per_stage)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every stage is identical (no boundary extras, equal layers)."""
+        return (
+            len(set(self.layers_per_stage)) == 1
+            and self.embedding_forward_s == 0.0
+            and self.embedding_backward_s == 0.0
+            and self.classifier_forward_s == 0.0
+            and self.classifier_backward_s == 0.0
+        )
+
+
+def uneven_layer_partition(
+    num_layers: int,
+    num_stages: int,
+    layer_time_s: float,
+    embedding_time_s: float = 0.0,
+    classifier_time_s: float = 0.0,
+) -> Tuple[int, ...]:
+    """Split ``num_layers`` over ``num_stages`` minimising the max stage time.
+
+    Stage 0 carries ``embedding_time_s`` of extra work and the last stage
+    ``classifier_time_s``; the greedy assignment hands each remaining layer to
+    the currently lightest stage (ties to the lowest index), which for zero
+    extras degenerates to the exact uniform split -- the property the
+    heterogeneous cost path relies on to reproduce the legacy uniform results.
+
+    Every stage keeps at least one layer, so a huge classifier can shrink the
+    last stage to a single transformer layer but never to zero.
+    """
+    if num_layers < num_stages:
+        raise ValueError(
+            f"cannot spread {num_layers} layers over {num_stages} stages"
+        )
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if layer_time_s < 0 or embedding_time_s < 0 or classifier_time_s < 0:
+        raise ValueError("stage times must be non-negative")
+    counts = [1] * num_stages
+    extras = [0.0] * num_stages
+    extras[0] += embedding_time_s
+    extras[-1] += classifier_time_s
+    for _ in range(num_layers - num_stages):
+        loads = [counts[s] * layer_time_s + extras[s] for s in range(num_stages)]
+        lightest = min(range(num_stages), key=lambda s: (loads[s], s))
+        counts[lightest] += 1
+    return tuple(counts)
 
 
 @dataclass
@@ -209,6 +326,75 @@ class CostModel:
         shards = self.parallel.model_parallel_size
         flops = embedding_forward_flops(self.model, sequence_length, self.batch_size) / shards
         return 3.0 * self._matmul_time(flops)
+
+    def classifier_forward_time(self, sequence_length: int) -> float:
+        """Forward time of the vocabulary projection (the last stage's extra)."""
+        shards = self.parallel.model_parallel_size
+        flops = embedding_forward_flops(self.model, sequence_length, self.batch_size) / shards
+        return self._matmul_time(flops)
+
+    def classifier_backward_time(self, sequence_length: int) -> float:
+        """Backward time of the vocabulary projection (dgrad + wgrad GEMMs)."""
+        return 2.0 * self.classifier_forward_time(sequence_length)
+
+    def embedding_forward_time(self, sequence_length: int) -> float:
+        """Token-embedding lookup time (the first stage's extra).
+
+        The lookup is a gather, HBM-bandwidth bound: it reads one table row
+        and writes one hidden vector per local token.
+        """
+        local_tokens = self.parallel.local_sequence_length(sequence_length)
+        moved = (
+            2.0 * self.batch_size * local_tokens * self.model.hidden_size
+            * self.precision.activation_bytes
+        )
+        return moved / self.cluster.gpu.memory_bandwidth_bytes_per_s
+
+    def embedding_backward_time(self, sequence_length: int) -> float:
+        """Embedding-table scatter-add time; pure grad-weight work."""
+        return 2.0 * self.embedding_forward_time(sequence_length)
+
+    def stage_cost_profile(
+        self,
+        sequence_length: int,
+        num_virtual_stages: int,
+        layer_costs: Optional[LayerCosts] = None,
+    ) -> StageCostProfile:
+        """Heterogeneous per-stage profile for a pipeline of this strategy.
+
+        The layer partition is uneven: stage 0 is docked layers for the
+        embedding lookup, the last stage for the classifier projection and
+        loss, balancing per-stage forward+backward time
+        (:func:`uneven_layer_partition`).  With one virtual stage the profile
+        degenerates to the whole model plus both boundary extras.
+        """
+        if num_virtual_stages < 1:
+            raise ValueError("num_virtual_stages must be >= 1")
+        costs = layer_costs if layer_costs is not None else self.layer_costs(sequence_length)
+        layer_time = costs.forward_total_s + costs.backward_total_s
+        embedding = (
+            self.embedding_forward_time(sequence_length)
+            + self.embedding_backward_time(sequence_length)
+        )
+        classifier = (
+            self.classifier_forward_time(sequence_length)
+            + self.classifier_backward_time(sequence_length)
+        )
+        if num_virtual_stages == 1:
+            partition: Tuple[int, ...] = (self.model.num_layers,)
+        else:
+            partition = uneven_layer_partition(
+                self.model.num_layers, num_virtual_stages, layer_time,
+                embedding_time_s=embedding, classifier_time_s=classifier,
+            )
+        return StageCostProfile(
+            layers_per_stage=partition,
+            embedding_forward_s=self.embedding_forward_time(sequence_length),
+            embedding_backward_s=self.embedding_backward_time(sequence_length),
+            classifier_forward_s=self.classifier_forward_time(sequence_length),
+            classifier_backward_s=self.classifier_backward_time(sequence_length),
+            backward_weight_fraction=costs.backward_weight_share,
+        )
 
     def optimizer_step_time(self, parameters_per_gpu: float) -> float:
         """Time of the Adam update over this GPU's parameter shard."""

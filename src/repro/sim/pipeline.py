@@ -6,6 +6,24 @@ and an H2D :class:`~repro.sim.streams.Stream`, ranks execute their op lists in
 schedule order, and inter-stage activation/gradient hand-offs become P2P
 transfer events whose completion unblocks the neighbouring rank.
 
+Execution invariants:
+
+* ranks are strictly in-order -- an op never starts before every earlier op
+  of its rank has been *submitted* to a stream, which is what makes the
+  simulated schedule the schedule and not a greedy relaxation of it;
+* under split-backward schedules the grad-input op carries the recompute
+  stall, frees the activations, and is the only backward op on the
+  inter-stage gradient path; grad-weight ops are rank-local fillers whose
+  durations satisfy ``input + weight == backward_s`` by construction;
+* the "simulated bubble" (:attr:`PipelineTimeline.bubble_fraction`) measures
+  the fraction of ``num_ranks * total_s`` during which compute streams sat
+  idle -- it includes P2P transfer waits and swap stalls, which the analytic
+  ``(p - 1) / (v m + p - 1)`` bound does not;
+* per-rank peak activation memory is the schedule-order walk over
+  forwards (+), activation-freeing backwards (-) and, for zero-bubble
+  schedules, weight-grad stashes pinned between a grad-input op and its
+  deferred grad-weight op.
+
 Per-stage peak-memory accounting composes with the rest of the system the way
 MEMO's memory model does: the in-flight micro-batch count multiplies the
 per-micro-batch state a stage must pin between a micro-batch's forward and
@@ -23,10 +41,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.sim.costs import StageCostProfile
 from repro.sim.engine import SimulationEngine
 from repro.sim.executor import IterationTimeline
 from repro.sim.schedules import OpKind, PipelineSchedule, StageOp
 from repro.sim.streams import Stream, StreamKind
+
+#: Share of a micro-batch's per-stage skeletal activation bytes a deferred
+#: grad-weight op keeps stashed between its grad-input op and itself: wgrad
+#: GEMMs need the linear-layer *inputs* (layer input, attention output, FFN
+#: intermediate input) but not the FlashAttention working set, roughly half
+#: the skeletal footprint.
+ZB_WEIGHT_STASH_FRACTION = 0.5
 
 
 @dataclass(frozen=True)
@@ -37,7 +63,8 @@ class StageCosts:
         forward_s: compute-stream time of one micro-batch's forward pass
             through the stage (including intra-stage stalls already resolved
             by :func:`repro.sim.executor.simulate_iteration`).
-        backward_s: compute-stream time of one micro-batch's backward pass.
+        backward_s: compute-stream time of one micro-batch's *full* backward
+            pass (grad-input plus grad-weight).
         p2p_bytes: activation bytes handed to the next stage after the forward
             pass; the gradient returned during backward is the same size.
         offload_bytes: bytes the stage offloads to the host per micro-batch
@@ -46,10 +73,20 @@ class StageCosts:
             (submitted to the stage's H2D stream when the backward reaches the
             head of the rank's queue).
         recompute_s: extra compute-stream time spent rematerialising
-            activations right before each backward.
+            activations right before each backward (attached to the grad-input
+            op under split-backward schedules -- that is the op that consumes
+            the activations).
         activation_bytes: per-micro-batch skeletal activation bytes the stage
             keeps on the GPU between a micro-batch's forward and backward
             (what the in-flight count multiplies).
+        backward_weight_s: grad-weight share of ``backward_s`` for
+            split-backward (zero-bubble) schedules.  ``None`` defaults to an
+            even split; the grad-input share is always the remainder
+            ``backward_s - backward_weight_s``, so splitting can never create
+            or destroy work.
+        weight_grad_bytes: per-micro-batch bytes a deferred grad-weight op
+            pins between its grad-input op and itself (the stashed
+            linear-layer inputs).  Zero for fused schedules.
     """
 
     forward_s: float
@@ -59,13 +96,35 @@ class StageCosts:
     prefetch_bytes: float = 0.0
     recompute_s: float = 0.0
     activation_bytes: float = 0.0
+    backward_weight_s: Optional[float] = None
+    weight_grad_bytes: float = 0.0
 
     def __post_init__(self) -> None:
         if self.forward_s < 0 or self.backward_s < 0 or self.recompute_s < 0:
             raise ValueError("stage times must be non-negative")
-        for name in ("p2p_bytes", "offload_bytes", "prefetch_bytes", "activation_bytes"):
+        for name in ("p2p_bytes", "offload_bytes", "prefetch_bytes", "activation_bytes",
+                     "weight_grad_bytes"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        if self.backward_weight_s is not None and not (
+            0.0 <= self.backward_weight_s <= self.backward_s + 1e-12
+        ):
+            raise ValueError(
+                "backward_weight_s must lie within [0, backward_s] "
+                f"(got {self.backward_weight_s} vs backward_s={self.backward_s})"
+            )
+
+    @property
+    def split_backward_weight_s(self) -> float:
+        """Grad-weight op duration under a split-backward schedule."""
+        if self.backward_weight_s is None:
+            return 0.5 * self.backward_s
+        return self.backward_weight_s
+
+    @property
+    def split_backward_input_s(self) -> float:
+        """Grad-input op duration; by construction ``input + weight == backward_s``."""
+        return self.backward_s - self.split_backward_weight_s
 
 
 @dataclass(frozen=True)
@@ -166,8 +225,17 @@ def peak_activation_bytes(
         live = 0.0
         peak = 0.0
         for op in ops:
-            size = per_stage[op.virtual_stage].activation_bytes
-            live += size if op.kind is OpKind.FORWARD else -size
+            stage = per_stage[op.virtual_stage]
+            if op.kind is OpKind.FORWARD:
+                live += stage.activation_bytes
+            elif op.kind is OpKind.BACKWARD:
+                live -= stage.activation_bytes
+            elif op.kind is OpKind.BACKWARD_INPUT:
+                # The grad-input op frees the activations but pins the smaller
+                # weight-grad stash until the deferred W op consumes it.
+                live += stage.weight_grad_bytes - stage.activation_bytes
+            elif op.kind is OpKind.BACKWARD_WEIGHT:
+                live -= stage.weight_grad_bytes
             peak = max(peak, live)
         peaks.append(peak)
     return peaks
@@ -222,13 +290,16 @@ def stage_costs_from_iteration(
     activation_bytes: float = 0.0,
     offload_bytes: float = 0.0,
     prefetch_bytes: float = 0.0,
+    backward_weight_fraction: Optional[float] = None,
 ) -> StageCosts:
     """Convert a single-stage :class:`IterationTimeline` into per-chunk costs.
 
     The single-stage executor already resolves the intra-stage swap/recompute
     overlap, so its forward/backward spans (stalls included) become the
     pipeline's per-micro-batch stage times; with ``num_chunks > 1`` the stage
-    is split into that many equal virtual chunks.
+    is split into that many equal virtual chunks.  ``backward_weight_fraction``
+    marks that share of the backward span as grad-weight work for
+    split-backward (zero-bubble) schedules.
     """
     if num_chunks < 1:
         raise ValueError("num_chunks must be >= 1")
@@ -241,7 +312,73 @@ def stage_costs_from_iteration(
         offload_bytes=offload_bytes / num_chunks,
         prefetch_bytes=prefetch_bytes / num_chunks,
         activation_bytes=activation_bytes / num_chunks,
+        backward_weight_s=(
+            None if backward_weight_fraction is None
+            else backward_weight_fraction * backward
+        ),
     )
+
+
+def heterogeneous_stage_costs(
+    profile: StageCostProfile,
+    layer_forward_s: float,
+    layer_backward_s: float,
+    p2p_bytes: float = 0.0,
+    activation_bytes_per_layer: float = 0.0,
+    offload_bytes_per_layer: float = 0.0,
+    prefetch_bytes_per_layer: float = 0.0,
+    recompute_s_per_layer: float = 0.0,
+    split_backward: bool = False,
+    weight_stash_fraction: float = ZB_WEIGHT_STASH_FRACTION,
+) -> List[StageCosts]:
+    """Per-virtual-stage costs from a heterogeneous stage profile.
+
+    Replaces the uniform broadcast of :func:`stage_costs_from_iteration`: each
+    virtual stage is charged its own layer count, virtual stage 0 additionally
+    the embedding lookup (whose backward is pure grad-weight work) and the
+    last virtual stage the classifier projection and loss (half of whose
+    backward is the wgrad GEMM).  Per-layer times/bytes come from the
+    single-stage executor's span divided by its layer count, so a profile
+    with all-equal stages and zero boundary extras reproduces the uniform
+    costs exactly.
+
+    Args:
+        split_backward: populate the grad-input/grad-weight split (and the
+            weight-grad stash bytes) consumed by zero-bubble schedules.
+        weight_stash_fraction: share of a stage's per-micro-batch activation
+            bytes pinned by a deferred grad-weight op.
+    """
+    if layer_forward_s < 0 or layer_backward_s < 0:
+        raise ValueError("per-layer times must be non-negative")
+    stages: List[StageCosts] = []
+    last = profile.num_virtual_stages - 1
+    for index, layers in enumerate(profile.layers_per_stage):
+        forward = layers * layer_forward_s
+        backward = layers * layer_backward_s
+        weight = profile.backward_weight_fraction * backward
+        if index == 0:
+            forward += profile.embedding_forward_s
+            backward += profile.embedding_backward_s
+            weight += profile.embedding_backward_s
+        if index == last:
+            forward += profile.classifier_forward_s
+            backward += profile.classifier_backward_s
+            weight += 0.5 * profile.classifier_backward_s
+        activation = layers * activation_bytes_per_layer
+        stages.append(StageCosts(
+            forward_s=forward,
+            backward_s=backward,
+            p2p_bytes=p2p_bytes,
+            offload_bytes=layers * offload_bytes_per_layer,
+            prefetch_bytes=layers * prefetch_bytes_per_layer,
+            recompute_s=layers * recompute_s_per_layer,
+            activation_bytes=activation,
+            backward_weight_s=weight if split_backward else None,
+            weight_grad_bytes=(
+                weight_stash_fraction * activation if split_backward else 0.0
+            ),
+        ))
+    return stages
 
 
 class _PipelineState:
@@ -282,6 +419,9 @@ class _PipelineState:
             op = ops[self.pointer[rank]]
             if op.kind is OpKind.FORWARD:
                 if not self._dispatch_forward(engine, op):
+                    return
+            elif op.kind is OpKind.BACKWARD_WEIGHT:
+                if not self._dispatch_weight(engine, op):
                     return
             else:
                 if not self._dispatch_backward(engine, op):
@@ -326,7 +466,10 @@ class _PipelineState:
                 return False
             grad = ready
         earliest = max(grad, forward_end, self.prefetch_end.get(key, 0.0))
-        duration = stage.recompute_s + stage.backward_s
+        if op.kind is OpKind.BACKWARD_INPUT:
+            duration = stage.recompute_s + stage.split_backward_input_s
+        else:
+            duration = stage.recompute_s + stage.backward_s
         start, end = self.compute[op.rank].submit(
             earliest, duration, f"bwd:vs{op.virtual_stage}:mb{op.micro_batch}"
         )
@@ -336,6 +479,23 @@ class _PipelineState:
             f"bwd-done:vs{op.virtual_stage}:mb{op.micro_batch}",
             lambda e, op=op, end=end: self._on_backward_complete(e, op, end),
         )
+        return True
+
+    def _dispatch_weight(self, engine: SimulationEngine, op: StageOp) -> bool:
+        """Submit a rank-local grad-weight op.
+
+        Its grad-input op is already *submitted* (the in-order op list
+        guarantees that, and ``validate`` enforces it), so the shared compute
+        stream serialises the W op behind it; no cross-rank dependency can
+        block it.
+        """
+        stage = self.costs[op.virtual_stage]
+        start, end = self.compute[op.rank].submit(
+            engine.now,
+            stage.split_backward_weight_s,
+            f"wgrad:vs{op.virtual_stage}:mb{op.micro_batch}",
+        )
+        self.records.append(PipelineOpRecord(op, start, end))
         return True
 
     # -------------------------------------------------------------- completions

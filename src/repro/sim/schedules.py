@@ -1,21 +1,44 @@
-"""Pipeline-parallel schedule construction (GPipe / 1F1B / interleaved-1F1B).
+"""Pipeline-parallel schedule construction (GPipe / 1F1B / interleaved / ZB-H1).
 
 A schedule lowers ``(num_stages, num_micro_batches, num_chunks)`` into one
 statically-ordered op list per pipeline rank.  Ranks execute their list *in
 order* (that in-order discipline is what distinguishes 1F1B from a greedy
 work-conserving executor), while the event-driven simulator in
-:mod:`repro.sim.pipeline` resolves the cross-rank data dependencies:
+:mod:`repro.sim.pipeline` resolves the cross-rank data dependencies.
+
+Invariants every built schedule satisfies (checked by :meth:`PipelineSchedule.validate`):
+
+* each (chunk, micro-batch) pair appears exactly once per op kind on its rank;
+* a backward-like op (fused ``BACKWARD`` or split ``BACKWARD_INPUT``) never
+  precedes its own forward, and a ``BACKWARD_WEIGHT`` never precedes its
+  ``BACKWARD_INPUT``;
+* fused schedules list ``2 m v`` ops per rank, split-backward schedules
+  ``3 m v`` (see :attr:`PipelineSchedule.ops_per_rank`).
+
+Cross-rank dependencies resolved by the simulator:
 
 * the forward of micro-batch ``k`` on virtual stage ``s`` needs the forward
   output of ``k`` on virtual stage ``s - 1``;
-* the backward of micro-batch ``k`` on virtual stage ``s`` needs the gradient
-  produced by ``k``'s backward on virtual stage ``s + 1`` (and its own
-  forward, which the op order already guarantees).
+* the backward(-input) of micro-batch ``k`` on virtual stage ``s`` needs the
+  input gradient produced by ``k``'s backward(-input) on virtual stage
+  ``s + 1`` (and its own forward, which the op order already guarantees);
+* a ``BACKWARD_WEIGHT`` op is purely rank-local: it only needs its own
+  ``BACKWARD_INPUT``, which is what lets zero-bubble schedules defer it into
+  bubbles without stalling the inter-stage gradient chain.
 
 Interleaving follows Megatron-LM's virtual-pipeline layout: rank ``r`` holds
 ``num_chunks`` model chunks, chunk ``c`` of rank ``r`` is virtual stage
 ``c * num_stages + r``, and micro-batches advance through all
 ``num_stages * num_chunks`` virtual stages.
+
+ZB-H1 (Qi et al., "Zero Bubble Pipeline Parallelism") splits each backward
+into a grad-input op ``B`` (on the inter-stage critical path, frees the
+micro-batch's activations) and a grad-weight op ``W`` (rank-local, needs only
+a stashed per-micro-batch buffer).  Each rank defers its ``W`` ops by a small
+bounded lag so they fill the 1F1B warm-up/cool-down bubbles; the activation
+in-flight bound stays exactly 1F1B's ``min(p - rank, m)``, at the price of up
+to :meth:`PipelineSchedule.max_deferred_weights` outstanding weight-grad
+stashes per rank.
 """
 
 from __future__ import annotations
@@ -31,10 +54,11 @@ class ScheduleKind(Enum):
     GPIPE = "gpipe"
     ONE_F_ONE_B = "1f1b"
     INTERLEAVED = "interleaved"
+    ZB_H1 = "zb-h1"
 
     @classmethod
     def from_name(cls, name: str) -> "ScheduleKind":
-        """Parse a CLI-style schedule name (``gpipe`` / ``1f1b`` / ``interleaved``)."""
+        """Parse a CLI-style schedule name (``gpipe`` / ``1f1b`` / ``interleaved`` / ``zb-h1``)."""
         for kind in cls:
             if kind.value == name.lower():
                 return kind
@@ -43,12 +67,35 @@ class ScheduleKind(Enum):
             f"{', '.join(k.value for k in cls)}"
         )
 
+    @property
+    def splits_backward(self) -> bool:
+        """Whether the schedule runs grad-input and grad-weight as separate ops."""
+        return self is ScheduleKind.ZB_H1
+
 
 class OpKind(Enum):
-    """Direction of one micro-batch step on one virtual stage."""
+    """Direction of one micro-batch step on one virtual stage.
+
+    Fused schedules use ``FORWARD``/``BACKWARD``; zero-bubble schedules replace
+    every ``BACKWARD`` with a ``BACKWARD_INPUT`` (grad w.r.t. the stage input,
+    the only part on the inter-stage critical path) followed -- possibly much
+    later -- by a ``BACKWARD_WEIGHT`` (grad w.r.t. the stage's parameters).
+    """
 
     FORWARD = "F"
     BACKWARD = "B"
+    BACKWARD_INPUT = "Bi"
+    BACKWARD_WEIGHT = "W"
+
+    @property
+    def frees_activation(self) -> bool:
+        """Whether the op releases the micro-batch's stashed activations."""
+        return self in (OpKind.BACKWARD, OpKind.BACKWARD_INPUT)
+
+    @property
+    def propagates_gradient(self) -> bool:
+        """Whether the op produces the input gradient sent to the upstream stage."""
+        return self in (OpKind.BACKWARD, OpKind.BACKWARD_INPUT)
 
 
 @dataclass(frozen=True)
@@ -90,15 +137,19 @@ class PipelineSchedule:
 
     @property
     def ops_per_rank(self) -> int:
-        """Forward plus backward steps each rank executes."""
-        return 2 * self.num_micro_batches * self.num_chunks
+        """Ops each rank executes: ``2 m v`` fused, ``3 m v`` with split backward."""
+        steps = 3 if self.kind.splits_backward else 2
+        return steps * self.num_micro_batches * self.num_chunks
 
     def analytic_bubble_fraction(self) -> float:
         """The textbook bubble bound for uniform stage times and free P2P.
 
         GPipe and 1F1B both idle for ``(p - 1)`` stage slots out of
         ``(m + p - 1)``; interleaving with ``v`` chunks shrinks a slot by
-        ``v``, giving ``(p - 1) / (v * m + p - 1)``.
+        ``v``, giving ``(p - 1) / (v * m + p - 1)``.  For ZB-H1 this is the
+        1F1B *upper bound* the measured bubble undercuts: the zero-bubble
+        value depends on the F/B/W cost split, which the schedule alone does
+        not know (the simulator measures it).
         """
         p = self.num_stages
         if p <= 1:
@@ -110,14 +161,20 @@ class PipelineSchedule:
     def max_in_flight(self, rank: int) -> int:
         """Peak number of micro-batch activations held by a rank.
 
-        Walks the rank's op list counting forwards minus backwards; for 1F1B
-        this is the classic ``min(p - rank, m)`` bound, for GPipe it is ``m``.
-        Interleaved ranks count activations across all their chunks.
+        Walks the rank's op list counting forwards minus activation-freeing
+        backwards; for 1F1B (and ZB-H1, whose ``BACKWARD_INPUT`` frees the
+        activations) this is the classic ``min(p - rank, m)`` bound, for GPipe
+        it is ``m``.  Interleaved ranks count activations across all their
+        chunks.  Deferred ``BACKWARD_WEIGHT`` ops do not hold activations --
+        their stash is counted by :meth:`max_deferred_weights`.
         """
         live = 0
         peak = 0
         for op in self.rank_ops[rank]:
-            live += 1 if op.kind is OpKind.FORWARD else -1
+            if op.kind is OpKind.FORWARD:
+                live += 1
+            elif op.kind.frees_activation:
+                live -= 1
             peak = max(peak, live)
         return peak
 
@@ -125,27 +182,67 @@ class PipelineSchedule:
         """``max_in_flight`` for every rank, first stage first."""
         return [self.max_in_flight(rank) for rank in range(self.num_stages)]
 
+    def max_deferred_weights(self, rank: int) -> int:
+        """Peak number of outstanding grad-weight stashes on a rank.
+
+        A ``BACKWARD_INPUT`` pins the per-micro-batch buffers its deferred
+        ``BACKWARD_WEIGHT`` will need (the linear-layer inputs); the stash is
+        released when the W op runs.  Zero for fused schedules.
+        """
+        live = 0
+        peak = 0
+        for op in self.rank_ops[rank]:
+            if op.kind is OpKind.BACKWARD_INPUT:
+                live += 1
+            elif op.kind is OpKind.BACKWARD_WEIGHT:
+                live -= 1
+            peak = max(peak, live)
+        return peak
+
+    def peak_deferred_weights(self) -> List[int]:
+        """``max_deferred_weights`` for every rank, first stage first."""
+        return [self.max_deferred_weights(rank) for rank in range(self.num_stages)]
+
     def validate(self) -> None:
         """Check the schedule is executable.
 
         Raises:
             ValueError: when a rank misses or repeats a (chunk, micro-batch)
-                step, or orders a backward before its own forward.
+                step, orders a backward(-input) before its own forward, orders
+                a grad-weight op before its grad-input op, or mixes fused and
+                split backward ops.
         """
+        split = self.kind.splits_backward
+        backward_kinds = (
+            (OpKind.BACKWARD_INPUT, OpKind.BACKWARD_WEIGHT) if split else (OpKind.BACKWARD,)
+        )
         for rank, ops in enumerate(self.rank_ops):
             seen: Dict[Tuple[OpKind, int, int], int] = {}
             forward_position: Dict[Tuple[int, int], int] = {}
+            input_position: Dict[Tuple[int, int], int] = {}
             for position, op in enumerate(ops):
                 if op.rank != rank:
                     raise ValueError(f"op {op} listed under rank {rank}")
+                if op.kind is not OpKind.FORWARD and op.kind not in backward_kinds:
+                    raise ValueError(
+                        f"rank {rank} mixes {op.kind.value} into a "
+                        f"{self.kind.value} schedule"
+                    )
                 key = (op.kind, op.chunk, op.micro_batch)
                 if key in seen:
                     raise ValueError(f"rank {rank} repeats {op}")
                 seen[key] = position
+                step = (op.chunk, op.micro_batch)
                 if op.kind is OpKind.FORWARD:
-                    forward_position[(op.chunk, op.micro_batch)] = position
-                elif (op.chunk, op.micro_batch) not in forward_position:
-                    raise ValueError(f"rank {rank} runs {op} before its forward")
+                    forward_position[step] = position
+                elif op.kind is OpKind.BACKWARD_WEIGHT:
+                    if step not in input_position:
+                        raise ValueError(f"rank {rank} runs {op} before its grad-input op")
+                else:
+                    if step not in forward_position:
+                        raise ValueError(f"rank {rank} runs {op} before its forward")
+                    if op.kind is OpKind.BACKWARD_INPUT:
+                        input_position[step] = position
             expected = self.ops_per_rank
             if len(ops) != expected:
                 raise ValueError(
@@ -198,6 +295,7 @@ def build_schedule(
     if num_chunks < 1:
         raise ValueError("num_chunks must be >= 1")
     if kind is not ScheduleKind.INTERLEAVED and num_chunks != 1:
+        # ZB-H1 included: it is defined on the non-interleaved pipeline.
         raise ValueError(f"{kind.value} schedules use exactly one chunk per rank")
     if kind is ScheduleKind.INTERLEAVED and num_chunks > 1 and num_stages > 1:
         if num_micro_batches % num_stages != 0:
@@ -211,6 +309,7 @@ def build_schedule(
         ScheduleKind.GPIPE: _gpipe_rank_ops,
         ScheduleKind.ONE_F_ONE_B: _one_f_one_b_rank_ops,
         ScheduleKind.INTERLEAVED: _interleaved_rank_ops,
+        ScheduleKind.ZB_H1: _zb_h1_rank_ops,
     }
     rank_ops = tuple(tuple(builders[kind](rank, p, m, v)) for rank in range(p))
     schedule = PipelineSchedule(
@@ -246,6 +345,56 @@ def _one_f_one_b_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
         ops.append(_op(OpKind.FORWARD, rank, 0, warmup + index, p))
         ops.append(_op(OpKind.BACKWARD, rank, 0, index, p))
     ops.extend(_op(OpKind.BACKWARD, rank, 0, mb, p) for mb in range(m - warmup, m))
+    return ops
+
+
+def _zb_h1_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
+    """ZB-H1: 1F1B forward/grad-input order with grad-weight ops deferred.
+
+    The forward warm-up and the F/B alternation are exactly 1F1B's, with every
+    fused backward replaced by its grad-input half; the grad-weight halves lag
+    their grad-input ops by ``defer = rank`` micro-batches.  The first stage
+    runs W fused behind each B (it has nothing upstream to feed and its
+    cool-down waits are the longest anyway); later stages defer progressively
+    more W's toward the tail, so their grad-input ops -- the only ops on the
+    cross-stage gradient cascade -- run back-to-back spaced by ``B`` instead
+    of ``B + W``.  Gradients therefore reach upstream ranks one ``W`` earlier
+    per stage gap, and the deferred W's drain inside the cool-down gaps that
+    1F1B leaves idle.
+
+    Exhaustive search over per-rank lags on small ``(p, m)`` grids confirms
+    ``defer = rank`` is makespan-optimal for this op layout and achieves the
+    schedule's lower bound ``(p - 1) T_F + m (T_F + T_B + T_W)`` whenever
+    ``T_W >= T_B`` (the paper's ZB-H1 regime).
+
+    The lag is bounded: the backlog momentarily reaches ``lag + 1`` right
+    after a grad-input op and before its W drains, so at most
+    ``min(rank + 1, m)`` grad-weight stashes are ever outstanding
+    (:meth:`PipelineSchedule.max_deferred_weights`), and the activation
+    in-flight bound stays 1F1B's ``min(p - rank, m)``.
+    """
+    warmup = min(p - 1 - rank, m)
+    defer = min(rank, m)
+    ops = [_op(OpKind.FORWARD, rank, 0, mb, p) for mb in range(warmup)]
+    done_b = 0
+    done_w = 0
+
+    def append_backward(mb: int) -> None:
+        nonlocal done_b, done_w
+        ops.append(_op(OpKind.BACKWARD_INPUT, rank, 0, mb, p))
+        done_b += 1
+        if done_b - done_w > defer:
+            ops.append(_op(OpKind.BACKWARD_WEIGHT, rank, 0, done_w, p))
+            done_w += 1
+
+    for index in range(m - warmup):
+        ops.append(_op(OpKind.FORWARD, rank, 0, warmup + index, p))
+        append_backward(index)
+    for mb in range(m - warmup, m):
+        append_backward(mb)
+    while done_w < m:
+        ops.append(_op(OpKind.BACKWARD_WEIGHT, rank, 0, done_w, p))
+        done_w += 1
     return ops
 
 

@@ -1,5 +1,21 @@
 """Common machinery for training systems: workloads, reports and the shared
 iteration simulator every system (MEMO and baselines) builds on.
+
+Scoring invariants:
+
+* PP candidates are scored by *simulating* their pipeline schedule with
+  heterogeneous per-stage costs (uneven layer partition, embedding-heavy
+  stage 0, classifier-heavy last stage) -- the analytic
+  ``(p - 1) / (m + p - 1)`` bubble survives only behind
+  ``pipeline_schedule=None``;
+* per-stage peak memory charges per-micro-batch state (skeletal activations,
+  rounding-buffer share, host copies) once per in-flight micro-batch of the
+  schedule, planner transients and the classifier working set once per rank,
+  and -- for zero-bubble schedules -- each deferred grad-weight stash a
+  configurable fraction of a micro-batch's skeletal bytes
+  (:data:`repro.sim.pipeline.ZB_WEIGHT_STASH_FRACTION`);
+* a strategy is infeasible ("oom"/"oohm") if *no* schedule candidate fits;
+  with ``pipeline_schedule="auto"`` the fastest feasible candidate wins.
 """
 
 from __future__ import annotations
@@ -14,6 +30,7 @@ from repro.model.specs import ModelConfig, get_model_config
 from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
 from repro.parallel.memory_model import MemoryBreakdown, estimate_memory
 from repro.parallel.search import (
+    PIPELINE_SCHEDULE_CANDIDATES,
     StrategySearchSpace,
     enumerate_strategies,
     find_best_strategy,
@@ -24,10 +41,12 @@ from repro.sim.costs import CostModel, LayerCosts
 from repro.sim.executor import IterationTimeline, LayerTask, simulate_iteration
 from repro.sim.pipeline import (
     PipelineTimeline,
+    ZB_WEIGHT_STASH_FRACTION,
+    heterogeneous_stage_costs,
     simulate_pipeline,
     stage_costs_from_iteration,
 )
-from repro.sim.schedules import ScheduleKind
+from repro.sim.schedules import PipelineSchedule, ScheduleKind
 from repro.swap.schedule import SwapSchedule, build_swap_schedule
 from repro.systems.metrics import compute_mfu, compute_tgs, format_wall_clock
 
@@ -123,6 +142,7 @@ class StrategyEvaluation:
     pipeline: Optional[PipelineTimeline] = None
     alpha: Optional[float] = None
     reorganizations: int = 0
+    schedule_kind: Optional[ScheduleKind] = None
 
 
 @dataclass
@@ -145,6 +165,7 @@ class StageExecution:
     boundary_compute_s: float
     tasks: List[LayerTask]
     _timeline: Optional[IterationTimeline] = field(default=None, repr=False)
+    _stage_timeline: Optional[IterationTimeline] = field(default=None, repr=False)
 
     @property
     def timeline(self) -> IterationTimeline:
@@ -159,6 +180,23 @@ class StageExecution:
         return self._timeline
 
     @property
+    def stage_timeline(self) -> IterationTimeline:
+        """Like :attr:`timeline` but without the embedding/classifier boundary.
+
+        The heterogeneous pipeline costing charges the boundary work to the
+        stages that actually hold it (embedding on stage 0, classifier on the
+        last stage), so the transformer-layer span must be boundary-free.
+        """
+        if self._stage_timeline is None:
+            self._stage_timeline = simulate_iteration(
+                self.tasks,
+                pcie_bandwidth_bytes_per_s=self.pcie_bandwidth_bytes_per_s,
+                boundary_compute_s=0.0,
+                serial_overhead_s=0.0,
+            )
+        return self._stage_timeline
+
+    @property
     def forward_s(self) -> float:
         """Per-micro-batch forward span of the stage."""
         return self.timeline.forward_end_s
@@ -167,6 +205,38 @@ class StageExecution:
     def backward_s(self) -> float:
         """Per-micro-batch backward span (boundary compute included)."""
         return self.timeline.total_s - self.timeline.forward_end_s
+
+    def pipeline_stage_costs(
+        self,
+        schedule: PipelineSchedule,
+        sequence_length: int,
+        activation_bytes_per_micro_batch: float = 0.0,
+        p2p_bytes: float = 0.0,
+    ):
+        """Heterogeneous per-virtual-stage costs of this execution under a schedule.
+
+        The single canonical lowering used by the strategy search, the
+        ``sim-pipeline`` CLI and the benchmarks: per-layer spans come from the
+        boundary-free :attr:`stage_timeline` divided by the uniform layer
+        count, the stage profile from
+        :meth:`repro.sim.costs.CostModel.stage_cost_profile`, and the
+        grad-input/grad-weight split is populated whenever the schedule asks
+        for it.
+        """
+        profile = self.cost_model.stage_cost_profile(
+            sequence_length, schedule.num_virtual_stages, layer_costs=self.layer_costs,
+        )
+        span = self.stage_timeline
+        return heterogeneous_stage_costs(
+            profile,
+            span.forward_end_s / self.layers_per_stage,
+            (span.total_s - span.forward_end_s) / self.layers_per_stage,
+            p2p_bytes=p2p_bytes,
+            activation_bytes_per_layer=(
+                activation_bytes_per_micro_batch / self.layers_per_stage
+            ),
+            split_backward=schedule.kind.splits_backward,
+        )
 
 
 class TrainingSystem(ABC):
@@ -197,12 +267,15 @@ class TrainingSystem(ABC):
             pipeline_schedule: how PP candidates are executed and scored --
                 their iteration time comes from simulating this schedule
                 (1F1B by default, the schedule Megatron-LM and DeepSpeed run).
+                ``"auto"`` simulates every candidate in
+                :data:`repro.parallel.search.PIPELINE_SCHEDULE_CANDIDATES`
+                (1F1B, interleaved, ZB-H1) and keeps the fastest feasible one.
                 ``None`` falls back to the legacy analytic bubble formula.
             pipeline_chunks: virtual chunks per rank for interleaved-1F1B.
         """
         self.calibration = calibration
         self.precision = precision
-        if isinstance(pipeline_schedule, str):
+        if isinstance(pipeline_schedule, str) and pipeline_schedule != "auto":
             pipeline_schedule = ScheduleKind.from_name(pipeline_schedule)
         self.pipeline_schedule = pipeline_schedule
         self.pipeline_chunks = pipeline_chunks
@@ -230,7 +303,7 @@ class TrainingSystem(ABC):
                 the schedule the system was constructed with).
         """
         if schedule is not None:
-            if isinstance(schedule, str):
+            if isinstance(schedule, str) and schedule != "auto":
                 schedule = ScheduleKind.from_name(schedule)
             previous = self.pipeline_schedule
             self.pipeline_schedule = schedule
@@ -270,6 +343,9 @@ class TrainingSystem(ABC):
             workload.sequence_length, workload.global_batch_samples,
             workload.num_gpus, evaluation.iteration_time_s,
         )
+        notes = []
+        if evaluation.pipeline is not None:
+            notes.append(f"pipeline schedule: {evaluation.pipeline.schedule.kind.value}")
         return TrainingReport(
             system=self.name,
             workload=workload,
@@ -282,6 +358,7 @@ class TrainingSystem(ABC):
             memory=evaluation.memory,
             timeline=evaluation.timeline,
             pipeline_timeline=evaluation.pipeline,
+            notes=notes,
         )
 
     def max_sequence_length(
@@ -399,17 +476,7 @@ class TrainingSystem(ABC):
             )
 
         micro_iterations = max(workload.global_batch_samples // max(parallel.data_parallel, 1), 1)
-        pipeline_schedule = None
-        in_flight = 1.0
-        if parallel.pipeline_parallel > 1 and self.pipeline_schedule is not None:
-            pipeline_schedule = resolve_schedule(
-                parallel, self.pipeline_schedule, micro_iterations, self.pipeline_chunks,
-            )
-            # peak_in_flight counts chunk-level passes; each holds only
-            # 1/num_chunks of the stage's per-micro-batch activations.
-            in_flight = max(pipeline_schedule.peak_in_flight()) / pipeline_schedule.num_chunks
-
-        memory = estimate_memory(
+        base_memory = estimate_memory(
             model=model,
             cluster=cluster,
             parallel=parallel,
@@ -420,89 +487,161 @@ class TrainingSystem(ABC):
             precision=self.precision,
             calibration=self.calibration,
         )
-        memory = _scale_activations(memory, overhead, planned=self.uses_memory_planning)
-        if in_flight > 1:
-            memory = _scale_pipeline_in_flight(memory, in_flight)
-        if not memory.fits(cluster.gpu.memory_bytes):
-            return StrategyEvaluation(
-                feasible=False, iteration_time_s=float("inf"), reason="oom", memory=memory,
-            )
-        if not memory.host_fits(cluster.node.cpu_memory_per_gpu_bytes):
-            return StrategyEvaluation(
-                feasible=False, iteration_time_s=float("inf"), reason="oohm", memory=memory,
+        base_memory = _scale_activations(base_memory, overhead, planned=self.uses_memory_planning)
+
+        def evaluate_with_schedule(
+            schedule_kind: Optional[ScheduleKind],
+            pipeline_schedule: Optional[PipelineSchedule],
+        ) -> StrategyEvaluation:
+            in_flight = 1.0
+            if pipeline_schedule is not None:
+                # peak_in_flight counts chunk-level passes; each holds only
+                # 1/num_chunks of the stage's per-micro-batch activations.  A
+                # zero-bubble schedule additionally pins a fraction of a
+                # micro-batch's skeletal bytes per deferred grad-weight op.
+                # Activations peak on the first rank, weight stashes on the
+                # last, so take the max of the *combined* per-rank value.
+                in_flight = max(
+                    pipeline_schedule.max_in_flight(rank) / pipeline_schedule.num_chunks
+                    + (
+                        ZB_WEIGHT_STASH_FRACTION
+                        * pipeline_schedule.max_deferred_weights(rank)
+                        if pipeline_schedule.kind.splits_backward else 0.0
+                    )
+                    for rank in range(pipeline_schedule.num_stages)
+                )
+            memory = base_memory
+            if in_flight > 1:
+                memory = _scale_pipeline_in_flight(memory, in_flight)
+            if not memory.fits(cluster.gpu.memory_bytes):
+                return StrategyEvaluation(
+                    feasible=False, iteration_time_s=float("inf"), reason="oom",
+                    memory=memory, schedule_kind=schedule_kind,
+                )
+            if not memory.host_fits(cluster.node.cpu_memory_per_gpu_bytes):
+                return StrategyEvaluation(
+                    feasible=False, iteration_time_s=float("inf"), reason="oohm",
+                    memory=memory, schedule_kind=schedule_kind,
+                )
+
+            timeline = execution.timeline
+            params_per_gpu = model.num_parameters / (
+                parallel.tensor_parallel * parallel.pipeline_parallel
             )
 
-        timeline = execution.timeline
-        params_per_gpu = model.num_parameters / (
-            parallel.tensor_parallel * parallel.pipeline_parallel
-        )
+            # Allocator-reorganisation stalls: only systems without memory
+            # planning suffer them.  Every micro-batch churns the caching
+            # allocator, so the reorganisation count grows with both memory
+            # pressure and the number of micro-batches; each stall costs
+            # roughly the time to cudaFree and re-cudaMalloc the reserved
+            # segments (the paper observes 6 and 16 stalls per iteration at
+            # 128K and 256K for the 7B model).
+            reorganizations = 0
+            reorg_stall = 0.0
+            if not self.uses_memory_planning:
+                pressure = memory.total_bytes / cluster.gpu.memory_bytes
+                per_micro_batch = min(max((pressure - 0.35) * 2.5, 0.0), 2.0)
+                reorganizations = int(round(per_micro_batch * micro_iterations))
+                reserved = min(memory.total_bytes * 1.15, float(cluster.gpu.memory_bytes))
+                per_stall = reserved / self.calibration.reorg_bandwidth_bytes_per_s
+                reorg_stall = reorganizations * per_stall
+            per_iteration_serial = (
+                cost_model.optimizer_step_time(params_per_gpu)
+                + cost_model.gradient_sync_time(params_per_gpu)
+                + cost_model.zero3_gather_time(params_per_gpu)
+                + reorg_stall
+                + extra_serial_s
+            )
+            pipeline_timeline: Optional[PipelineTimeline] = None
+            if pipeline_schedule is not None:
+                # Score the PP point with its simulated schedule (measured
+                # bubble, P2P transfers, heterogeneous stages) instead of the
+                # analytic (p - 1) / (m + p - 1) approximation.  The stage's
+                # own swap traffic is already folded into the per-layer spans
+                # by the single-stage executor, so the offload/prefetch
+                # streams stay empty here -- passing the bytes again would
+                # double-charge the PCIe link.
+                p2p_bytes = pipeline_p2p_bytes_per_micro_batch(
+                    model, parallel, workload.sequence_length,
+                    workload.micro_batch_size, self.precision,
+                )
+                p2p_time = cost_model.pipeline_p2p_time(p2p_bytes)
+                stage_costs = execution.pipeline_stage_costs(
+                    pipeline_schedule,
+                    workload.sequence_length,
+                    activation_bytes_per_micro_batch=(
+                        base_memory.skeletal_activation_bytes
+                        + base_memory.rounding_buffer_bytes
+                    ),
+                    p2p_bytes=p2p_bytes,
+                )
+                pipeline_timeline = simulate_pipeline(
+                    pipeline_schedule,
+                    stage_costs,
+                    p2p_bandwidth_bytes_per_s=(
+                        p2p_bytes / p2p_time if p2p_time > 0 else float("inf")
+                    ),
+                    pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
+                )
+                compute_time = pipeline_timeline.total_s
+            else:
+                bubble = cost_model.pipeline_bubble_fraction()
+                compute_time = micro_iterations * timeline.total_s / max(1.0 - bubble, 1e-9)
+            iteration_time = compute_time + per_iteration_serial
+            return StrategyEvaluation(
+                feasible=True,
+                iteration_time_s=iteration_time,
+                reason=None,
+                memory=memory,
+                timeline=timeline,
+                pipeline=pipeline_timeline,
+                alpha=effective_alpha,
+                reorganizations=reorganizations,
+                schedule_kind=schedule_kind,
+            )
 
-        # Allocator-reorganisation stalls: only systems without memory planning
-        # suffer them.  Every micro-batch churns the caching allocator, so the
-        # reorganisation count grows with both memory pressure and the number
-        # of micro-batches; each stall costs roughly the time to cudaFree and
-        # re-cudaMalloc the reserved segments (the paper observes 6 and 16
-        # stalls per iteration at 128K and 256K for the 7B model).
-        reorganizations = 0
-        reorg_stall = 0.0
-        if not self.uses_memory_planning:
-            pressure = memory.total_bytes / cluster.gpu.memory_bytes
-            per_micro_batch = min(max((pressure - 0.35) * 2.5, 0.0), 2.0)
-            reorganizations = int(round(per_micro_batch * micro_iterations))
-            reserved = min(memory.total_bytes * 1.15, float(cluster.gpu.memory_bytes))
-            per_stall = reserved / self.calibration.reorg_bandwidth_bytes_per_s
-            reorg_stall = reorganizations * per_stall
-        per_iteration_serial = (
-            cost_model.optimizer_step_time(params_per_gpu)
-            + cost_model.gradient_sync_time(params_per_gpu)
-            + cost_model.zero3_gather_time(params_per_gpu)
-            + reorg_stall
-            + extra_serial_s
-        )
-        pipeline_timeline: Optional[PipelineTimeline] = None
-        if pipeline_schedule is not None:
-            # Score the PP point with its simulated schedule (measured bubble,
-            # P2P transfers) instead of the analytic (p - 1) / (m + p - 1)
-            # approximation.  The stage's own swap traffic is already folded
-            # into forward_s/backward_s by the single-stage executor, so the
-            # offload/prefetch streams stay empty here -- passing the bytes
-            # again would double-charge the PCIe link.
-            p2p_bytes = pipeline_p2p_bytes_per_micro_batch(
-                model, parallel, workload.sequence_length,
-                workload.micro_batch_size, self.precision,
+        auto = self.pipeline_schedule == "auto"
+
+        def resolve_candidate(kind: ScheduleKind) -> PipelineSchedule:
+            chunks = self.pipeline_chunks
+            if kind is ScheduleKind.INTERLEAVED and auto:
+                # The auto sweep should try *real* interleaving even when the
+                # system was constructed with the default single chunk.
+                chunks = max(chunks, 2)
+            # num_layers caps the chunk count so every virtual stage holds at
+            # least one layer: over-asking degrades, never throws -- the
+            # search may not crash on a legal parallelism point.
+            return resolve_schedule(
+                parallel, kind, micro_iterations, chunks, num_layers=model.num_layers,
             )
-            p2p_time = cost_model.pipeline_p2p_time(p2p_bytes)
-            stage_costs = stage_costs_from_iteration(
-                execution.timeline,
-                p2p_bytes=p2p_bytes,
-                num_chunks=pipeline_schedule.num_chunks,
-                activation_bytes=(
-                    memory.skeletal_activation_bytes + memory.rounding_buffer_bytes
-                ) / in_flight,
-            )
-            pipeline_timeline = simulate_pipeline(
-                pipeline_schedule,
-                stage_costs,
-                p2p_bandwidth_bytes_per_s=(
-                    p2p_bytes / p2p_time if p2p_time > 0 else float("inf")
-                ),
-                pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
-            )
-            compute_time = pipeline_timeline.total_s
+
+        candidates: List[Tuple[Optional[ScheduleKind], Optional[PipelineSchedule]]] = []
+        if parallel.pipeline_parallel > 1 and self.pipeline_schedule is not None:
+            kinds = PIPELINE_SCHEDULE_CANDIDATES if auto else (self.pipeline_schedule,)
+            seen = set()
+            for kind in kinds:
+                resolved = resolve_candidate(kind)
+                key = (resolved.kind, resolved.num_chunks)
+                if key in seen:
+                    continue  # e.g. interleaved falling back to plain 1F1B
+                seen.add(key)
+                candidates.append((kind, resolved))
         else:
-            bubble = cost_model.pipeline_bubble_fraction()
-            compute_time = micro_iterations * timeline.total_s / max(1.0 - bubble, 1e-9)
-        iteration_time = compute_time + per_iteration_serial
-        return StrategyEvaluation(
-            feasible=True,
-            iteration_time_s=iteration_time,
-            reason=None,
-            memory=memory,
-            timeline=timeline,
-            pipeline=pipeline_timeline,
-            alpha=effective_alpha,
-            reorganizations=reorganizations,
-        )
+            candidates.append((None, None))
+
+        best: Optional[StrategyEvaluation] = None
+        for kind, resolved in candidates:
+            candidate = evaluate_with_schedule(kind, resolved)
+            if not candidate.feasible:
+                if best is None:
+                    best = candidate
+                continue
+            if best is None or not best.feasible or (
+                candidate.iteration_time_s < best.iteration_time_s
+            ):
+                best = candidate
+        assert best is not None
+        return best
 
     def _layer_tasks(
         self,

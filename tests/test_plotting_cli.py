@@ -95,6 +95,23 @@ class TestCli:
         assert "maximum divergence" in output
         assert "0.000e+00" in output or "e-1" in output
 
+    def test_sim_pipeline_command_all_schedules(self, capsys):
+        assert main(["sim-pipeline", "--model", "7B", "--gpus", "8", "--seqlen-k", "64",
+                     "--pp", "4", "--tp", "2", "--micro-batches", "8",
+                     "--schedule", "all"]) == 0
+        output = capsys.readouterr().out
+        assert "Per-stage costs" in output
+        assert "grad-wt W" in output
+        for name in ("gpipe", "1f1b", "interleaved", "zb-h1"):
+            assert name in output
+
+    def test_sim_pipeline_zb_h1_only(self, capsys):
+        assert main(["sim-pipeline", "--model", "7B", "--gpus", "8", "--seqlen-k", "64",
+                     "--pp", "4", "--tp", "2", "--micro-batches", "8",
+                     "--schedule", "zb-h1"]) == 0
+        output = capsys.readouterr().out
+        assert "zb-h1" in output
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -13,8 +13,15 @@ from repro.model.specs import get_model_config
 from repro.model.trace import full_model_trace
 from repro.planner.bilevel import BiLevelPlanner
 from repro.planner.dsa import problem_from_trace
+from repro.sim.costs import StageCostProfile
 from repro.sim.executor import LayerTask, simulate_iteration
-from repro.sim.pipeline import StageCosts, peak_activation_bytes, simulate_pipeline, stage_costs_from_iteration
+from repro.sim.pipeline import (
+    StageCosts,
+    heterogeneous_stage_costs,
+    peak_activation_bytes,
+    simulate_pipeline,
+    stage_costs_from_iteration,
+)
 from repro.sim.schedules import OpKind, ScheduleKind, build_schedule
 
 
@@ -38,24 +45,34 @@ class TestScheduleProperties:
     def test_every_micro_batch_step_appears_exactly_once(self, shape):
         kind, p, m, v = shape
         schedule = build_schedule(kind, p, m, num_chunks=v)
+        per_rank = m * schedule.num_chunks
         for ops in schedule.rank_ops:
             steps = Counter((op.kind, op.chunk, op.micro_batch) for op in ops)
             assert all(count == 1 for count in steps.values())
-            assert sum(1 for key in steps if key[0] is OpKind.FORWARD) == m * schedule.num_chunks
-            assert sum(1 for key in steps if key[0] is OpKind.BACKWARD) == m * schedule.num_chunks
+            assert sum(1 for key in steps if key[0] is OpKind.FORWARD) == per_rank
+            assert sum(1 for key in steps if key[0].frees_activation) == per_rank
+            weights = sum(1 for key in steps if key[0] is OpKind.BACKWARD_WEIGHT)
+            assert weights == (per_rank if kind.splits_backward else 0)
 
     @given(schedule_shapes())
     @settings(max_examples=80, deadline=None)
-    def test_forward_always_precedes_backward(self, shape):
+    def test_op_ordering_within_a_micro_batch(self, shape):
+        """F before B(-input) before W, per (chunk, micro-batch), per rank."""
         kind, p, m, v = shape
         schedule = build_schedule(kind, p, m, num_chunks=v)
         for ops in schedule.rank_ops:
             seen_forward = set()
+            seen_input = set()
             for op in ops:
+                step = (op.chunk, op.micro_batch)
                 if op.kind is OpKind.FORWARD:
-                    seen_forward.add((op.chunk, op.micro_batch))
+                    seen_forward.add(step)
+                elif op.kind is OpKind.BACKWARD_WEIGHT:
+                    assert step in seen_input
                 else:
-                    assert (op.chunk, op.micro_batch) in seen_forward
+                    assert step in seen_forward
+                    if op.kind is OpKind.BACKWARD_INPUT:
+                        seen_input.add(step)
 
     @given(schedule_shapes())
     @settings(max_examples=80, deadline=None)
@@ -65,11 +82,28 @@ class TestScheduleProperties:
         peaks = schedule.peak_in_flight()
         assert all(peak >= 1 for peak in peaks)
         assert all(peak <= m * schedule.num_chunks for peak in peaks)
-        if kind is ScheduleKind.ONE_F_ONE_B:
+        if kind in (ScheduleKind.ONE_F_ONE_B, ScheduleKind.ZB_H1):
+            # ZB-H1 keeps exactly the 1F1B activation bound: the grad-input
+            # op frees the activations, deferring only the weight-grad stash.
             for rank, peak in enumerate(peaks):
                 assert peak == min(p - rank, m)
         if kind is ScheduleKind.GPIPE:
             assert peaks == [m] * p
+
+    @given(schedule_shapes())
+    @settings(max_examples=80, deadline=None)
+    def test_deferred_weight_backlog_bounds(self, shape):
+        """W stashes: zero for fused schedules, at most min(rank, m) for ZB-H1."""
+        kind, p, m, v = shape
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        backlog = schedule.peak_deferred_weights()
+        if not kind.splits_backward:
+            assert backlog == [0] * p
+        else:
+            # The builder lags W by min(rank, m) micro-batches; the backlog
+            # momentarily reaches one above the lag right before draining.
+            for rank, peak in enumerate(backlog):
+                assert 0 <= peak <= min(rank + 1, m)
 
 
 class TestSimulationProperties:
@@ -80,8 +114,10 @@ class TestSimulationProperties:
     )
     @settings(max_examples=60, deadline=None)
     def test_conservation_and_bubble_bound(self, shape, forward, backward):
-        """Busy time is exactly the scheduled work; with uniform stages and
-        free P2P the measured bubble matches the analytic bound within 5%."""
+        """Busy time is exactly the scheduled work (splitting B/W can neither
+        create nor destroy work); with uniform stages and free P2P the
+        measured bubble matches the analytic bound within 5% for fused
+        schedules and never exceeds it for ZB-H1."""
         kind, p, m, v = shape
         schedule = build_schedule(kind, p, m, num_chunks=v)
         costs = StageCosts(
@@ -95,9 +131,53 @@ class TestSimulationProperties:
         assert timeline.total_s >= per_rank_work - 1e-9
         assert len(timeline.records) == p * schedule.ops_per_rank
         assert 0.0 <= timeline.bubble_fraction < 1.0
-        assert timeline.bubble_fraction == pytest.approx(
-            timeline.analytic_bubble_fraction, rel=0.05, abs=1e-9,
+        if kind.splits_backward:
+            assert timeline.bubble_fraction <= timeline.analytic_bubble_fraction + 1e-9
+        else:
+            assert timeline.bubble_fraction == pytest.approx(
+                timeline.analytic_bubble_fraction, rel=0.05, abs=1e-9,
+            )
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.01, max_value=2.0),
+        st.floats(min_value=0.01, max_value=4.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_zb_h1_never_slower_than_1f1b(self, p, m, forward, backward, weight_share):
+        """ZB-H1 total time <= 1F1B total time for identical uniform costs."""
+        costs = StageCosts(
+            forward_s=forward,
+            backward_s=backward,
+            backward_weight_s=weight_share * backward,
         )
+        one_f = simulate_pipeline(build_schedule(ScheduleKind.ONE_F_ONE_B, p, m), costs)
+        zb = simulate_pipeline(build_schedule(ScheduleKind.ZB_H1, p, m), costs)
+        assert zb.total_s <= one_f.total_s + 1e-9
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.01, max_value=2.0),
+        st.floats(min_value=0.01, max_value=4.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_backward_preserves_total_work(self, p, m, forward, backward, weight_share):
+        """Sum of simulated op durations is invariant under the B/W split."""
+        costs = StageCosts(
+            forward_s=forward,
+            backward_s=backward,
+            backward_weight_s=weight_share * backward,
+        )
+        assert costs.split_backward_input_s + costs.split_backward_weight_s == pytest.approx(
+            costs.backward_s, rel=1e-12,
+        )
+        zb = simulate_pipeline(build_schedule(ScheduleKind.ZB_H1, p, m), costs)
+        op_work = sum(record.end_s - record.start_s for record in zb.records)
+        assert op_work == pytest.approx(p * m * (forward + backward), rel=1e-9)
 
     @given(
         st.integers(min_value=2, max_value=6),
@@ -134,6 +214,49 @@ class TestSimulationProperties:
         schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 1, m)
         pipeline = simulate_pipeline(schedule, stage_costs_from_iteration(iteration))
         assert pipeline.total_s == pytest.approx(m * iteration.total_s, rel=1e-9)
+
+    @given(
+        schedule_shapes(),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.01, max_value=2.0),
+        st.floats(min_value=0.01, max_value=4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_heterogeneous_all_equal_stages_reproduce_uniform_results(
+        self, shape, layers, per_layer_forward, per_layer_backward,
+    ):
+        """A heterogeneous profile with all-equal stages and no boundary
+        extras simulates exactly like the uniform-cost broadcast."""
+        kind, p, m, v = shape
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        profile = StageCostProfile(
+            layers_per_stage=(layers,) * schedule.num_virtual_stages,
+        )
+        heterogeneous = simulate_pipeline(
+            schedule,
+            heterogeneous_stage_costs(
+                profile, per_layer_forward, per_layer_backward,
+                activation_bytes_per_layer=1.0,
+                split_backward=kind.splits_backward,
+            ),
+        )
+        uniform = simulate_pipeline(
+            schedule,
+            StageCosts(
+                forward_s=layers * per_layer_forward,
+                backward_s=layers * per_layer_backward,
+                activation_bytes=layers * 1.0,
+                backward_weight_s=(
+                    profile.backward_weight_fraction * layers * per_layer_backward
+                    if kind.splits_backward else None
+                ),
+                weight_grad_bytes=0.5 * layers if kind.splits_backward else 0.0,
+            ),
+        )
+        assert heterogeneous.total_s == uniform.total_s
+        assert heterogeneous.bubble_fraction == uniform.bubble_fraction
+        assert heterogeneous.rank_compute_busy_s == uniform.rank_compute_busy_s
+        assert heterogeneous.rank_peak_activation_bytes == uniform.rank_peak_activation_bytes
 
     @given(schedule_shapes(), st.floats(min_value=1.0, max_value=1e9))
     @settings(max_examples=40, deadline=None)
