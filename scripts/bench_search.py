@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Benchmark the ``pipeline_schedule="auto"`` strategy search: fast vs event.
+
+Runs the same reference workload through two search configurations:
+
+* **legacy** -- the discrete-event engine with lower-bound pruning disabled
+  (the search exactly as it existed before the critical-path fast path);
+* **fast** -- the default configuration: memoized critical-path evaluator
+  plus bound-based pruning.
+
+and writes ``BENCH_search.json`` with the wall-clocks, the schedule-sweep
+counters (simulated / pruned) and the selected strategy of each arm.  Exits
+non-zero when the fast path is slower than the event engine or when the two
+arms disagree on the selected strategy or its iteration time -- the fast path
+must be a pure speedup, never a behaviour change.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_search.py           # reference grid
+    PYTHONPATH=src python scripts/bench_search.py --smoke   # CI-sized grid
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.config import tokens
+from repro.sim.fastpath import clear_fastpath_caches, fastpath_cache_info
+from repro.systems.base import TrainingReport, Workload
+from repro.systems.megatron import MegatronSystem
+
+#: The reference workload: a production-sized global batch makes the schedule
+#: sweep (micro-batches per replica up to the low hundreds) the dominant
+#: search cost, which is the regime the fast path exists for.
+REFERENCE = {"model": "7B", "seqlen_k": 256, "gpus": 32, "global_batch": 1024}
+SMOKE = {"model": "7B", "seqlen_k": 256, "gpus": 16, "global_batch": 128}
+
+
+def run_search(workload: Workload, repeats: int, **system_kwargs):
+    """Best-of-N wall clock of one search arm, caches cold on every run."""
+    best_seconds = float("inf")
+    report: TrainingReport
+    for _ in range(repeats):
+        clear_fastpath_caches()
+        system = MegatronSystem(pipeline_schedule="auto", **system_kwargs)
+        started = time.perf_counter()
+        report = system.run(workload)
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    return best_seconds, report
+
+
+def arm_payload(seconds: float, report: TrainingReport) -> dict:
+    return {
+        "seconds": round(seconds, 4),
+        "feasible": report.feasible,
+        "strategy": report.parallel.describe() if report.parallel else None,
+        "iteration_time_s": report.iteration_time_s,
+        "schedules_simulated": report.schedules_simulated,
+        "schedules_pruned": report.schedules_pruned,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized grid (seconds, not tens of seconds)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N runs per arm")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: BENCH_search.json, or "
+                             "BENCH_search_smoke.json with --smoke so smoke "
+                             "runs never churn the committed reference result)")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = "BENCH_search_smoke.json" if args.smoke else "BENCH_search.json"
+
+    spec = SMOKE if args.smoke else REFERENCE
+    workload = Workload(
+        spec["model"], tokens(spec["seqlen_k"]), spec["gpus"],
+        global_batch_samples=spec["global_batch"],
+    )
+
+    legacy_seconds, legacy = run_search(
+        workload, args.repeats,
+        pipeline_engine="event", prune_schedule_sweep=False,
+    )
+    fast_seconds, fast = run_search(workload, args.repeats)
+    caches = fastpath_cache_info()
+
+    speedup = legacy_seconds / fast_seconds if fast_seconds > 0 else float("inf")
+    unchanged = (
+        legacy.parallel == fast.parallel
+        and legacy.iteration_time_s == fast.iteration_time_s
+    )
+    payload = {
+        "mode": "smoke" if args.smoke else "reference",
+        "workload": spec,
+        "legacy_event_engine": arm_payload(legacy_seconds, legacy),
+        "fast_path": arm_payload(fast_seconds, fast),
+        "speedup": round(speedup, 2),
+        "selected_strategy_unchanged": unchanged,
+        "fastpath_caches": {
+            name: {"hits": info.hits, "misses": info.misses}
+            for name, info in caches.items()
+        },
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"search benchmark ({payload['mode']}): {spec['model']} "
+          f"{spec['seqlen_k']}K x {spec['gpus']} GPUs, "
+          f"global batch {spec['global_batch']}")
+    print(f"  legacy (event, no pruning): {legacy_seconds:.3f}s "
+          f"({legacy.schedules_simulated} schedules simulated)")
+    print(f"  fast   (critical path)    : {fast_seconds:.3f}s "
+          f"({fast.schedules_simulated} simulated, "
+          f"{fast.schedules_pruned} pruned)")
+    print(f"  speedup {speedup:.1f}x, strategy unchanged: {unchanged}")
+    print(f"  wrote {args.output}")
+
+    if not unchanged:
+        print("FAIL: fast path changed the selected strategy", file=sys.stderr)
+        return 1
+    if fast_seconds > legacy_seconds:
+        print("FAIL: fast path slower than the event engine", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,8 +30,8 @@ from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
 from repro.parallel.memory_model import estimate_memory
 from repro.parallel.search import resolve_schedule
 from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
+from repro.sim.fastpath import evaluate_schedule
 from repro.sim.pipeline import (
-    simulate_pipeline,
     stage_costs_from_iteration,
     stage_peak_memory,
 )
@@ -111,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim_pipeline.add_argument("--uniform-stages", action="store_true",
                               help="legacy uniform per-stage costs instead of the "
                                    "heterogeneous (embedding/classifier-aware) profile")
+    sim_pipeline.add_argument("--engine", default="fast", choices=["fast", "event"],
+                              help="schedule evaluator: memoized critical-path fast "
+                                   "path (default) or the discrete-event engine; "
+                                   "both report bit-identical numbers")
+    sim_pipeline.add_argument("--validate", action="store_true",
+                              help="cross-check the fast path against the event-engine "
+                                   "oracle and fail on any divergence")
 
     table3 = subparsers.add_parser("table3", help="regenerate Table 3 (or a subset)")
     table3.add_argument("--models", default="7B",
@@ -273,10 +280,11 @@ def _command_sim_pipeline(args) -> int:
             num_layers=workload.model.num_layers,
         )
         costs = stage_costs_for(schedule)
-        timeline = simulate_pipeline(
+        timeline = evaluate_schedule(
             schedule, costs,
             p2p_bandwidth_bytes_per_s=p2p_bytes / p2p_time if p2p_time > 0 else float("inf"),
             pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
+            engine=args.engine, validate=args.validate,
         )
         stages = stage_peak_memory(
             schedule, costs,

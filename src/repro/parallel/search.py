@@ -15,6 +15,17 @@ Invariants of the pipeline-schedule scoring helpers:
   (:func:`simulate_pipeline_schedule`), never the analytic bubble formula;
   the schedule candidate set (:data:`PIPELINE_SCHEDULE_CANDIDATES`) covers
   1F1B, interleaved-1F1B and the zero-bubble ZB-H1;
+* scoring runs on the critical-path fast evaluator
+  (:func:`repro.sim.fastpath.evaluate_schedule`, memoized) by default; the
+  event engine is the opt-in ``engine="event"`` / ``validate=True`` oracle,
+  and the two are bit-identical on makespan, bubble and peak memory -- the
+  search may switch evaluators without changing any reported number;
+* candidates whose analytic lower bound
+  (:func:`repro.sim.fastpath.pipeline_lower_bound`) already exceeds the
+  incumbent are pruned without simulation; pruning is conservative (the
+  bound is a true lower bound) and therefore never changes the selected
+  strategy, only the work spent finding it.  Pruned/simulated counts are
+  observable through :class:`SearchStats`;
 * :func:`resolve_schedule` is total: every (candidate, schedule-kind) pair
   resolves to *some* buildable schedule, silently falling back to plain 1F1B
   when the kind's structural constraints (interleaving divisibility, chunk
@@ -22,7 +33,10 @@ Invariants of the pipeline-schedule scoring helpers:
   point;
 * ``micro_batches`` fed to a schedule is the replica's micro-iteration count
   (``global_batch // dp``), not the config placeholder, whenever the caller
-  supplies it.
+  supplies it;
+* a degenerate pipeline point (``micro_batches < pipeline_parallel``) warns
+  once per search, not once per candidate
+  (:func:`find_best_strategy` deduplicates).
 """
 
 from __future__ import annotations
@@ -38,8 +52,13 @@ from repro.parallel.strategy import (
     ParallelismConfig,
     RecomputeMode,
 )
-from repro.sim.pipeline import PipelineTimeline, StageCosts, simulate_pipeline
-from repro.sim.schedules import ScheduleKind, build_schedule
+from repro.sim.fastpath import (
+    cached_build_schedule,
+    evaluate_schedule,
+    pipeline_lower_bound_for_shape,
+)
+from repro.sim.pipeline import PipelineTimeline, StageCosts
+from repro.sim.schedules import ScheduleKind
 
 #: Schedule kinds a training system's strategy search may try for a PP
 #: candidate (GPipe is omitted: it is dominated by 1F1B on both time and
@@ -86,6 +105,50 @@ class EvaluatedStrategy:
     feasible: bool
     iteration_time_s: float
     failure_reason: Optional[str] = None
+
+
+@dataclass
+class SearchStats:
+    """Observable work counters of one schedule sweep.
+
+    ``schedules_pruned`` counts candidates skipped because their analytic
+    lower bound could not beat the incumbent -- pruning that, by
+    construction, never changes the selected strategy.
+    """
+
+    schedules_simulated: int = 0
+    schedules_pruned: int = 0
+
+    def add(self, other: "SearchStats") -> None:
+        """Accumulate another sweep's counters into this one."""
+        self.schedules_simulated += other.schedules_simulated
+        self.schedules_pruned += other.schedules_pruned
+
+
+def prune_evaluation_order(bounds: Sequence[float]) -> List[int]:
+    """Candidate indices in ascending-(bound, index) order.
+
+    Shared by every pruned candidate loop: evaluating the best-bound
+    candidate first maximises what the incumbent can prune, while the
+    original index breaks ties so that, together with :func:`cannot_beat`,
+    the selected candidate is provably the same as an in-order sweep's.
+    """
+    return sorted(range(len(bounds)), key=lambda index: (bounds[index], index))
+
+
+def cannot_beat(bound: Optional[float], incumbent_total: Optional[float]) -> bool:
+    """Whether a candidate's lower bound proves it cannot win.
+
+    The bound is safety-scaled strictly below the candidate's true time
+    (:data:`repro.sim.fastpath.LOWER_BOUND_SAFETY`), so ``bound >=
+    incumbent`` implies the candidate is *strictly* slower and can change
+    neither the argmin nor an exact tie.  A zero bound proves nothing (the
+    scaling is only strict for positive bounds) and never prunes.
+    """
+    return (
+        bound is not None and bound > 0.0
+        and incumbent_total is not None and bound >= incumbent_total
+    )
 
 
 def enumerate_strategies(
@@ -162,6 +225,31 @@ def enumerate_strategies(
     return candidates
 
 
+def resolve_schedule_shape(
+    parallel: ParallelismConfig,
+    schedule_kind: ScheduleKind,
+    num_micro_batches: Optional[int] = None,
+    num_chunks: int = 1,
+    num_layers: Optional[int] = None,
+) -> Tuple[ScheduleKind, int, int, int]:
+    """The ``(kind, stages, micro_batches, chunks)`` a PP candidate would run.
+
+    Applies the same fallbacks as :func:`resolve_schedule` without building
+    the O(p m v) op lists -- candidate loops use the shape for lower-bound
+    pruning and only materialise the schedules that survive.
+    """
+    micro_batches = parallel.micro_batches if num_micro_batches is None else num_micro_batches
+    stages = parallel.pipeline_parallel
+    chunks = num_chunks if schedule_kind is ScheduleKind.INTERLEAVED else 1
+    if num_layers is not None:
+        chunks = min(chunks, max(num_layers // stages, 1))
+    if schedule_kind is ScheduleKind.INTERLEAVED and (
+        chunks < 2 or (stages > 1 and micro_batches % stages != 0)
+    ):
+        schedule_kind, chunks = ScheduleKind.ONE_F_ONE_B, 1
+    return schedule_kind, stages, micro_batches, chunks
+
+
 def resolve_schedule(
     parallel: ParallelismConfig,
     schedule_kind: ScheduleKind,
@@ -178,16 +266,38 @@ def resolve_schedule(
     ``num_layers`` is given, the chunk count is capped so every virtual
     stage holds at least one layer -- over-asking degrades, never throws.
     """
-    micro_batches = parallel.micro_batches if num_micro_batches is None else num_micro_batches
-    stages = parallel.pipeline_parallel
-    chunks = num_chunks if schedule_kind is ScheduleKind.INTERLEAVED else 1
-    if num_layers is not None:
-        chunks = min(chunks, max(num_layers // stages, 1))
-    if schedule_kind is ScheduleKind.INTERLEAVED and (
-        chunks < 2 or (stages > 1 and micro_batches % stages != 0)
-    ):
-        schedule_kind, chunks = ScheduleKind.ONE_F_ONE_B, 1
-    return build_schedule(schedule_kind, stages, micro_batches, num_chunks=chunks)
+    shape = resolve_schedule_shape(
+        parallel, schedule_kind, num_micro_batches, num_chunks, num_layers,
+    )
+    return cached_build_schedule(*shape)
+
+
+def _uniform_schedule_costs(
+    chunks: int,
+    forward_s: float,
+    backward_s: float,
+    p2p_time_s: float = 0.0,
+    offload_bytes: float = 0.0,
+    prefetch_bytes: float = 0.0,
+    activation_bytes: float = 0.0,
+    backward_weight_fraction: Optional[float] = None,
+) -> StageCosts:
+    """Uniform per-chunk costs for a resolved schedule shape (quick scorer)."""
+    backward = backward_s / chunks
+    return StageCosts(
+        forward_s=forward_s / chunks,
+        backward_s=backward,
+        # Encode the transfer as (1 byte, 1/t bytes/s) so callers can hand us a
+        # precomputed per-hop time from CostModel.pipeline_p2p_time.
+        p2p_bytes=1.0 if p2p_time_s > 0 else 0.0,
+        offload_bytes=offload_bytes / chunks,
+        prefetch_bytes=prefetch_bytes / chunks,
+        activation_bytes=activation_bytes / chunks,
+        backward_weight_s=(
+            None if backward_weight_fraction is None
+            else backward_weight_fraction * backward
+        ),
+    )
 
 
 def simulate_pipeline_schedule(
@@ -204,40 +314,38 @@ def simulate_pipeline_schedule(
     pcie_bandwidth_bytes_per_s: float = 16e9,
     backward_weight_fraction: Optional[float] = None,
     num_layers: Optional[int] = None,
+    engine: str = "fast",
+    validate: bool = False,
 ) -> PipelineTimeline:
-    """Score one PP strategy point by simulating its pipeline schedule.
+    """Score one PP strategy point by evaluating its pipeline schedule.
 
     The per-stage forward/backward times come from the single-stage executor
     (swap/recompute stalls already resolved); the returned timeline's
     ``total_s`` and ``bubble_fraction`` replace the analytic
     ``(p - 1) / (m + p - 1)`` approximation in the strategy search.
     ``backward_weight_fraction`` feeds the grad-input/grad-weight split of
-    zero-bubble schedules (ignored by fused kinds).
+    zero-bubble schedules (ignored by fused kinds).  ``engine``/``validate``
+    select the critical-path fast path (default) or the event-engine oracle
+    (:func:`repro.sim.fastpath.evaluate_schedule`).
     """
     schedule = resolve_schedule(
         parallel, schedule_kind, num_micro_batches, num_chunks, num_layers,
     )
-    chunks = schedule.num_chunks
-    backward = backward_s / chunks
-    costs = StageCosts(
-        forward_s=forward_s / chunks,
-        backward_s=backward,
-        # Encode the transfer as (1 byte, 1/t bytes/s) so callers can hand us a
-        # precomputed per-hop time from CostModel.pipeline_p2p_time.
-        p2p_bytes=1.0 if p2p_time_s > 0 else 0.0,
-        offload_bytes=offload_bytes / chunks,
-        prefetch_bytes=prefetch_bytes / chunks,
-        activation_bytes=activation_bytes / chunks,
-        backward_weight_s=(
-            None if backward_weight_fraction is None
-            else backward_weight_fraction * backward
-        ),
+    costs = _uniform_schedule_costs(
+        schedule.num_chunks, forward_s, backward_s,
+        p2p_time_s=p2p_time_s,
+        offload_bytes=offload_bytes,
+        prefetch_bytes=prefetch_bytes,
+        activation_bytes=activation_bytes,
+        backward_weight_fraction=backward_weight_fraction,
     )
-    return simulate_pipeline(
+    return evaluate_schedule(
         schedule,
         costs,
         p2p_bandwidth_bytes_per_s=(1.0 / p2p_time_s) if p2p_time_s > 0 else float("inf"),
         pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+        engine=engine,
+        validate=validate,
     )
 
 
@@ -251,35 +359,72 @@ def best_pipeline_schedule(
     p2p_time_s: float = 0.0,
     backward_weight_fraction: Optional[float] = None,
     num_layers: Optional[int] = None,
+    engine: str = "fast",
+    validate: bool = False,
+    prune: bool = True,
+    stats: Optional[SearchStats] = None,
 ) -> Tuple[ScheduleKind, PipelineTimeline]:
-    """Simulate every schedule candidate for a PP point and keep the fastest.
+    """Evaluate every schedule candidate for a PP point and keep the fastest.
 
     Candidates that resolve to the same schedule (e.g. interleaved falling
-    back to 1F1B) are deduplicated; ties keep the earlier candidate.  Returns
-    the *requested* kind alongside its timeline, so callers can re-resolve it.
-    This is the uniform-cost quick scorer; the training systems run the same
-    candidate sweep with heterogeneous per-stage costs and per-candidate
-    memory checks (:meth:`repro.systems.base.TrainingSystem._shared_evaluation`).
+    back to 1F1B) are deduplicated; ties keep the earlier candidate.
+    Candidates are evaluated in ascending-lower-bound order and one whose
+    analytic lower bound cannot beat the incumbent is pruned without
+    evaluation (counted in ``stats.schedules_pruned`` when a
+    :class:`SearchStats` accumulator is passed) -- the bound is conservative
+    and ties fall back to candidate order, so pruning never changes the
+    winner.  Returns the *requested* kind alongside its timeline, so callers
+    can re-resolve it.  This is the uniform-cost quick scorer; the training
+    systems run the same candidate sweep with heterogeneous per-stage costs
+    and per-candidate memory checks
+    (:meth:`repro.systems.base.TrainingSystem._shared_evaluation`).
     """
     if not candidates:
         raise ValueError("candidates must not be empty")
-    best: Optional[Tuple[ScheduleKind, PipelineTimeline]] = None
+    bandwidth = (1.0 / p2p_time_s) if p2p_time_s > 0 else float("inf")
+    entries = []  # (bound, position, kind, resolved shape, costs)
     seen = set()
-    for kind in candidates:
-        resolved = resolve_schedule(parallel, kind, num_micro_batches, num_chunks, num_layers)
-        key = (resolved.kind, resolved.num_chunks)
+    for position, kind in enumerate(candidates):
+        shape = resolve_schedule_shape(
+            parallel, kind, num_micro_batches, num_chunks, num_layers,
+        )
+        key = (shape[0], shape[3])
         if key in seen:
             continue
         seen.add(key)
-        timeline = simulate_pipeline_schedule(
-            parallel, kind, forward_s, backward_s,
-            num_micro_batches=num_micro_batches, num_chunks=num_chunks,
+        costs = _uniform_schedule_costs(
+            shape[3], forward_s, backward_s,
             p2p_time_s=p2p_time_s,
             backward_weight_fraction=backward_weight_fraction,
-            num_layers=num_layers,
         )
-        if best is None or timeline.total_s < best[1].total_s:
+        bound = (
+            pipeline_lower_bound_for_shape(
+                *shape, costs, p2p_bandwidth_bytes_per_s=bandwidth,
+            )
+            if prune else 0.0
+        )
+        entries.append((bound, position, kind, shape, costs))
+
+    best: Optional[Tuple[ScheduleKind, PipelineTimeline]] = None
+    best_position = -1
+    for index in prune_evaluation_order([entry[0] for entry in entries]):
+        bound, position, kind, shape, costs = entries[index]
+        if prune and cannot_beat(bound, best[1].total_s if best is not None else None):
+            if stats is not None:
+                stats.schedules_pruned += 1
+            continue
+        timeline = evaluate_schedule(
+            cached_build_schedule(*shape), costs,
+            p2p_bandwidth_bytes_per_s=bandwidth,
+            engine=engine, validate=validate,
+        )
+        if stats is not None:
+            stats.schedules_simulated += 1
+        if best is None or timeline.total_s < best[1].total_s or (
+            timeline.total_s == best[1].total_s and position < best_position
+        ):
             best = (kind, timeline)
+            best_position = position
     assert best is not None
     return best
 
@@ -313,18 +458,45 @@ def find_best_strategy(
             the reason describes why an infeasible strategy failed (OOM,
             host OOM, illegal degree, ...).
 
+    Degenerate-schedule warnings are deduplicated across the whole search:
+    evaluating a candidate may rebuild its :class:`ParallelismConfig` (e.g.
+    to pin recompute/offload modes), which would otherwise re-emit one
+    :class:`DegenerateScheduleWarning` per candidate.  The first such warning
+    is re-emitted once, the repeats are swallowed; all other warnings pass
+    through untouched.
+
     Returns:
         ``(best, evaluated)`` where ``best`` is None when no candidate is
         feasible (the workload OOMs under every configuration).
     """
     evaluated: List[EvaluatedStrategy] = []
     best: Optional[EvaluatedStrategy] = None
-    for candidate in candidates:
-        feasible, time_s, reason = evaluate(candidate)
-        record = EvaluatedStrategy(candidate, feasible, time_s, reason)
-        evaluated.append(record)
-        if not feasible:
-            continue
-        if best is None or record.iteration_time_s < best.iteration_time_s:
-            best = record
+    caught: List[warnings.WarningMessage] = []
+    try:
+        # record=True without touching the filter state: caller filters (e.g.
+        # -W error) still act immediately inside evaluate(); only warnings
+        # that would have been *shown* are buffered for deduplication.
+        with warnings.catch_warnings(record=True) as recorded:
+            try:
+                for candidate in candidates:
+                    feasible, time_s, reason = evaluate(candidate)
+                    record = EvaluatedStrategy(candidate, feasible, time_s, reason)
+                    evaluated.append(record)
+                    if not feasible:
+                        continue
+                    if best is None or record.iteration_time_s < best.iteration_time_s:
+                        best = record
+            finally:
+                caught.extend(recorded)
+    finally:
+        # Re-emit outside the recording context -- even when evaluate()
+        # raised -- keeping the first DegenerateScheduleWarning and dropping
+        # the per-candidate repeats; other warnings pass through untouched.
+        degenerate_warned = False
+        for entry in caught:
+            if issubclass(entry.category, DegenerateScheduleWarning):
+                if degenerate_warned:
+                    continue
+                degenerate_warned = True
+            warnings.warn_explicit(entry.message, entry.category, entry.filename, entry.lineno)
     return best, evaluated

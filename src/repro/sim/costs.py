@@ -9,8 +9,8 @@ analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from repro.config import CalibrationConstants, DEFAULT_CALIBRATION, DEFAULT_PRECISION, PrecisionConfig
 from repro.hardware.cluster import ClusterSpec
@@ -204,6 +204,11 @@ class CostModel:
     batch_size: int = 1
     calibration: CalibrationConstants = DEFAULT_CALIBRATION
     precision: PrecisionConfig = DEFAULT_PRECISION
+    #: Memoized stage profiles: the auto schedule sweep asks for the same
+    #: (sequence_length, num_virtual_stages) partition once per candidate.
+    _stage_profile_cache: Dict[tuple, StageCostProfile] = field(
+        default_factory=dict, repr=False, compare=False,
+    )
 
     # ------------------------------------------------------------------ helpers
     def _matmul_time(self, flops: float) -> float:
@@ -370,6 +375,10 @@ class CostModel:
         """
         if num_virtual_stages < 1:
             raise ValueError("num_virtual_stages must be >= 1")
+        cache_key = (sequence_length, num_virtual_stages, layer_costs)
+        cached = self._stage_profile_cache.get(cache_key)
+        if cached is not None:
+            return cached
         costs = layer_costs if layer_costs is not None else self.layer_costs(sequence_length)
         layer_time = costs.forward_total_s + costs.backward_total_s
         embedding = (
@@ -387,7 +396,7 @@ class CostModel:
                 self.model.num_layers, num_virtual_stages, layer_time,
                 embedding_time_s=embedding, classifier_time_s=classifier,
             )
-        return StageCostProfile(
+        profile = StageCostProfile(
             layers_per_stage=partition,
             embedding_forward_s=self.embedding_forward_time(sequence_length),
             embedding_backward_s=self.embedding_backward_time(sequence_length),
@@ -395,6 +404,8 @@ class CostModel:
             classifier_backward_s=self.classifier_backward_time(sequence_length),
             backward_weight_fraction=costs.backward_weight_share,
         )
+        self._stage_profile_cache[cache_key] = profile
+        return profile
 
     def optimizer_step_time(self, parameters_per_gpu: float) -> float:
         """Time of the Adam update over this GPU's parameter shard."""

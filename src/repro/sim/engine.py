@@ -25,12 +25,21 @@ class SimEvent:
 
 
 class SimulationEngine:
-    """Priority-queue driven discrete-event engine."""
+    """Priority-queue driven discrete-event engine.
 
-    def __init__(self) -> None:
+    Args:
+        record: keep every processed event in :attr:`processed` (the default,
+            useful for tests and debugging).  Large consumers -- the pipeline
+            executor simulating whole experiment grids -- pass ``record=False``
+            so the engine does not retain O(events) garbage; event *semantics*
+            (``now``, ``pending``, processing order) are identical either way.
+    """
+
+    def __init__(self, record: bool = True) -> None:
         self._queue: List[SimEvent] = []
         self._counter = itertools.count()
         self.now = 0.0
+        self.record = record
         self.processed: List[SimEvent] = []
 
     def schedule(
@@ -70,7 +79,8 @@ class SimulationEngine:
                 return self.now
             event = heapq.heappop(self._queue)
             self.now = event.time
-            self.processed.append(event)
+            if self.record:
+                self.processed.append(event)
             if event.action is not None:
                 event.action(self)
         return self.now

@@ -1,0 +1,522 @@
+"""Critical-path fast evaluation of pipeline schedules, with memoization.
+
+The makespan of a *static* pipeline schedule is fully determined by its
+dependency DAG: per-rank in-order execution, per-stage stream serialisation,
+cross-rank activation/gradient hand-offs and host-transfer completions.  The
+discrete-event run in :func:`repro.sim.pipeline.simulate_pipeline` resolves
+those dependencies with a priority queue and per-event closures; this module
+resolves the *same* recurrences with a single O(#ops) worklist sweep and no
+event objects, which makes it roughly an order of magnitude cheaper -- the
+difference between a strategy search that crawls and one that flies.
+
+Equivalence invariant (the load-bearing property of this module): for every
+schedule and every cost vector, :func:`critical_path_timeline` returns the
+same makespan, the same per-rank busy times (hence the same bubble fraction)
+and the same per-rank peak memory as :func:`~repro.sim.pipeline.simulate_pipeline`
+-- bit-identical, not merely approximately equal.  It reuses the same
+:class:`~repro.sim.streams.Stream` arithmetic and mirrors the event engine's
+``max``/``+`` expressions term for term, so no floating-point divergence can
+creep in.  The event engine survives as the correctness oracle behind
+``validate=True`` (and the property tests in
+``tests/test_properties_fastpath.py`` re-prove the invariant on randomized
+grids).
+
+Why the sweep is exact and not a relaxation:
+
+* ranks are in-order, so the time an op is *submitted* obeys the recurrence
+  ``T_submit(op) = max(T_submit(prev), dep arrival times)`` -- the engine's
+  poke loop computes exactly this, one event at a time;
+* a compute op's start is ``max(earliest, stream.available_at)`` regardless of
+  when it was submitted, so event timing beyond the recurrence is irrelevant;
+* the one event-timing subtlety, the prefetch issued when a backward first
+  reaches the head of its rank's queue, is ``max(T_submit(prev), forward_end)``
+  in closed form (the engine pokes a rank at exactly those two times).
+
+On top of the evaluator sit two layers used by the strategy search:
+
+* **memoization** -- :func:`cached_build_schedule` caches validated
+  :class:`~repro.sim.schedules.PipelineSchedule` objects by their
+  ``(kind, stages, micro_batches, chunks)`` structure key, and
+  :func:`evaluate_schedule` caches fast-path timelines by
+  ``(structure key, per-stage StageCosts tuple, transfer parameters)``;
+  both keys are small and fully describe the computation, so the experiment
+  grids and the ``pipeline_schedule="auto"`` sweep stop recomputing identical
+  points (cache statistics: :func:`fastpath_cache_info`);
+* **bound-based pruning** -- :func:`pipeline_lower_bound` is a cheap
+  O(#stages) analytic lower bound on the simulated makespan (max over ranks
+  of pipeline-fill + the rank's total work + gradient-drain for fused
+  schedules, and the single-micro-batch traversal path), used by the
+  candidate loops to skip simulating schedules that provably cannot beat the
+  incumbent.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.pipeline import (
+    PipelineOpRecord,
+    PipelineTimeline,
+    StageCosts,
+    _normalise_costs,
+    peak_activation_bytes,
+    simulate_pipeline,
+)
+from repro.sim.schedules import OpKind, PipelineSchedule, ScheduleKind, build_schedule
+
+#: Relative safety margin applied to the analytic lower bound before a
+#: pruning comparison: the bound's float summation order differs from the
+#: simulator's, so without the margin a perfectly-packed schedule could be
+#: pruned on a 1-ulp overshoot.  1e-9 dwarfs any accumulated rounding while
+#: costing a vanishing amount of pruning power.
+LOWER_BOUND_SAFETY = 1e-9
+
+
+@lru_cache(maxsize=2048)
+def cached_build_schedule(
+    kind: ScheduleKind,
+    num_stages: int,
+    num_micro_batches: int,
+    num_chunks: int = 1,
+) -> PipelineSchedule:
+    """Memoized :func:`repro.sim.schedules.build_schedule`.
+
+    A schedule is fully determined by ``(kind, p, m, v)`` and immutable, so
+    the strategy search shares one validated instance per structure key
+    instead of rebuilding (and re-validating) ``O(p * m * v)`` op lists for
+    every candidate evaluation.  Always pass ``num_chunks`` positionally:
+    ``lru_cache`` keys positional and keyword invocations separately.
+    """
+    schedule = build_schedule(kind, num_stages, num_micro_batches, num_chunks=num_chunks)
+    # Mark builder provenance on the (frozen) instance: the timeline cache
+    # may only alias schedules whose rank_ops are the canonical builder
+    # output for their structure key, and checking a marker avoids building
+    # a canonical twin just to compare identities.
+    object.__setattr__(schedule, "_canonical", True)
+    return schedule
+
+
+def critical_path_timeline(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    p2p_bandwidth_bytes_per_s: float = float("inf"),
+    p2p_latency_s: float = 0.0,
+    pcie_bandwidth_bytes_per_s: float = 16e9,
+    record_ops: bool = False,
+) -> PipelineTimeline:
+    """Evaluate a pipeline schedule by longest-path propagation over its DAG.
+
+    Drop-in replacement for :func:`repro.sim.pipeline.simulate_pipeline`
+    returning a bit-identical :class:`~repro.sim.pipeline.PipelineTimeline`
+    (makespan, per-rank busy times, bubble, peak memory) without running the
+    discrete-event engine.  ``records`` are populated only when
+    ``record_ops=True`` (they are the one output the search never reads, and
+    skipping them keeps the hot path allocation-free); record order is
+    per-rank rather than global-event order -- use
+    :meth:`~repro.sim.pipeline.PipelineTimeline.record` to look ops up.
+
+    Raises:
+        RuntimeError: if the schedule deadlocks (cannot happen for schedules
+            from :func:`~repro.sim.schedules.build_schedule`).
+    """
+    per_stage = _normalise_costs(schedule, costs)
+    if p2p_bandwidth_bytes_per_s <= 0:
+        raise ValueError("p2p_bandwidth_bytes_per_s must be positive")
+    if p2p_latency_s < 0:
+        raise ValueError("p2p_latency_s must be non-negative")
+    if pcie_bandwidth_bytes_per_s <= 0:
+        raise ValueError("pcie_bandwidth_bytes_per_s must be positive")
+
+    p = schedule.num_stages
+    m = schedule.num_micro_batches
+    last_stage = schedule.num_virtual_stages - 1
+    # Per-stage costs flattened into arrays, durations pre-summed exactly as
+    # the event engine sums them per dispatch (same expressions, so the same
+    # floats), keeping attribute lookups out of the O(#ops) loop.
+    forward_dur = [stage.forward_s for stage in per_stage]
+    fused_dur = [stage.recompute_s + stage.backward_s for stage in per_stage]
+    input_dur = [stage.recompute_s + stage.split_backward_input_s for stage in per_stage]
+    weight_dur = [stage.split_backward_weight_s for stage in per_stage]
+    offload_bytes = [stage.offload_bytes for stage in per_stage]
+    prefetch_bytes = [stage.prefetch_bytes for stage in per_stage]
+    p2p_bytes = [stage.p2p_bytes for stage in per_stage]
+    # Streams as flat floats: ``start = max(earliest, avail); end = start +
+    # duration; busy += duration`` is Stream.submit verbatim, so the
+    # arithmetic (and hence every reported number) stays bit-identical.
+    compute_avail = [0.0] * p
+    compute_busy = [0.0] * p
+    d2h_avail = [0.0] * p
+    d2h_busy = [0.0] * p
+    h2d_avail = [0.0] * p
+    h2d_busy = [0.0] * p
+    pointer = [0] * p
+    # Engine time at which each rank's most recent op was submitted -- the
+    # value the event engine's ``engine.now`` holds inside the poke that
+    # dispatches the next op of the rank.
+    clock = [0.0] * p
+    # Dependency tables indexed by virtual_stage * m + micro_batch; ``None``
+    # marks "event not fired yet" (0.0 is a legitimate arrival time).
+    size = schedule.num_virtual_stages * m
+    forward_ready: List[Optional[float]] = [0.0] * m + [None] * (size - m)
+    forward_done: List[Optional[float]] = [None] * size
+    grad_ready: List[Optional[float]] = [None] * size
+    prefetch_end: List[Optional[float]] = [None] * size
+    records: List[PipelineOpRecord] = []
+
+    kind_forward = OpKind.FORWARD
+    kind_weight = OpKind.BACKWARD_WEIGHT
+    worklist = list(range(p))
+    while worklist:
+        rank = worklist.pop()
+        ops = schedule.rank_ops[rank]
+        num_ops = len(ops)
+        avail = compute_avail[rank]
+        busy = compute_busy[rank]
+        now = clock[rank]
+        index = pointer[rank]
+        while index < num_ops:
+            op = ops[index]
+            kind, _, _, micro_batch, virtual_stage = op
+            key = virtual_stage * m + micro_batch
+            if kind is kind_forward:
+                ready = forward_ready[key]
+                if ready is None:
+                    break
+                duration = forward_dur[virtual_stage]
+                start = ready if ready > avail else avail
+                end = start + duration
+                avail = end
+                busy += duration
+                if ready > now:
+                    now = ready
+                forward_done[key] = end
+                if offload_bytes[virtual_stage] > 0:
+                    transfer = offload_bytes[virtual_stage] / pcie_bandwidth_bytes_per_s
+                    d2h_start = max(end, d2h_avail[rank])
+                    d2h_avail[rank] = d2h_start + transfer
+                    d2h_busy[rank] += transfer
+                if virtual_stage < last_stage:
+                    dst_rank = (virtual_stage + 1) % p
+                    arrival = end
+                    if dst_rank != rank:
+                        if p2p_bytes[virtual_stage] > 0:
+                            arrival = end + (
+                                p2p_latency_s
+                                + p2p_bytes[virtual_stage] / p2p_bandwidth_bytes_per_s
+                            )
+                        worklist.append(dst_rank)
+                    forward_ready[key + m] = arrival
+            elif kind is kind_weight:
+                # Rank-local: dispatched in the same poke as the previous op,
+                # so the engine submits it at the rank's current clock.
+                duration = weight_dur[virtual_stage]
+                start = now if now > avail else avail
+                end = start + duration
+                avail = end
+                busy += duration
+            else:  # BACKWARD or BACKWARD_INPUT
+                forward_end = forward_done[key]
+                if forward_end is None:
+                    break
+                if prefetch_bytes[virtual_stage] > 0 and prefetch_end[key] is None:
+                    # Issued as soon as the backward heads the rank's queue
+                    # with its forward complete, even before the gradient
+                    # arrives -- exactly the engine's first eligible poke.
+                    issue = now if now > forward_end else forward_end
+                    transfer = prefetch_bytes[virtual_stage] / pcie_bandwidth_bytes_per_s
+                    h2d_start = max(issue, h2d_avail[rank])
+                    h2d_avail[rank] = h2d_start + transfer
+                    h2d_busy[rank] += transfer
+                    prefetch_end[key] = h2d_avail[rank]
+                if virtual_stage == last_stage:
+                    grad = forward_end  # loss gradient follows the forward
+                else:
+                    grad = grad_ready[key]
+                    if grad is None:
+                        break
+                earliest = grad if grad > forward_end else forward_end
+                fetched = prefetch_end[key]
+                if fetched is not None and fetched > earliest:
+                    earliest = fetched
+                duration = (
+                    input_dur[virtual_stage]
+                    if kind is OpKind.BACKWARD_INPUT else fused_dur[virtual_stage]
+                )
+                start = earliest if earliest > avail else avail
+                end = start + duration
+                avail = end
+                busy += duration
+                if forward_end > now:
+                    now = forward_end
+                if grad > now:
+                    now = grad
+                if virtual_stage > 0:
+                    dst_rank = (virtual_stage - 1) % p
+                    arrival = end
+                    if dst_rank != rank:
+                        grad_bytes = p2p_bytes[virtual_stage - 1]
+                        if grad_bytes > 0:
+                            arrival = end + (
+                                p2p_latency_s + grad_bytes / p2p_bandwidth_bytes_per_s
+                            )
+                        worklist.append(dst_rank)
+                    grad_ready[key - m] = arrival
+            if record_ops:
+                records.append(PipelineOpRecord(op, start, end))
+            index += 1
+        compute_avail[rank] = avail
+        compute_busy[rank] = busy
+        clock[rank] = now
+        pointer[rank] = index
+
+    stuck = [
+        (rank, schedule.rank_ops[rank][pointer[rank]])
+        for rank in range(p)
+        if pointer[rank] < len(schedule.rank_ops[rank])
+    ]
+    if stuck:
+        summary = ", ".join(f"rank {rank}: {op}" for rank, op in stuck)
+        raise RuntimeError(f"pipeline schedule deadlocked at {summary}")
+
+    total = max(compute_avail + d2h_avail + h2d_avail)
+    return PipelineTimeline(
+        schedule=schedule,
+        total_s=total,
+        rank_compute_busy_s=compute_busy,
+        rank_d2h_busy_s=d2h_busy,
+        rank_h2d_busy_s=h2d_busy,
+        rank_peak_in_flight=schedule.peak_in_flight(),
+        rank_peak_activation_bytes=peak_activation_bytes(schedule, per_stage),
+        records=records,
+    )
+
+
+class FastPathMismatchError(AssertionError):
+    """The fast evaluator and the event-engine oracle disagreed.
+
+    Raised only under ``validate=True``; a disagreement means the equivalence
+    invariant is broken and the fast path must not be trusted.
+    """
+
+
+def _check_against_oracle(fast: PipelineTimeline, oracle: PipelineTimeline) -> None:
+    pairs = [
+        ("total_s", fast.total_s, oracle.total_s),
+        ("rank_compute_busy_s", fast.rank_compute_busy_s, oracle.rank_compute_busy_s),
+        ("rank_d2h_busy_s", fast.rank_d2h_busy_s, oracle.rank_d2h_busy_s),
+        ("rank_h2d_busy_s", fast.rank_h2d_busy_s, oracle.rank_h2d_busy_s),
+        ("rank_peak_in_flight", fast.rank_peak_in_flight, oracle.rank_peak_in_flight),
+        (
+            "rank_peak_activation_bytes",
+            fast.rank_peak_activation_bytes,
+            oracle.rank_peak_activation_bytes,
+        ),
+    ]
+    for name, fast_value, oracle_value in pairs:
+        if fast_value != oracle_value:
+            raise FastPathMismatchError(
+                f"fast path diverged from the event engine on {name}: "
+                f"{fast_value!r} != {oracle_value!r} "
+                f"({fast.schedule.kind.value}, p={fast.schedule.num_stages}, "
+                f"m={fast.schedule.num_micro_batches}, v={fast.schedule.num_chunks})"
+            )
+
+
+@lru_cache(maxsize=4096)
+def _cached_fast_timeline(
+    kind: ScheduleKind,
+    num_stages: int,
+    num_micro_batches: int,
+    num_chunks: int,
+    costs: Tuple[StageCosts, ...],
+    p2p_bandwidth_bytes_per_s: float,
+    p2p_latency_s: float,
+    pcie_bandwidth_bytes_per_s: float,
+) -> PipelineTimeline:
+    schedule = cached_build_schedule(kind, num_stages, num_micro_batches, num_chunks)
+    return critical_path_timeline(
+        schedule, list(costs),
+        p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+        p2p_latency_s=p2p_latency_s,
+        pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+    )
+
+
+def evaluate_schedule(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    p2p_bandwidth_bytes_per_s: float = float("inf"),
+    p2p_latency_s: float = 0.0,
+    pcie_bandwidth_bytes_per_s: float = 16e9,
+    engine: str = "fast",
+    validate: bool = False,
+) -> PipelineTimeline:
+    """Evaluate a schedule with the fast path (memoized) or the event engine.
+
+    The single scoring entry point of the strategy search, the training
+    systems and the CLI.  ``engine="fast"`` (the default) runs the memoized
+    critical-path evaluator; ``engine="event"`` runs the discrete-event
+    simulator, always fresh -- the oracle must never be served from a cache.
+    ``validate=True`` runs both and raises :class:`FastPathMismatchError` on
+    any divergence.
+
+    Returned fast-path timelines may be shared cache entries: treat them as
+    immutable, as every caller in this codebase already does.
+    """
+    if engine not in ("fast", "event"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'fast' or 'event'")
+    if engine == "event" and not validate:
+        return simulate_pipeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+            p2p_latency_s=p2p_latency_s,
+            pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+        )
+    per_stage = tuple(_normalise_costs(schedule, costs))
+    # The timeline cache keys on the (kind, p, m, v) structure, which only
+    # describes schedules produced by the canonical builder.  A hand-built
+    # schedule with custom rank_ops must not alias a canonical cache entry,
+    # so it is evaluated directly.
+    if getattr(schedule, "_canonical", False):
+        fast = _cached_fast_timeline(
+            schedule.kind, schedule.num_stages, schedule.num_micro_batches,
+            schedule.num_chunks, per_stage,
+            p2p_bandwidth_bytes_per_s, p2p_latency_s, pcie_bandwidth_bytes_per_s,
+        )
+    else:
+        fast = critical_path_timeline(
+            schedule, per_stage,
+            p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+            p2p_latency_s=p2p_latency_s,
+            pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+        )
+    if validate:
+        oracle = simulate_pipeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+            p2p_latency_s=p2p_latency_s,
+            pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+        )
+        _check_against_oracle(fast, oracle)
+        if engine == "event":
+            return oracle
+    return fast
+
+
+def pipeline_lower_bound(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    p2p_bandwidth_bytes_per_s: float = float("inf"),
+    p2p_latency_s: float = 0.0,
+) -> float:
+    """:func:`pipeline_lower_bound_for_shape` of a built schedule."""
+    return pipeline_lower_bound_for_shape(
+        schedule.kind, schedule.num_stages, schedule.num_micro_batches,
+        schedule.num_chunks, costs,
+        p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+        p2p_latency_s=p2p_latency_s,
+    )
+
+
+def pipeline_lower_bound_for_shape(
+    kind: ScheduleKind,
+    num_stages: int,
+    num_micro_batches: int,
+    num_chunks: int,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    p2p_bandwidth_bytes_per_s: float = float("inf"),
+    p2p_latency_s: float = 0.0,
+) -> float:
+    """A cheap analytic lower bound on the schedule's simulated makespan.
+
+    Takes the schedule *shape* rather than a built schedule: the bound only
+    depends on ``(kind, p, m, v)`` and the per-stage costs, which is what
+    lets the candidate loops prune a schedule without ever materialising its
+    O(p m v) op lists.
+
+    Three classical bounds, maximised (all are valid for every schedule kind
+    this package builds -- each rank's first op is the forward of its chunk-0
+    virtual stage, and for fused schedules each rank's last op is the
+    gradient-producing backward of chunk 0):
+
+    * **fill + max-stage work**: rank ``r`` cannot start before micro-batch 0
+      has been forwarded through virtual stages ``0..r-1`` (compute plus P2P
+      hops), and must then execute all of its ops back-to-back at best;
+    * **gradient drain** (fused kinds only): after rank ``r``'s final
+      backward, its gradient still cascades through every upstream stage --
+      under ZB-H1 the trailing grad-weight ops overlap that cascade, so the
+      term is dropped there;
+    * **single micro-batch traversal**: one micro-batch's forward chain down
+      the pipeline plus its backward(-input) chain back.
+
+    The result is scaled down by :data:`LOWER_BOUND_SAFETY` so float rounding
+    can never make the "bound" exceed the true makespan; pruning on
+    ``bound >= incumbent`` is therefore conservative and can never change
+    which candidate a search selects (property-tested exhaustively).
+
+    The offload/prefetch streams are ignored -- they only ever delay compute,
+    so omitting them keeps the bound valid.
+    """
+    p = num_stages
+    m = num_micro_batches
+    num_virtual = p * num_chunks
+    if isinstance(costs, StageCosts):
+        per_stage = [costs] * num_virtual
+    else:
+        per_stage = list(costs)
+        if len(per_stage) != num_virtual:
+            raise ValueError(
+                f"expected {num_virtual} per-virtual-stage costs, got {len(per_stage)}"
+            )
+
+    def hop(src_rank: int, dst_rank: int, num_bytes: float) -> float:
+        if src_rank == dst_rank or num_bytes <= 0:
+            return 0.0
+        return p2p_latency_s + num_bytes / p2p_bandwidth_bytes_per_s
+
+    forward_chain = 0.0   # fill path: forward of mb 0 through stages 0..r-1
+    backward_chain = 0.0  # drain path: grad cascade through stages r-1..0
+    best = 0.0
+    split = kind.splits_backward
+    for rank in range(p):
+        work = 0.0
+        for chunk in range(num_chunks):
+            stage = per_stage[chunk * p + rank]
+            work += m * (stage.forward_s + stage.recompute_s + stage.backward_s)
+        bound = forward_chain + work
+        if not split:
+            bound += backward_chain
+        best = max(best, bound)
+        if rank < p - 1:
+            stage = per_stage[rank]
+            forward_chain += stage.forward_s + hop(rank, rank + 1, stage.p2p_bytes)
+            backward_chain += (
+                stage.recompute_s + stage.backward_s
+                + hop(rank + 1, rank, stage.p2p_bytes)
+            )
+
+    traversal = 0.0
+    for vs in range(num_virtual):
+        stage = per_stage[vs]
+        traversal += stage.forward_s + stage.recompute_s
+        traversal += stage.split_backward_input_s if split else stage.backward_s
+        if vs < num_virtual - 1:
+            src, dst = vs % p, (vs + 1) % p
+            traversal += 2.0 * hop(src, dst, stage.p2p_bytes)
+    best = max(best, traversal)
+    return best * (1.0 - LOWER_BOUND_SAFETY)
+
+
+def fastpath_cache_info() -> Dict[str, object]:
+    """Hit/miss statistics of the schedule and timeline caches (CacheInfo tuples)."""
+    return {
+        "schedules": cached_build_schedule.cache_info(),
+        "timelines": _cached_fast_timeline.cache_info(),
+    }
+
+
+def clear_fastpath_caches() -> None:
+    """Drop all memoized schedules and timelines (tests and benchmarks)."""
+    cached_build_schedule.cache_clear()
+    _cached_fast_timeline.cache_clear()

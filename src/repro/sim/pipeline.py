@@ -220,23 +220,28 @@ def peak_activation_bytes(
 ) -> List[float]:
     """Per-rank peak of in-flight skeletal activation bytes under a schedule."""
     per_stage = _normalise_costs(schedule, costs)
+    activation = [stage.activation_bytes for stage in per_stage]
+    weight_grad = [stage.weight_grad_bytes for stage in per_stage]
     peaks: List[float] = []
     for ops in schedule.rank_ops:
         live = 0.0
         peak = 0.0
         for op in ops:
-            stage = per_stage[op.virtual_stage]
-            if op.kind is OpKind.FORWARD:
-                live += stage.activation_bytes
-            elif op.kind is OpKind.BACKWARD:
-                live -= stage.activation_bytes
-            elif op.kind is OpKind.BACKWARD_INPUT:
+            kind = op.kind
+            if kind is OpKind.FORWARD:
+                live += activation[op.virtual_stage]
+            elif kind is OpKind.BACKWARD:
+                live -= activation[op.virtual_stage]
+                continue  # a release can never raise the peak
+            elif kind is OpKind.BACKWARD_INPUT:
                 # The grad-input op frees the activations but pins the smaller
                 # weight-grad stash until the deferred W op consumes it.
-                live += stage.weight_grad_bytes - stage.activation_bytes
-            elif op.kind is OpKind.BACKWARD_WEIGHT:
-                live -= stage.weight_grad_bytes
-            peak = max(peak, live)
+                live += weight_grad[op.virtual_stage] - activation[op.virtual_stage]
+            elif kind is OpKind.BACKWARD_WEIGHT:
+                live -= weight_grad[op.virtual_stage]
+                continue
+            if live > peak:
+                peak = live
         peaks.append(peak)
     return peaks
 
@@ -593,7 +598,9 @@ def simulate_pipeline(
     if pcie_bandwidth_bytes_per_s <= 0:
         raise ValueError("pcie_bandwidth_bytes_per_s must be positive")
     if engine is None:
-        engine = SimulationEngine()
+        # The executor never reads the event log; skip retaining it so large
+        # experiment grids do not hold O(events) garbage per simulation.
+        engine = SimulationEngine(record=False)
 
     state = _PipelineState(
         schedule, per_stage, p2p_bandwidth_bytes_per_s, p2p_latency_s,

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Tuple
+from typing import List, NamedTuple, Tuple
 
 
 class ScheduleKind(Enum):
@@ -98,9 +98,12 @@ class OpKind(Enum):
         return self in (OpKind.BACKWARD, OpKind.BACKWARD_INPUT)
 
 
-@dataclass(frozen=True)
-class StageOp:
+class StageOp(NamedTuple):
     """One unit of pipeline work: a micro-batch pass through a virtual stage.
+
+    A ``NamedTuple`` rather than a dataclass: schedule construction creates
+    ``2-3 m v`` of these per rank and the tuple constructor is what keeps the
+    (memoized, but cold-start-visible) build cheap.
 
     Attributes:
         kind: forward or backward.
@@ -171,16 +174,27 @@ class PipelineSchedule:
         live = 0
         peak = 0
         for op in self.rank_ops[rank]:
-            if op.kind is OpKind.FORWARD:
+            kind = op.kind
+            if kind is OpKind.FORWARD:
                 live += 1
-            elif op.kind.frees_activation:
+                if live > peak:
+                    peak = live
+            elif kind is OpKind.BACKWARD or kind is OpKind.BACKWARD_INPUT:
                 live -= 1
-            peak = max(peak, live)
         return peak
 
     def peak_in_flight(self) -> List[int]:
-        """``max_in_flight`` for every rank, first stage first."""
-        return [self.max_in_flight(rank) for rank in range(self.num_stages)]
+        """``max_in_flight`` for every rank, first stage first.
+
+        Memoized on the (immutable) schedule: the strategy search shares one
+        cached instance per structure key and asks for these walks once per
+        candidate, so the O(ops) scan must not repeat.  Returns a copy.
+        """
+        cached = self.__dict__.get("_peak_in_flight")
+        if cached is None:
+            cached = [self.max_in_flight(rank) for rank in range(self.num_stages)]
+            object.__setattr__(self, "_peak_in_flight", cached)
+        return list(cached)
 
     def max_deferred_weights(self, rank: int) -> int:
         """Peak number of outstanding grad-weight stashes on a rank.
@@ -192,16 +206,25 @@ class PipelineSchedule:
         live = 0
         peak = 0
         for op in self.rank_ops[rank]:
-            if op.kind is OpKind.BACKWARD_INPUT:
+            kind = op.kind
+            if kind is OpKind.BACKWARD_INPUT:
                 live += 1
-            elif op.kind is OpKind.BACKWARD_WEIGHT:
+                if live > peak:
+                    peak = live
+            elif kind is OpKind.BACKWARD_WEIGHT:
                 live -= 1
-            peak = max(peak, live)
         return peak
 
     def peak_deferred_weights(self) -> List[int]:
-        """``max_deferred_weights`` for every rank, first stage first."""
-        return [self.max_deferred_weights(rank) for rank in range(self.num_stages)]
+        """``max_deferred_weights`` for every rank, first stage first.
+
+        Memoized like :meth:`peak_in_flight`; returns a copy.
+        """
+        cached = self.__dict__.get("_peak_deferred_weights")
+        if cached is None:
+            cached = [self.max_deferred_weights(rank) for rank in range(self.num_stages)]
+            object.__setattr__(self, "_peak_deferred_weights", cached)
+        return list(cached)
 
     def validate(self) -> None:
         """Check the schedule is executable.
@@ -213,36 +236,46 @@ class PipelineSchedule:
                 split backward ops.
         """
         split = self.kind.splits_backward
-        backward_kinds = (
-            (OpKind.BACKWARD_INPUT, OpKind.BACKWARD_WEIGHT) if split else (OpKind.BACKWARD,)
-        )
+        m = self.num_micro_batches
         for rank, ops in enumerate(self.rank_ops):
-            seen: Dict[Tuple[OpKind, int, int], int] = {}
-            forward_position: Dict[Tuple[int, int], int] = {}
-            input_position: Dict[Tuple[int, int], int] = {}
-            for position, op in enumerate(ops):
+            # Steps are tracked as chunk * m + micro_batch ints in per-kind
+            # sets: scanning in order makes set membership equivalent to the
+            # "appears earlier" position checks, and integer keys keep this
+            # O(ops) walk off the schedule-construction critical path.
+            seen_forward = set()
+            seen_backward = set()  # fused BACKWARD or split BACKWARD_INPUT
+            seen_weight = set()
+            for op in ops:
                 if op.rank != rank:
                     raise ValueError(f"op {op} listed under rank {rank}")
-                if op.kind is not OpKind.FORWARD and op.kind not in backward_kinds:
+                if not 0 <= op.micro_batch < m or not 0 <= op.chunk < self.num_chunks:
+                    # Also keeps the integer step encoding below collision-free.
+                    raise ValueError(f"rank {rank} op {op} indexes out of range")
+                kind = op.kind
+                step = op.chunk * m + op.micro_batch
+                if kind is OpKind.FORWARD:
+                    if step in seen_forward:
+                        raise ValueError(f"rank {rank} repeats {op}")
+                    seen_forward.add(step)
+                elif kind is (OpKind.BACKWARD_INPUT if split else OpKind.BACKWARD):
+                    if step in seen_backward:
+                        raise ValueError(f"rank {rank} repeats {op}")
+                    if step not in seen_forward:
+                        raise ValueError(f"rank {rank} runs {op} before its forward")
+                    seen_backward.add(step)
+                elif split and kind is OpKind.BACKWARD_WEIGHT:
+                    if step in seen_weight:
+                        raise ValueError(f"rank {rank} repeats {op}")
+                    if step not in seen_backward:
+                        raise ValueError(
+                            f"rank {rank} runs {op} before its grad-input op"
+                        )
+                    seen_weight.add(step)
+                else:
                     raise ValueError(
-                        f"rank {rank} mixes {op.kind.value} into a "
+                        f"rank {rank} mixes {kind.value} into a "
                         f"{self.kind.value} schedule"
                     )
-                key = (op.kind, op.chunk, op.micro_batch)
-                if key in seen:
-                    raise ValueError(f"rank {rank} repeats {op}")
-                seen[key] = position
-                step = (op.chunk, op.micro_batch)
-                if op.kind is OpKind.FORWARD:
-                    forward_position[step] = position
-                elif op.kind is OpKind.BACKWARD_WEIGHT:
-                    if step not in input_position:
-                        raise ValueError(f"rank {rank} runs {op} before its grad-input op")
-                else:
-                    if step not in forward_position:
-                        raise ValueError(f"rank {rank} runs {op} before its forward")
-                    if op.kind is OpKind.BACKWARD_INPUT:
-                        input_position[step] = position
             expected = self.ops_per_rank
             if len(ops) != expected:
                 raise ValueError(
@@ -324,10 +357,7 @@ def build_schedule(
 
 
 def _op(kind: OpKind, rank: int, chunk: int, micro_batch: int, p: int) -> StageOp:
-    return StageOp(
-        kind=kind, rank=rank, chunk=chunk, micro_batch=micro_batch,
-        virtual_stage=chunk * p + rank,
-    )
+    return StageOp(kind, rank, chunk, micro_batch, chunk * p + rank)
 
 
 def _gpipe_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:

@@ -8,6 +8,11 @@ Scoring invariants:
   stage 0, classifier-heavy last stage) -- the analytic
   ``(p - 1) / (m + p - 1)`` bubble survives only behind
   ``pipeline_schedule=None``;
+* the scoring runs on the memoized critical-path fast evaluator
+  (``pipeline_engine="fast"``, bit-identical to the event engine) and prunes
+  schedule candidates whose analytic lower bound cannot beat the incumbent;
+  ``pipeline_engine="event"`` / ``validate_pipeline=True`` re-enable the
+  discrete-event oracle, and neither knob changes any reported number;
 * per-stage peak memory charges per-micro-batch state (skeletal activations,
   rounding-buffer share, host copies) once per in-flight micro-batch of the
   schedule, planner transients and the classifier working set once per rank,
@@ -32,18 +37,24 @@ from repro.parallel.memory_model import MemoryBreakdown, estimate_memory
 from repro.parallel.search import (
     PIPELINE_SCHEDULE_CANDIDATES,
     StrategySearchSpace,
+    cannot_beat,
     enumerate_strategies,
     find_best_strategy,
-    resolve_schedule,
+    prune_evaluation_order,
+    resolve_schedule_shape,
 )
 from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
 from repro.sim.costs import CostModel, LayerCosts
 from repro.sim.executor import IterationTimeline, LayerTask, simulate_iteration
+from repro.sim.fastpath import (
+    cached_build_schedule,
+    evaluate_schedule,
+    pipeline_lower_bound_for_shape,
+)
 from repro.sim.pipeline import (
     PipelineTimeline,
     ZB_WEIGHT_STASH_FRACTION,
     heterogeneous_stage_costs,
-    simulate_pipeline,
     stage_costs_from_iteration,
 )
 from repro.sim.schedules import PipelineSchedule, ScheduleKind
@@ -109,6 +120,10 @@ class TrainingReport:
     timeline: Optional[IterationTimeline] = None
     pipeline_timeline: Optional[PipelineTimeline] = None
     notes: List[str] = field(default_factory=list)
+    #: Schedule-sweep work counters summed over every strategy candidate
+    #: (pruned = skipped via the analytic lower bound, never simulated).
+    schedules_simulated: int = 0
+    schedules_pruned: int = 0
 
     @property
     def wall_clock(self) -> str:
@@ -143,6 +158,8 @@ class StrategyEvaluation:
     alpha: Optional[float] = None
     reorganizations: int = 0
     schedule_kind: Optional[ScheduleKind] = None
+    schedules_simulated: int = 0
+    schedules_pruned: int = 0
 
 
 @dataclass
@@ -166,6 +183,7 @@ class StageExecution:
     tasks: List[LayerTask]
     _timeline: Optional[IterationTimeline] = field(default=None, repr=False)
     _stage_timeline: Optional[IterationTimeline] = field(default=None, repr=False)
+    _stage_costs_cache: dict = field(default_factory=dict, repr=False)
 
     @property
     def timeline(self) -> IterationTimeline:
@@ -213,6 +231,23 @@ class StageExecution:
         activation_bytes_per_micro_batch: float = 0.0,
         p2p_bytes: float = 0.0,
     ):
+        """:meth:`stage_costs_for_shape` of a built schedule."""
+        return self.stage_costs_for_shape(
+            schedule.num_virtual_stages,
+            schedule.kind.splits_backward,
+            sequence_length,
+            activation_bytes_per_micro_batch=activation_bytes_per_micro_batch,
+            p2p_bytes=p2p_bytes,
+        )
+
+    def stage_costs_for_shape(
+        self,
+        num_virtual_stages: int,
+        split_backward: bool,
+        sequence_length: int,
+        activation_bytes_per_micro_batch: float = 0.0,
+        p2p_bytes: float = 0.0,
+    ):
         """Heterogeneous per-virtual-stage costs of this execution under a schedule.
 
         The single canonical lowering used by the strategy search, the
@@ -222,12 +257,26 @@ class StageExecution:
         :meth:`repro.sim.costs.CostModel.stage_cost_profile`, and the
         grad-input/grad-weight split is populated whenever the schedule asks
         for it.
+
+        Memoized per execution: the ``pipeline_schedule="auto"`` sweep asks
+        for the same lowering once per schedule candidate, and the costs only
+        depend on the schedule's virtual-stage count and backward-split, not
+        on its op order -- which also lets the pruning bound cost a candidate
+        without building its schedule.  Returns a tuple -- treat it as
+        immutable (it doubles as the fast-path cache key).
         """
+        key = (
+            num_virtual_stages, split_backward,
+            sequence_length, activation_bytes_per_micro_batch, p2p_bytes,
+        )
+        cached = self._stage_costs_cache.get(key)
+        if cached is not None:
+            return cached
         profile = self.cost_model.stage_cost_profile(
-            sequence_length, schedule.num_virtual_stages, layer_costs=self.layer_costs,
+            sequence_length, num_virtual_stages, layer_costs=self.layer_costs,
         )
         span = self.stage_timeline
-        return heterogeneous_stage_costs(
+        costs = tuple(heterogeneous_stage_costs(
             profile,
             span.forward_end_s / self.layers_per_stage,
             (span.total_s - span.forward_end_s) / self.layers_per_stage,
@@ -235,8 +284,10 @@ class StageExecution:
             activation_bytes_per_layer=(
                 activation_bytes_per_micro_batch / self.layers_per_stage
             ),
-            split_backward=schedule.kind.splits_backward,
-        )
+            split_backward=split_backward,
+        ))
+        self._stage_costs_cache[key] = costs
+        return costs
 
 
 class TrainingSystem(ABC):
@@ -262,6 +313,9 @@ class TrainingSystem(ABC):
         precision: PrecisionConfig = DEFAULT_PRECISION,
         pipeline_schedule: Optional[Union[ScheduleKind, str]] = ScheduleKind.ONE_F_ONE_B,
         pipeline_chunks: int = 1,
+        pipeline_engine: str = "fast",
+        validate_pipeline: bool = False,
+        prune_schedule_sweep: bool = True,
     ) -> None:
         """Args:
             pipeline_schedule: how PP candidates are executed and scored --
@@ -272,6 +326,15 @@ class TrainingSystem(ABC):
                 (1F1B, interleaved, ZB-H1) and keeps the fastest feasible one.
                 ``None`` falls back to the legacy analytic bubble formula.
             pipeline_chunks: virtual chunks per rank for interleaved-1F1B.
+            pipeline_engine: ``"fast"`` (memoized critical-path evaluator,
+                the default) or ``"event"`` (discrete-event engine); the two
+                report bit-identical numbers, so this only trades speed.
+            validate_pipeline: cross-check every fast-path evaluation against
+                the event-engine oracle (slow; raises on any divergence).
+            prune_schedule_sweep: skip schedule candidates whose analytic
+                lower bound cannot beat the incumbent (on by default; the
+                bound is conservative, so disabling this only slows the
+                sweep, it never changes the selected strategy).
         """
         self.calibration = calibration
         self.precision = precision
@@ -279,6 +342,13 @@ class TrainingSystem(ABC):
             pipeline_schedule = ScheduleKind.from_name(pipeline_schedule)
         self.pipeline_schedule = pipeline_schedule
         self.pipeline_chunks = pipeline_chunks
+        if pipeline_engine not in ("fast", "event"):
+            raise ValueError(
+                f"unknown pipeline_engine {pipeline_engine!r}; expected 'fast' or 'event'"
+            )
+        self.pipeline_engine = pipeline_engine
+        self.validate_pipeline = validate_pipeline
+        self.prune_schedule_sweep = prune_schedule_sweep
 
     # ------------------------------------------------------------- subclass API
     @property
@@ -326,6 +396,8 @@ class TrainingSystem(ABC):
             return evaluation.feasible, evaluation.iteration_time_s, evaluation.reason
 
         best, evaluated = find_best_strategy(candidates, evaluate)
+        simulated = sum(e.schedules_simulated for e in evaluations.values())
+        pruned = sum(e.schedules_pruned for e in evaluations.values())
         if best is None:
             reason = _dominant_failure_reason([evaluations[e.parallel] for e in evaluated])
             return TrainingReport(
@@ -333,6 +405,8 @@ class TrainingSystem(ABC):
                 workload=workload,
                 feasible=False,
                 failure_reason=reason,
+                schedules_simulated=simulated,
+                schedules_pruned=pruned,
             )
         evaluation = evaluations[best.parallel]
         mfu = compute_mfu(
@@ -346,6 +420,8 @@ class TrainingSystem(ABC):
         notes = []
         if evaluation.pipeline is not None:
             notes.append(f"pipeline schedule: {evaluation.pipeline.schedule.kind.value}")
+        if pruned:
+            notes.append(f"schedule sweep: {simulated} simulated, {pruned} pruned")
         return TrainingReport(
             system=self.name,
             workload=workload,
@@ -359,6 +435,8 @@ class TrainingSystem(ABC):
             timeline=evaluation.timeline,
             pipeline_timeline=evaluation.pipeline,
             notes=notes,
+            schedules_simulated=simulated,
+            schedules_pruned=pruned,
         )
 
     def max_sequence_length(
@@ -488,11 +566,64 @@ class TrainingSystem(ABC):
             calibration=self.calibration,
         )
         base_memory = _scale_activations(base_memory, overhead, planned=self.uses_memory_planning)
+        params_per_gpu = model.num_parameters / (
+            parallel.tensor_parallel * parallel.pipeline_parallel
+        )
+
+        def serial_overhead(memory: MemoryBreakdown) -> Tuple[int, float]:
+            """Reorganisation count and per-iteration serial seconds.
+
+            Allocator-reorganisation stalls: only systems without memory
+            planning suffer them.  Every micro-batch churns the caching
+            allocator, so the reorganisation count grows with both memory
+            pressure and the number of micro-batches; each stall costs
+            roughly the time to cudaFree and re-cudaMalloc the reserved
+            segments (the paper observes 6 and 16 stalls per iteration at
+            128K and 256K for the 7B model).  Monotone in ``memory``, which
+            is what lets the unscaled footprint serve as a pruning floor.
+            """
+            reorganizations = 0
+            reorg_stall = 0.0
+            if not self.uses_memory_planning:
+                pressure = memory.total_bytes / cluster.gpu.memory_bytes
+                per_micro_batch = min(max((pressure - 0.35) * 2.5, 0.0), 2.0)
+                reorganizations = int(round(per_micro_batch * micro_iterations))
+                reserved = min(memory.total_bytes * 1.15, float(cluster.gpu.memory_bytes))
+                per_stall = reserved / self.calibration.reorg_bandwidth_bytes_per_s
+                reorg_stall = reorganizations * per_stall
+            serial = (
+                cost_model.optimizer_step_time(params_per_gpu)
+                + cost_model.gradient_sync_time(params_per_gpu)
+                + cost_model.zero3_gather_time(params_per_gpu)
+                + reorg_stall
+                + extra_serial_s
+            )
+            return reorganizations, serial
+
+        def stage_costs_for(shape: Tuple[ScheduleKind, int, int, int]):
+            # The stage's own swap traffic is already folded into the
+            # per-layer spans by the single-stage executor, so the
+            # offload/prefetch streams stay empty here -- passing the bytes
+            # again would double-charge the PCIe link.
+            kind, stages, _, chunks = shape
+            return execution.stage_costs_for_shape(
+                stages * chunks,
+                kind.splits_backward,
+                workload.sequence_length,
+                activation_bytes_per_micro_batch=(
+                    base_memory.skeletal_activation_bytes
+                    + base_memory.rounding_buffer_bytes
+                ),
+                p2p_bytes=p2p_bytes,
+            )
 
         def evaluate_with_schedule(
             schedule_kind: Optional[ScheduleKind],
-            pipeline_schedule: Optional[PipelineSchedule],
+            shape: Optional[Tuple[ScheduleKind, int, int, int]],
         ) -> StrategyEvaluation:
+            pipeline_schedule: Optional[PipelineSchedule] = (
+                cached_build_schedule(*shape) if shape is not None else None
+            )
             in_flight = 1.0
             if pipeline_schedule is not None:
                 # peak_in_flight counts chunk-level passes; each holds only
@@ -501,12 +632,16 @@ class TrainingSystem(ABC):
                 # micro-batch's skeletal bytes per deferred grad-weight op.
                 # Activations peak on the first rank, weight stashes on the
                 # last, so take the max of the *combined* per-rank value.
+                peaks = pipeline_schedule.peak_in_flight()
+                stashes = (
+                    pipeline_schedule.peak_deferred_weights()
+                    if pipeline_schedule.kind.splits_backward else None
+                )
                 in_flight = max(
-                    pipeline_schedule.max_in_flight(rank) / pipeline_schedule.num_chunks
+                    peaks[rank] / pipeline_schedule.num_chunks
                     + (
-                        ZB_WEIGHT_STASH_FRACTION
-                        * pipeline_schedule.max_deferred_weights(rank)
-                        if pipeline_schedule.kind.splits_backward else 0.0
+                        ZB_WEIGHT_STASH_FRACTION * stashes[rank]
+                        if stashes is not None else 0.0
                     )
                     for rank in range(pipeline_schedule.num_stages)
                 )
@@ -525,63 +660,19 @@ class TrainingSystem(ABC):
                 )
 
             timeline = execution.timeline
-            params_per_gpu = model.num_parameters / (
-                parallel.tensor_parallel * parallel.pipeline_parallel
-            )
-
-            # Allocator-reorganisation stalls: only systems without memory
-            # planning suffer them.  Every micro-batch churns the caching
-            # allocator, so the reorganisation count grows with both memory
-            # pressure and the number of micro-batches; each stall costs
-            # roughly the time to cudaFree and re-cudaMalloc the reserved
-            # segments (the paper observes 6 and 16 stalls per iteration at
-            # 128K and 256K for the 7B model).
-            reorganizations = 0
-            reorg_stall = 0.0
-            if not self.uses_memory_planning:
-                pressure = memory.total_bytes / cluster.gpu.memory_bytes
-                per_micro_batch = min(max((pressure - 0.35) * 2.5, 0.0), 2.0)
-                reorganizations = int(round(per_micro_batch * micro_iterations))
-                reserved = min(memory.total_bytes * 1.15, float(cluster.gpu.memory_bytes))
-                per_stall = reserved / self.calibration.reorg_bandwidth_bytes_per_s
-                reorg_stall = reorganizations * per_stall
-            per_iteration_serial = (
-                cost_model.optimizer_step_time(params_per_gpu)
-                + cost_model.gradient_sync_time(params_per_gpu)
-                + cost_model.zero3_gather_time(params_per_gpu)
-                + reorg_stall
-                + extra_serial_s
-            )
+            reorganizations, per_iteration_serial = serial_overhead(memory)
             pipeline_timeline: Optional[PipelineTimeline] = None
             if pipeline_schedule is not None:
                 # Score the PP point with its simulated schedule (measured
                 # bubble, P2P transfers, heterogeneous stages) instead of the
-                # analytic (p - 1) / (m + p - 1) approximation.  The stage's
-                # own swap traffic is already folded into the per-layer spans
-                # by the single-stage executor, so the offload/prefetch
-                # streams stay empty here -- passing the bytes again would
-                # double-charge the PCIe link.
-                p2p_bytes = pipeline_p2p_bytes_per_micro_batch(
-                    model, parallel, workload.sequence_length,
-                    workload.micro_batch_size, self.precision,
-                )
-                p2p_time = cost_model.pipeline_p2p_time(p2p_bytes)
-                stage_costs = execution.pipeline_stage_costs(
+                # analytic (p - 1) / (m + p - 1) approximation.
+                pipeline_timeline = evaluate_schedule(
                     pipeline_schedule,
-                    workload.sequence_length,
-                    activation_bytes_per_micro_batch=(
-                        base_memory.skeletal_activation_bytes
-                        + base_memory.rounding_buffer_bytes
-                    ),
-                    p2p_bytes=p2p_bytes,
-                )
-                pipeline_timeline = simulate_pipeline(
-                    pipeline_schedule,
-                    stage_costs,
-                    p2p_bandwidth_bytes_per_s=(
-                        p2p_bytes / p2p_time if p2p_time > 0 else float("inf")
-                    ),
+                    stage_costs_for(shape),
+                    p2p_bandwidth_bytes_per_s=p2p_bandwidth,
                     pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
+                    engine=self.pipeline_engine,
+                    validate=self.validate_pipeline,
                 )
                 compute_time = pipeline_timeline.total_s
             else:
@@ -602,7 +693,7 @@ class TrainingSystem(ABC):
 
         auto = self.pipeline_schedule == "auto"
 
-        def resolve_candidate(kind: ScheduleKind) -> PipelineSchedule:
+        def resolve_candidate(kind: ScheduleKind) -> Tuple[ScheduleKind, int, int, int]:
             chunks = self.pipeline_chunks
             if kind is ScheduleKind.INTERLEAVED and auto:
                 # The auto sweep should try *real* interleaving even when the
@@ -610,37 +701,86 @@ class TrainingSystem(ABC):
                 chunks = max(chunks, 2)
             # num_layers caps the chunk count so every virtual stage holds at
             # least one layer: over-asking degrades, never throws -- the
-            # search may not crash on a legal parallelism point.
-            return resolve_schedule(
+            # search may not crash on a legal parallelism point.  Shapes, not
+            # built schedules: pruned candidates never materialise op lists.
+            return resolve_schedule_shape(
                 parallel, kind, micro_iterations, chunks, num_layers=model.num_layers,
             )
 
-        candidates: List[Tuple[Optional[ScheduleKind], Optional[PipelineSchedule]]] = []
+        candidates: List[Tuple[Optional[ScheduleKind], Optional[Tuple[ScheduleKind, int, int, int]]]] = []
         if parallel.pipeline_parallel > 1 and self.pipeline_schedule is not None:
             kinds = PIPELINE_SCHEDULE_CANDIDATES if auto else (self.pipeline_schedule,)
             seen = set()
             for kind in kinds:
-                resolved = resolve_candidate(kind)
-                key = (resolved.kind, resolved.num_chunks)
+                shape = resolve_candidate(kind)
+                key = (shape[0], shape[3])
                 if key in seen:
                     continue  # e.g. interleaved falling back to plain 1F1B
                 seen.add(key)
-                candidates.append((kind, resolved))
+                candidates.append((kind, shape))
         else:
             candidates.append((None, None))
 
+        # Loop-invariant pipeline transfer model, shared by the pruning bound
+        # and every candidate evaluation.
+        p2p_bytes = 0.0
+        p2p_bandwidth = float("inf")
+        if any(shape is not None for _, shape in candidates):
+            p2p_bytes = pipeline_p2p_bytes_per_micro_batch(
+                model, parallel, workload.sequence_length,
+                workload.micro_batch_size, self.precision,
+            )
+            p2p_time = cost_model.pipeline_p2p_time(p2p_bytes)
+            p2p_bandwidth = p2p_bytes / p2p_time if p2p_time > 0 else float("inf")
+
+        bounds: List[Optional[float]] = []
+        for kind, shape in candidates:
+            bound: Optional[float] = None
+            if self.prune_schedule_sweep and shape is not None:
+                bound = pipeline_lower_bound_for_shape(
+                    *shape, stage_costs_for(shape),
+                    p2p_bandwidth_bytes_per_s=p2p_bandwidth,
+                )
+            bounds.append(bound)
+
+        serial_floor: Optional[float] = None
+        simulated = 0
+        pruned = 0
         best: Optional[StrategyEvaluation] = None
-        for kind, resolved in candidates:
-            candidate = evaluate_with_schedule(kind, resolved)
+        best_index = -1
+        for index in prune_evaluation_order(
+            [bound if bound is not None else 0.0 for bound in bounds]
+        ):
+            kind, shape = candidates[index]
+            bound = bounds[index]
+            if bound is not None and bound > 0.0 and best is not None and best.feasible:
+                # Prune: the candidate's iteration time is its schedule time
+                # plus serial overhead, bounded below by the (safety-scaled,
+                # so strictly under-estimating) schedule lower bound plus a
+                # serial floor from the unscaled footprint -- the
+                # reorganisation stall only grows with the in-flight count.
+                if serial_floor is None:
+                    serial_floor = serial_overhead(base_memory)[1]
+                if cannot_beat(bound + serial_floor, best.iteration_time_s):
+                    pruned += 1
+                    continue
+            candidate = evaluate_with_schedule(kind, shape)
+            if candidate.pipeline is not None:
+                simulated += 1
             if not candidate.feasible:
-                if best is None:
-                    best = candidate
+                if best is None or (not best.feasible and index < best_index):
+                    best, best_index = candidate, index
                 continue
             if best is None or not best.feasible or (
                 candidate.iteration_time_s < best.iteration_time_s
+            ) or (
+                candidate.iteration_time_s == best.iteration_time_s
+                and index < best_index
             ):
-                best = candidate
+                best, best_index = candidate, index
         assert best is not None
+        best.schedules_simulated = simulated
+        best.schedules_pruned = pruned
         return best
 
     def _layer_tasks(

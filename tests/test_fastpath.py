@@ -1,0 +1,286 @@
+"""Unit tests for the fast-path evaluator, its caches, pruning counters,
+the engine's record flag and the once-per-search degenerate-schedule warning."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.config import tokens
+from repro.parallel.search import SearchStats, best_pipeline_schedule, resolve_schedule
+from repro.parallel.strategy import DegenerateScheduleWarning, ParallelismConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.fastpath import (
+    FastPathMismatchError,
+    _check_against_oracle,
+    cached_build_schedule,
+    clear_fastpath_caches,
+    critical_path_timeline,
+    evaluate_schedule,
+    fastpath_cache_info,
+    pipeline_lower_bound,
+)
+from repro.sim.pipeline import StageCosts, simulate_pipeline
+from repro.sim.schedules import OpKind, PipelineSchedule, ScheduleKind, StageOp, build_schedule
+from repro.systems.base import Workload
+from repro.systems.memo import MemoSystem
+
+COSTS = StageCosts(forward_s=1.0, backward_s=2.0)
+
+
+class TestScheduleCache:
+    def test_cached_build_returns_shared_instance(self):
+        first = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8, 1)
+        second = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8, 1)
+        assert first is second
+        assert first.rank_ops == build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8).rank_ops
+
+    def test_resolve_schedule_shares_the_cache(self):
+        parallel = ParallelismConfig(pipeline_parallel=4, micro_batches=8)
+        resolved = resolve_schedule(parallel, ScheduleKind.ONE_F_ONE_B)
+        assert resolved is cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8, 1)
+
+    def test_validate_rejects_out_of_range_indices(self):
+        # The integer step encoding (chunk * m + micro_batch) must not let an
+        # out-of-range micro-batch alias another chunk's step.
+        schedule = PipelineSchedule(
+            kind=ScheduleKind.INTERLEAVED,
+            num_stages=1,
+            num_micro_batches=2,
+            num_chunks=2,
+            rank_ops=(
+                (
+                    StageOp(OpKind.FORWARD, 0, 0, 0, 0),
+                    StageOp(OpKind.FORWARD, 0, 0, 1, 0),
+                    StageOp(OpKind.FORWARD, 0, 1, 0, 1),
+                    StageOp(OpKind.FORWARD, 0, 1, 1, 1),
+                    StageOp(OpKind.BACKWARD, 0, 1, 1, 1),
+                    StageOp(OpKind.BACKWARD, 0, 1, 0, 1),
+                    StageOp(OpKind.BACKWARD, 0, 0, 1, 0),
+                    # micro_batch 2 is out of range; its step aliases
+                    # (chunk=1, micro_batch=0), which has a forward.
+                    StageOp(OpKind.BACKWARD, 0, 0, 2, 0),
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            schedule.validate()
+
+
+class TestEvaluateSchedule:
+    def test_fast_timeline_is_memoized(self):
+        clear_fastpath_caches()
+        schedule = cached_build_schedule(ScheduleKind.ZB_H1, 3, 6, 1)
+        first = evaluate_schedule(schedule, COSTS)
+        second = evaluate_schedule(schedule, COSTS)
+        assert first is second
+        info = fastpath_cache_info()
+        assert info["timelines"].hits >= 1
+
+    def test_event_engine_is_never_served_from_cache(self):
+        schedule = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 2, 4, 1)
+        first = evaluate_schedule(schedule, COSTS, engine="event")
+        second = evaluate_schedule(schedule, COSTS, engine="event")
+        assert first is not second
+        assert first.total_s == second.total_s
+
+    def test_hand_built_schedule_does_not_alias_the_canonical_cache(self):
+        # Same (kind, p, m, v) structure key as the canonical 1F1B schedule,
+        # but GPipe-ordered ops: the cache must not hand back the canonical
+        # timeline for it.
+        canonical = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 2, 2, 1)
+        hand_built = PipelineSchedule(
+            kind=ScheduleKind.ONE_F_ONE_B,
+            num_stages=2,
+            num_micro_batches=2,
+            num_chunks=1,
+            rank_ops=tuple(
+                tuple(
+                    [StageOp(OpKind.FORWARD, rank, 0, mb, rank) for mb in range(2)]
+                    + [StageOp(OpKind.BACKWARD, rank, 0, mb, rank) for mb in (1, 0)]
+                )
+                for rank in range(2)
+            ),
+        )
+        assert hand_built.rank_ops != canonical.rank_ops
+        fast = evaluate_schedule(hand_built, COSTS)
+        oracle = simulate_pipeline(hand_built, COSTS)
+        assert fast.total_s == oracle.total_s
+
+    def test_validate_matches_oracle(self):
+        schedule = cached_build_schedule(ScheduleKind.INTERLEAVED, 2, 4, 2)
+        timeline = evaluate_schedule(schedule, COSTS, validate=True)
+        assert timeline.total_s == simulate_pipeline(schedule, COSTS).total_s
+
+    def test_validate_raises_on_divergence(self):
+        schedule = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 2, 2, 1)
+        good = critical_path_timeline(schedule, COSTS)
+        bad = critical_path_timeline(schedule, COSTS)
+        bad.total_s += 1.0
+        with pytest.raises(FastPathMismatchError, match="total_s"):
+            _check_against_oracle(bad, good)
+
+    def test_unknown_engine_rejected(self):
+        schedule = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 2, 2, 1)
+        with pytest.raises(ValueError, match="engine"):
+            evaluate_schedule(schedule, COSTS, engine="warp")
+
+
+class TestLowerBound:
+    def test_matches_busiest_rank_for_pp1(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 1, 5)
+        bound = pipeline_lower_bound(schedule, COSTS)
+        timeline = critical_path_timeline(schedule, COSTS)
+        # A single stage has no bubble: the bound is the whole makespan.
+        assert bound == pytest.approx(timeline.total_s, rel=1e-6)
+
+    def test_includes_fill_and_drain_for_fused_kinds(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 4)
+        bound = pipeline_lower_bound(schedule, COSTS)
+        work = 4 * (COSTS.forward_s + COSTS.backward_s)
+        fill = 3 * COSTS.forward_s
+        drain = 3 * COSTS.backward_s
+        assert bound == pytest.approx(fill + work + drain, rel=1e-6)
+
+    def test_transfer_hops_raise_the_bound(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        costly = StageCosts(forward_s=1.0, backward_s=2.0, p2p_bytes=1.0)
+        free = pipeline_lower_bound(schedule, costly)
+        slow = pipeline_lower_bound(schedule, costly, p2p_bandwidth_bytes_per_s=2.0)
+        assert slow > free
+
+
+class TestSearchPruning:
+    def test_stats_count_pruned_candidates(self):
+        parallel = ParallelismConfig(pipeline_parallel=4, micro_batches=8)
+        stats = SearchStats()
+        kind, timeline = best_pipeline_schedule(
+            parallel, 1.0, 2.0, backward_weight_fraction=0.5, stats=stats,
+        )
+        assert stats.schedules_simulated >= 1
+        assert stats.schedules_simulated + stats.schedules_pruned >= 2
+        assert timeline.total_s > 0
+        # ZB-H1 dominates 1F1B under these costs; with the bound ordering the
+        # fused 1F1B candidate is pruned, not simulated.
+        assert kind is ScheduleKind.ZB_H1
+        assert stats.schedules_pruned >= 1
+
+    def test_stats_add_accumulates(self):
+        total = SearchStats()
+        total.add(SearchStats(schedules_simulated=3, schedules_pruned=1))
+        total.add(SearchStats(schedules_pruned=2))
+        assert total.schedules_simulated == 3
+        assert total.schedules_pruned == 3
+
+    def test_training_report_exposes_sweep_counters(self):
+        workload = Workload("7B", tokens(64), 16, global_batch_samples=64)
+        report = MemoSystem(pipeline_schedule="auto").run(workload)
+        assert report.feasible
+        assert report.schedules_simulated > 0
+        assert report.schedules_pruned > 0
+        assert any("pruned" in note for note in report.notes)
+
+    def test_pruning_does_not_change_the_selected_strategy(self):
+        workload = Workload("7B", tokens(64), 16, global_batch_samples=64)
+        pruned = MemoSystem(pipeline_schedule="auto").run(workload)
+        unpruned = MemoSystem(
+            pipeline_schedule="auto", prune_schedule_sweep=False,
+        ).run(workload)
+        assert pruned.parallel == unpruned.parallel
+        assert pruned.iteration_time_s == unpruned.iteration_time_s
+        if pruned.pipeline_timeline is not None:
+            assert pruned.pipeline_timeline.schedule.kind is (
+                unpruned.pipeline_timeline.schedule.kind
+            )
+        assert unpruned.schedules_pruned == 0
+
+    def test_engines_report_identical_numbers(self):
+        workload = Workload("7B", tokens(64), 16, global_batch_samples=64)
+        fast = MemoSystem(pipeline_schedule="auto").run(workload)
+        event = MemoSystem(pipeline_schedule="auto", pipeline_engine="event").run(workload)
+        assert fast.parallel == event.parallel
+        assert fast.iteration_time_s == event.iteration_time_s
+        assert fast.mfu == event.mfu
+
+    def test_validate_pipeline_oracle_passes_end_to_end(self):
+        workload = Workload("7B", tokens(64), 8, global_batch_samples=16)
+        report = MemoSystem(pipeline_schedule="auto", validate_pipeline=True).run(workload)
+        assert report.feasible
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="pipeline_engine"):
+            MemoSystem(pipeline_engine="warp")
+
+
+class TestEngineRecordFlag:
+    @staticmethod
+    def _drive(engine: SimulationEngine):
+        order = []
+        engine.schedule(2.0, "b", lambda e: order.append(("b", e.now)))
+        engine.schedule(1.0, "a", lambda e: order.append(("a", e.now)))
+        engine.schedule(3.0, "c", lambda e: order.append(("c", e.now)))
+        pending_before = engine.pending
+        engine.run(until=2.5)
+        mid = (engine.now, engine.pending)
+        engine.run()
+        return pending_before, mid, engine.now, order
+
+    def test_pending_and_now_identical_with_and_without_recording(self):
+        recorded = SimulationEngine(record=True)
+        bare = SimulationEngine(record=False)
+        assert self._drive(recorded) == self._drive(bare)
+        assert len(recorded.processed) == 3
+        assert bare.processed == []
+
+    def test_pipeline_simulation_does_not_retain_events(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        engine = SimulationEngine(record=False)
+        timeline = simulate_pipeline(schedule, COSTS, engine=engine)
+        assert timeline.total_s > 0
+        assert engine.processed == []
+        assert engine.pending == 0
+
+
+class TestDegenerateWarningDedup:
+    def test_warns_once_per_search_not_once_per_candidate(self):
+        # The pinned-parallelism path rebuilds each candidate config via
+        # with_updates, which used to re-emit one DegenerateScheduleWarning
+        # per (recompute, offload) variant of the degenerate PP point.
+        workload = Workload("7B", tokens(64), 32)
+        system = MemoSystem(
+            pipeline_schedule="auto",
+            fixed_parallel=ParallelismConfig(
+                tensor_parallel=1, pipeline_parallel=4, data_parallel=8,
+                micro_batches=16,
+            ),
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            system.run(workload)
+        degenerate = [
+            entry for entry in caught
+            if issubclass(entry.category, DegenerateScheduleWarning)
+        ]
+        assert len(degenerate) == 1
+
+    def test_config_construction_still_warns_directly(self):
+        with pytest.warns(DegenerateScheduleWarning):
+            ParallelismConfig(pipeline_parallel=4, micro_batches=2)
+
+
+class TestCliEngineFlag:
+    BASE = ["sim-pipeline", "--model", "7B", "--gpus", "8", "--seqlen-k", "64",
+            "--pp", "4", "--tp", "2", "--micro-batches", "8", "--schedule", "1f1b"]
+
+    def test_fast_and_event_engines_print_identical_tables(self, capsys):
+        assert main(self.BASE + ["--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(self.BASE + ["--engine", "event"]) == 0
+        event_out = capsys.readouterr().out
+        assert fast_out == event_out
+
+    def test_validate_flag_runs_clean(self, capsys):
+        assert main(self.BASE + ["--validate"]) == 0
+        assert "1f1b" in capsys.readouterr().out

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for the critical-path fast evaluator.
+
+The load-bearing invariant of :mod:`repro.sim.fastpath`: the fast evaluator
+and the discrete-event engine report *bit-identical* makespan, busy times
+(hence bubble fraction) and per-stage peak memory for every schedule kind and
+every cost vector, and the analytic lower bound never exceeds the simulated
+makespan -- which is what makes bound-based pruning unable to change a
+search's argmax.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.strategy import ParallelismConfig
+from repro.parallel.search import SearchStats, best_pipeline_schedule
+from repro.sim.fastpath import (
+    critical_path_timeline,
+    evaluate_schedule,
+    pipeline_lower_bound,
+)
+from repro.sim.pipeline import StageCosts, simulate_pipeline
+from repro.sim.schedules import ScheduleKind, build_schedule
+
+
+@st.composite
+def schedule_shapes(draw):
+    """Random (kind, p, m, v) combinations that build_schedule accepts."""
+    kind = draw(st.sampled_from(list(ScheduleKind)))
+    p = draw(st.integers(min_value=1, max_value=6))
+    if kind is ScheduleKind.INTERLEAVED:
+        v = draw(st.integers(min_value=1, max_value=3))
+        m = p * draw(st.integers(min_value=1, max_value=4))
+    else:
+        v = 1
+        m = draw(st.integers(min_value=1, max_value=12))
+    return kind, p, m, v
+
+
+@st.composite
+def heterogeneous_costs(draw, num_virtual_stages, split_backward):
+    """Random per-virtual-stage costs covering every StageCosts field."""
+    stages = []
+    for _ in range(num_virtual_stages):
+        backward = draw(st.floats(min_value=0.01, max_value=4.0))
+        stages.append(StageCosts(
+            forward_s=draw(st.floats(min_value=0.01, max_value=2.0)),
+            backward_s=backward,
+            p2p_bytes=draw(st.sampled_from([0.0, 1.0, 7.5])),
+            offload_bytes=draw(st.sampled_from([0.0, 0.0, 3.0])),
+            prefetch_bytes=draw(st.sampled_from([0.0, 0.0, 2.0])),
+            recompute_s=draw(st.sampled_from([0.0, 0.25])),
+            activation_bytes=draw(st.floats(min_value=0.0, max_value=10.0)),
+            backward_weight_s=(
+                draw(st.floats(min_value=0.0, max_value=1.0)) * backward
+                if split_backward and draw(st.booleans()) else None
+            ),
+            weight_grad_bytes=(
+                draw(st.floats(min_value=0.0, max_value=5.0)) if split_backward else 0.0
+            ),
+        ))
+    return stages
+
+
+@st.composite
+def simulation_cases(draw):
+    kind, p, m, v = draw(schedule_shapes())
+    costs = draw(heterogeneous_costs(p * v, kind.splits_backward))
+    bandwidth = draw(st.sampled_from([float("inf"), 10.0, 0.5]))
+    latency = draw(st.sampled_from([0.0, 0.05]))
+    pcie = draw(st.sampled_from([1.0, 16.0]))
+    return (kind, p, m, v), costs, bandwidth, latency, pcie
+
+
+class TestFastPathEquivalence:
+    @given(simulation_cases())
+    @settings(max_examples=150, deadline=None)
+    def test_bit_identical_to_event_engine(self, case):
+        """Makespan, busy times, bubble and peak memory match exactly --
+        ``==`` on floats, not approx -- across all kinds and random
+        heterogeneous costs (stages <= 6, micro-batches <= 12)."""
+        (kind, p, m, v), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        oracle = simulate_pipeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth,
+            p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        fast = critical_path_timeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth,
+            p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        assert fast.total_s == oracle.total_s
+        assert fast.rank_compute_busy_s == oracle.rank_compute_busy_s
+        assert fast.rank_d2h_busy_s == oracle.rank_d2h_busy_s
+        assert fast.rank_h2d_busy_s == oracle.rank_h2d_busy_s
+        assert fast.bubble_fraction == oracle.bubble_fraction
+        assert fast.rank_peak_in_flight == oracle.rank_peak_in_flight
+        assert fast.rank_peak_activation_bytes == oracle.rank_peak_activation_bytes
+
+    @given(simulation_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_record_ops_reproduces_event_op_times(self, case):
+        """With record_ops=True every op's (start, end) matches the engine's."""
+        (kind, p, m, v), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        oracle = simulate_pipeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        fast = critical_path_timeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie, record_ops=True,
+        )
+        assert len(fast.records) == len(oracle.records)
+        by_op = {record.op: record for record in oracle.records}
+        for record in fast.records:
+            twin = by_op[record.op]
+            assert (record.start_s, record.end_s) == (twin.start_s, twin.end_s)
+
+    @given(simulation_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_validate_oracle_accepts_every_case(self, case):
+        """evaluate_schedule(validate=True) must never raise a mismatch."""
+        (kind, p, m, v), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        timeline = evaluate_schedule(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie, validate=True,
+        )
+        assert timeline.total_s >= 0.0
+
+
+class TestLowerBoundProperties:
+    @given(simulation_cases())
+    @settings(max_examples=150, deadline=None)
+    def test_lower_bound_never_exceeds_makespan(self, case):
+        (kind, p, m, v), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v)
+        timeline = critical_path_timeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        bound = pipeline_lower_bound(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+        )
+        assert bound <= timeline.total_s
+
+    def test_bound_is_tight_for_zb_h1_in_the_paper_regime(self):
+        """ZB-H1 with T_W >= T_B achieves the (p-1)F + m(F+B+W) bound, so the
+        analytic bound must be within a whisker of the simulated makespan."""
+        costs = StageCosts(forward_s=1.0, backward_s=2.0, backward_weight_s=1.2)
+        schedule = build_schedule(ScheduleKind.ZB_H1, 4, 8)
+        timeline = critical_path_timeline(schedule, costs)
+        bound = pipeline_lower_bound(schedule, costs)
+        assert bound <= timeline.total_s
+        assert bound >= 0.95 * timeline.total_s
+
+
+class TestPruningNeverChangesArgmax:
+    def test_exhaustive_small_lattice(self):
+        """best_pipeline_schedule with pruning == without, over an exhaustive
+        (p, m, f, b, weight-share, p2p) lattice -- same kind, same time."""
+        lattice = [
+            (p, m, forward, backward, share, p2p)
+            for p in (1, 2, 3, 4)
+            for m in (1, 2, 4, 8, 12)
+            for forward, backward in ((1.0, 2.0), (0.5, 3.0), (2.0, 1.0))
+            for share in (None, 0.3, 0.5)
+            for p2p in (0.0, 0.1)
+        ]
+        pruned_away = 0
+        for p, m, forward, backward, share, p2p in lattice:
+            parallel = ParallelismConfig(
+                pipeline_parallel=p, micro_batches=max(m, p),
+            )
+            stats = SearchStats()
+            pruned = best_pipeline_schedule(
+                parallel, forward, backward,
+                num_micro_batches=m, p2p_time_s=p2p,
+                backward_weight_fraction=share,
+                prune=True, stats=stats,
+            )
+            unpruned = best_pipeline_schedule(
+                parallel, forward, backward,
+                num_micro_batches=m, p2p_time_s=p2p,
+                backward_weight_fraction=share,
+                prune=False,
+            )
+            assert pruned[0] is unpruned[0], (p, m, forward, backward, share, p2p)
+            assert pruned[1].total_s == unpruned[1].total_s
+            pruned_away += stats.schedules_pruned
+        # The lattice must actually exercise pruning, or the test is vacuous.
+        assert pruned_away > 0
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.05, max_value=2.0),
+        st.floats(min_value=0.05, max_value=4.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_randomized_points(self, p, m, forward, backward, share):
+        parallel = ParallelismConfig(pipeline_parallel=p, micro_batches=max(m, p))
+        pruned = best_pipeline_schedule(
+            parallel, forward, backward, num_micro_batches=m,
+            backward_weight_fraction=share, prune=True,
+        )
+        unpruned = best_pipeline_schedule(
+            parallel, forward, backward, num_micro_batches=m,
+            backward_weight_fraction=share, prune=False,
+        )
+        assert pruned[0] is unpruned[0]
+        assert pruned[1].total_s == unpruned[1].total_s
