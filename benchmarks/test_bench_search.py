@@ -4,14 +4,15 @@ Runs the ``pipeline_schedule="auto"`` search for the reference workload (7B,
 256K tokens, 32 GPUs, a production-sized global batch of 1024 sequences, so
 each PP replica schedules up to 256 micro-batches) through both evaluators:
 
-* **legacy**: discrete-event engine, pruning disabled -- the search exactly as
-  it existed before the fast path;
-* **fast**: memoized critical-path evaluator with bound-based pruning -- the
-  default.
+* **legacy**: discrete-event engine, schedule- and strategy-level pruning
+  disabled -- the search exactly as it existed before the fast path;
+* **fast**: memoized critical-path evaluator with bound-based schedule
+  pruning and the analytic per-strategy floor -- the default.
 
-Asserts the PR's acceptance criteria: the fast arm selects the *identical*
+Asserts the acceptance criteria: the fast arm selects the *identical*
 strategy with the *identical* iteration time (the fast path is bit-identical,
-memoization and pruning are conservative) and is at least 5x faster
+memoization and both pruning levels are conservative), prunes whole
+parallelism points (strategies_pruned > 0), and is at least 5x faster
 end-to-end.  Run with ``-s`` to see the table.
 """
 
@@ -54,6 +55,7 @@ def test_smoke_search_fastpath_speedup(benchmark):
     def compare():
         legacy_s, legacy = timed_search(
             workload, pipeline_engine="event", prune_schedule_sweep=False,
+            prune_strategy_search=False,
         )
         fast_s, fast = timed_search(workload)
         return legacy_s, legacy, fast_s, fast, fastpath_cache_info()
@@ -62,11 +64,14 @@ def test_smoke_search_fastpath_speedup(benchmark):
 
     print(f"\n=== auto strategy search: {MODEL}, {SEQLEN_K}K, {GPUS} GPUs, "
           f"global batch {GLOBAL_BATCH} ===")
-    print(f"{'arm':<28} {'seconds':>9} {'simulated':>10} {'pruned':>7}")
+    print(f"{'arm':<28} {'seconds':>9} {'simulated':>10} {'pruned':>7} "
+          f"{'strategies':>11} {'floored':>8}")
     print(f"{'event engine (legacy)':<28} {legacy_s:>8.3f}s "
-          f"{legacy.schedules_simulated:>10} {legacy.schedules_pruned:>7}")
+          f"{legacy.schedules_simulated:>10} {legacy.schedules_pruned:>7} "
+          f"{legacy.strategies_evaluated:>11} {legacy.strategies_pruned:>8}")
     print(f"{'critical-path fast path':<28} {fast_s:>8.3f}s "
-          f"{fast.schedules_simulated:>10} {fast.schedules_pruned:>7}")
+          f"{fast.schedules_simulated:>10} {fast.schedules_pruned:>7} "
+          f"{fast.strategies_evaluated:>11} {fast.strategies_pruned:>8}")
     selected_schedule = (
         fast.pipeline_timeline.schedule.kind.value
         if fast.pipeline_timeline is not None else "no pipeline (PP=1)"
@@ -85,6 +90,10 @@ def test_smoke_search_fastpath_speedup(benchmark):
     # the memoized fast path evaluated no more schedules than the event arm.
     assert fast.schedules_pruned > 0
     assert fast.schedules_simulated <= legacy.schedules_simulated
+    # Acceptance (PR 4): the analytic floor prunes whole parallelism points
+    # before any schedule sweep, without changing the argmax asserted above.
+    assert fast.strategies_pruned > 0
+    assert fast.strategies_evaluated < legacy.strategies_evaluated
     # Acceptance: >= 5x end-to-end on the reference workload.
     assert legacy_s / fast_s >= REQUIRED_SPEEDUP
 

@@ -3,16 +3,20 @@
 
 Runs the same reference workload through two search configurations:
 
-* **legacy** -- the discrete-event engine with lower-bound pruning disabled
-  (the search exactly as it existed before the critical-path fast path);
-* **fast** -- the default configuration: memoized critical-path evaluator
-  plus bound-based pruning.
+* **legacy** -- the discrete-event engine with schedule-level *and*
+  strategy-level pruning disabled (the search exactly as it existed before
+  the critical-path fast path and the analytic strategy floor);
+* **fast** -- the default configuration: memoized critical-path evaluator,
+  bound-based schedule pruning, and strategy-level pruning (whole
+  parallelism points skipped via the FLOPs/bandwidth/serial-overhead floor
+  before any schedule sweep).
 
-and writes ``BENCH_search.json`` with the wall-clocks, the schedule-sweep
-counters (simulated / pruned) and the selected strategy of each arm.  Exits
-non-zero when the fast path is slower than the event engine or when the two
-arms disagree on the selected strategy or its iteration time -- the fast path
-must be a pure speedup, never a behaviour change.
+and writes ``BENCH_search.json`` with the wall-clocks, the schedule- and
+strategy-level work counters (simulated / pruned / evaluated) and the
+selected strategy of each arm.  Exits non-zero when the fast path is slower
+than the event engine, when the two arms disagree on the selected strategy or
+its iteration time, or when the reference search prunes no strategies -- the
+fast path must be a pure speedup, never a behaviour change.
 
 Usage::
 
@@ -61,6 +65,8 @@ def arm_payload(seconds: float, report: TrainingReport) -> dict:
         "iteration_time_s": report.iteration_time_s,
         "schedules_simulated": report.schedules_simulated,
         "schedules_pruned": report.schedules_pruned,
+        "strategies_evaluated": report.strategies_evaluated,
+        "strategies_pruned": report.strategies_pruned,
     }
 
 
@@ -87,6 +93,7 @@ def main(argv=None) -> int:
     legacy_seconds, legacy = run_search(
         workload, args.repeats,
         pipeline_engine="event", prune_schedule_sweep=False,
+        prune_strategy_search=False,
     )
     fast_seconds, fast = run_search(workload, args.repeats)
     caches = fastpath_cache_info()
@@ -114,9 +121,12 @@ def main(argv=None) -> int:
           f"{spec['seqlen_k']}K x {spec['gpus']} GPUs, "
           f"global batch {spec['global_batch']}")
     print(f"  legacy (event, no pruning): {legacy_seconds:.3f}s "
-          f"({legacy.schedules_simulated} schedules simulated)")
+          f"({legacy.strategies_evaluated} strategies evaluated, "
+          f"{legacy.schedules_simulated} schedules simulated)")
     print(f"  fast   (critical path)    : {fast_seconds:.3f}s "
-          f"({fast.schedules_simulated} simulated, "
+          f"({fast.strategies_evaluated} strategies evaluated, "
+          f"{fast.strategies_pruned} pruned by the analytic floor; "
+          f"{fast.schedules_simulated} schedules simulated, "
           f"{fast.schedules_pruned} pruned)")
     print(f"  speedup {speedup:.1f}x, strategy unchanged: {unchanged}")
     print(f"  wrote {args.output}")
@@ -126,6 +136,9 @@ def main(argv=None) -> int:
         return 1
     if fast_seconds > legacy_seconds:
         print("FAIL: fast path slower than the event engine", file=sys.stderr)
+        return 1
+    if fast.strategies_pruned <= 0:
+        print("FAIL: the analytic strategy floor pruned nothing", file=sys.stderr)
         return 1
     return 0
 

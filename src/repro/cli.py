@@ -76,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim_pipeline = subparsers.add_parser(
         "sim-pipeline",
-        help="simulate pipeline-parallel schedules (GPipe / 1F1B / interleaved / ZB-H1)",
+        help="simulate pipeline-parallel schedules (GPipe / 1F1B / interleaved / ZB-H1 / ZB-V)",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "schedules:\n"
@@ -89,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
             "  zb-h1        zero-bubble: backward split into grad-input (B) "
             "and deferred grad-weight (W)\n"
             "               ops; 1F1B activation memory, W fills the bubble\n"
+            "  zb-v         zero-bubble V placement: two chunks per rank, "
+            "chunk 0 of rank r is virtual\n"
+            "               stage r and chunk 1 is 2p-1-r, so the wave runs "
+            "down the ranks and folds back\n"
+            "               up -- rank 0 holds both the first and the loss "
+            "stage, halving the pipeline\n"
+            "               fill; B/W split per chunk, W ops drain into the "
+            "wave's idle gaps.  Needs two\n"
+            "               layers per rank; strongest when W ~ B (short "
+            "contexts)\n"
             "  all          simulate each of the above and tabulate them"
         ),
     )
@@ -102,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim_pipeline.add_argument("--chunks", type=int, default=2,
                               help="virtual chunks per rank for the interleaved schedule")
     sim_pipeline.add_argument("--schedule", default="all",
-                              choices=["gpipe", "1f1b", "interleaved", "zb-h1", "all"])
+                              choices=["gpipe", "1f1b", "interleaved", "zb-h1", "zb-v", "all"])
     sim_pipeline.add_argument("--offload", default="none",
                               choices=["none", "token_wise", "full"],
                               help="activation swapping mode of every stage")
@@ -239,6 +249,25 @@ def _command_sim_pipeline(args) -> int:
             p2p_bytes=p2p_bytes,
         )
 
+    names = (["gpipe", "1f1b", "interleaved", "zb-h1", "zb-v"]
+             if args.schedule == "all" else [args.schedule])
+
+    def resolve_named(name):
+        """Resolve one schedule name, or (None, reason) when unsatisfiable."""
+        kind = ScheduleKind.from_name(name)
+        # --chunks tunes interleaving only; zb-v's chunk count is structural
+        # (always two V-placed chunks) and must not inherit the request.
+        chunks = args.chunks if kind is ScheduleKind.INTERLEAVED else 1
+        try:
+            # num_layers caps the chunks so every virtual chunk holds a layer
+            # (and rejects a V placement the layer budget cannot satisfy).
+            return resolve_schedule(
+                parallel, kind, args.micro_batches, chunks,
+                num_layers=workload.model.num_layers,
+            ), None
+        except ValueError as error:
+            return None, str(error)
+
     if not args.uniform_stages:
         profile = execution.cost_model.stage_cost_profile(
             workload.sequence_length, args.pp, layer_costs=execution.layer_costs,
@@ -263,22 +292,46 @@ def _command_sim_pipeline(args) -> int:
                   f"{stage.split_backward_weight_s * 1e3:>8.1f}ms "
                   f"{stage.activation_bytes / GiB:>7.2f} GiB")
 
+        if "zb-v" in names:
+            v_schedule, v_reason = resolve_named("zb-v")
+            if v_schedule is not None:
+                v_profile = execution.cost_model.stage_cost_profile(
+                    workload.sequence_length, v_schedule.num_virtual_stages,
+                    layer_costs=execution.layer_costs,
+                )
+                v_costs = execution.pipeline_stage_costs(
+                    v_schedule, workload.sequence_length,
+                    activation_bytes_per_micro_batch=per_mb_activation,
+                )
+                ranks = v_schedule.virtual_stage_ranks
+                print(f"\nV-placement ({v_schedule.num_virtual_stages} virtual stages, "
+                      f"2 chunks per rank; the wave runs down ranks "
+                      f"0..{args.pp - 1} and folds back to rank 0):")
+                header = (f"{'vstage':>6} {'rank':>5} {'layers':>7} {'forward':>10} "
+                          f"{'grad-in B':>10} {'grad-wt W':>10}")
+                print(header)
+                print("-" * len(header))
+                for index, stage in enumerate(v_costs):
+                    print(f"{index:>6} {ranks[index]:>5} "
+                          f"{v_profile.layers_per_stage[index]:>7} "
+                          f"{stage.forward_s * 1e3:>8.1f}ms "
+                          f"{stage.split_backward_input_s * 1e3:>8.1f}ms "
+                          f"{stage.split_backward_weight_s * 1e3:>8.1f}ms")
+
     print()
     header = (f"{'schedule':<13} {'total':>9} {'bubble':>8} {'analytic':>9} "
               f"{'stage-0 peak':>13}  in-flight per stage")
     print(header)
     print("-" * len(header))
 
-    names = (["gpipe", "1f1b", "interleaved", "zb-h1"]
-             if args.schedule == "all" else [args.schedule])
     for name in names:
-        kind = ScheduleKind.from_name(name)
-        chunks = args.chunks if kind is ScheduleKind.INTERLEAVED else 1
-        # num_layers caps the chunks so every virtual chunk holds a layer.
-        schedule = resolve_schedule(
-            parallel, kind, args.micro_batches, chunks,
-            num_layers=workload.model.num_layers,
-        )
+        schedule, reason = resolve_named(name)
+        if schedule is None:
+            if args.schedule != "all":
+                print(f"error: {reason}", file=sys.stderr)
+                return 2
+            print(f"{name:<13} (skipped: {reason})")
+            continue
         costs = stage_costs_for(schedule)
         timeline = evaluate_schedule(
             schedule, costs,
@@ -291,7 +344,8 @@ def _command_sim_pipeline(args) -> int:
             base_bytes=memory.model_state_bytes,
             transient_peak_bytes=memory.transient_bytes + memory.classifier_bytes,
         )
-        label = name if schedule.kind is kind else f"{name}->1f1b"
+        kind = ScheduleKind.from_name(name)
+        label = name if schedule.kind is kind else f"{name}->{schedule.kind.value}"
         print(f"{label:<13} {timeline.total_s:>8.2f}s {timeline.bubble_fraction:>8.3f} "
               f"{timeline.analytic_bubble_fraction:>9.3f} "
               f"{stages[0].total_bytes / GiB:>9.2f} GiB  "

@@ -14,7 +14,7 @@ Invariants of the pipeline-schedule scoring helpers:
 * PP candidates are scored with a *simulated* schedule
   (:func:`simulate_pipeline_schedule`), never the analytic bubble formula;
   the schedule candidate set (:data:`PIPELINE_SCHEDULE_CANDIDATES`) covers
-  1F1B, interleaved-1F1B and the zero-bubble ZB-H1;
+  1F1B, interleaved-1F1B and the zero-bubble ZB-H1 and ZB-V;
 * scoring runs on the critical-path fast evaluator
   (:func:`repro.sim.fastpath.evaluate_schedule`, memoized) by default; the
   event engine is the opt-in ``engine="event"`` / ``validate=True`` oracle,
@@ -24,13 +24,19 @@ Invariants of the pipeline-schedule scoring helpers:
   (:func:`repro.sim.fastpath.pipeline_lower_bound`) already exceeds the
   incumbent are pruned without simulation; pruning is conservative (the
   bound is a true lower bound) and therefore never changes the selected
-  strategy, only the work spent finding it.  Pruned/simulated counts are
-  observable through :class:`SearchStats`;
-* :func:`resolve_schedule` is total: every (candidate, schedule-kind) pair
-  resolves to *some* buildable schedule, silently falling back to plain 1F1B
-  when the kind's structural constraints (interleaving divisibility, chunk
-  counts) do not hold -- the search must never throw on a legal parallelism
-  point;
+  strategy, only the work spent finding it.  The same machinery lifts one
+  level up: :func:`find_best_strategy` takes a per-strategy analytic floor
+  and skips whole parallelism points before any cost model is built or any
+  schedule swept.  Pruned/evaluated counts at both levels are observable
+  through :class:`SearchStats`;
+* :func:`resolve_schedule` is total over the sweeps' inputs: interleaving
+  falls back to plain 1F1B when its structural constraints (divisibility,
+  chunk counts) do not hold, and the sweeps degrade ZB-V to ZB-H1 via
+  :func:`viable_schedule_kind` when the model cannot fill two V-placed
+  chunks per rank -- the search must never throw on a legal parallelism
+  point.  Only an *explicit* ZB-V request with an unsatisfiable chunk count
+  or layer budget is rejected (:func:`resolve_schedule_shape` raises rather
+  than silently capping the V placement away);
 * ``micro_batches`` fed to a schedule is the replica's micro-iteration count
   (``global_batch // dp``), not the config placeholder, whenever the caller
   supplies it;
@@ -58,7 +64,7 @@ from repro.sim.fastpath import (
     pipeline_lower_bound_for_shape,
 )
 from repro.sim.pipeline import PipelineTimeline, StageCosts
-from repro.sim.schedules import ScheduleKind
+from repro.sim.schedules import ScheduleKind, V_WAVE_CHUNKS
 
 #: Schedule kinds a training system's strategy search may try for a PP
 #: candidate (GPipe is omitted: it is dominated by 1F1B on both time and
@@ -67,7 +73,29 @@ PIPELINE_SCHEDULE_CANDIDATES: Tuple[ScheduleKind, ...] = (
     ScheduleKind.ONE_F_ONE_B,
     ScheduleKind.INTERLEAVED,
     ScheduleKind.ZB_H1,
+    ScheduleKind.ZB_V,
 )
+
+
+def viable_schedule_kind(
+    kind: ScheduleKind, num_stages: int, num_layers: Optional[int],
+) -> ScheduleKind:
+    """The kind a candidate sweep should actually try for a PP point.
+
+    ZB-V needs every rank to hold two V-placed chunks of at least one layer
+    each; when the model cannot provide that, the sweep degrades to ZB-H1
+    (the non-interleaved zero-bubble schedule) the way interleaving degrades
+    to plain 1F1B -- keeping the search total over legal parallelism points,
+    while an *explicit* ZB-V request through :func:`resolve_schedule_shape`
+    still rejects the impossible placement loudly.
+    """
+    if (
+        kind is ScheduleKind.ZB_V
+        and num_layers is not None
+        and num_layers // num_stages < V_WAVE_CHUNKS
+    ):
+        return ScheduleKind.ZB_H1
+    return kind
 
 
 @dataclass(frozen=True)
@@ -109,20 +137,33 @@ class EvaluatedStrategy:
 
 @dataclass
 class SearchStats:
-    """Observable work counters of one schedule sweep.
+    """Observable work counters of one search.
 
-    ``schedules_pruned`` counts candidates skipped because their analytic
-    lower bound could not beat the incumbent -- pruning that, by
-    construction, never changes the selected strategy.
+    Two levels of pruning, both conservative by construction (true lower
+    bounds plus index tie-breaking, so neither can change the selected
+    strategy):
+
+    * ``schedules_pruned`` counts *schedule* candidates skipped inside one
+      strategy's sweep because their analytic lower bound could not beat the
+      sweep's incumbent;
+    * ``strategies_pruned`` counts whole *parallelism points* skipped by
+      :func:`find_best_strategy` because their per-strategy analytic floor
+      (FLOPs/bandwidth compute plus serial overhead) could not beat the best
+      feasible candidate found so far -- those strategies never build a cost
+      model, never run the stage executor and never sweep a single schedule.
     """
 
     schedules_simulated: int = 0
     schedules_pruned: int = 0
+    strategies_evaluated: int = 0
+    strategies_pruned: int = 0
 
     def add(self, other: "SearchStats") -> None:
         """Accumulate another sweep's counters into this one."""
         self.schedules_simulated += other.schedules_simulated
         self.schedules_pruned += other.schedules_pruned
+        self.strategies_evaluated += other.strategies_evaluated
+        self.strategies_pruned += other.strategies_pruned
 
 
 def prune_evaluation_order(bounds: Sequence[float]) -> List[int]:
@@ -237,9 +278,30 @@ def resolve_schedule_shape(
     Applies the same fallbacks as :func:`resolve_schedule` without building
     the O(p m v) op lists -- candidate loops use the shape for lower-bound
     pruning and only materialise the schedules that survive.
+
+    ZB-V is the one kind whose chunk count is structural rather than tunable:
+    the V placement folds exactly :data:`~repro.sim.schedules.V_WAVE_CHUNKS`
+    chunks per rank, so a request for any other chunk count -- or a model
+    whose layers cannot give every virtual stage at least one layer -- is
+    *rejected* with :class:`ValueError` instead of being silently capped to a
+    non-V schedule.  Candidate sweeps that must stay total pre-degrade the
+    kind with :func:`viable_schedule_kind`.
     """
     micro_batches = parallel.micro_batches if num_micro_batches is None else num_micro_batches
     stages = parallel.pipeline_parallel
+    if schedule_kind is ScheduleKind.ZB_V:
+        if num_chunks not in (1, V_WAVE_CHUNKS):
+            raise ValueError(
+                f"zb-v runs exactly {V_WAVE_CHUNKS} V-placed chunks per rank; "
+                f"a chunk request of {num_chunks} cannot be satisfied"
+            )
+        if num_layers is not None and num_layers // stages < V_WAVE_CHUNKS:
+            raise ValueError(
+                f"zb-v needs {V_WAVE_CHUNKS} chunks of >= 1 layer per rank, but "
+                f"{num_layers} layers over {stages} stages leave only "
+                f"{num_layers // stages}; use zb-h1 for this pipeline"
+            )
+        return schedule_kind, stages, micro_batches, V_WAVE_CHUNKS
     chunks = num_chunks if schedule_kind is ScheduleKind.INTERLEAVED else 1
     if num_layers is not None:
         chunks = min(chunks, max(num_layers // stages, 1))
@@ -265,6 +327,10 @@ def resolve_schedule(
     pipeline, so a chunk request is ignored for it.  When the model's
     ``num_layers`` is given, the chunk count is capped so every virtual
     stage holds at least one layer -- over-asking degrades, never throws.
+    The one exception is an explicit ZB-V request the V placement cannot
+    satisfy (wrong chunk count, or fewer than two layers per rank), which
+    raises instead of silently building a non-V schedule; candidate sweeps
+    pre-degrade the kind with :func:`viable_schedule_kind`.
     """
     shape = resolve_schedule_shape(
         parallel, schedule_kind, num_micro_batches, num_chunks, num_layers,
@@ -385,8 +451,14 @@ def best_pipeline_schedule(
     entries = []  # (bound, position, kind, resolved shape, costs)
     seen = set()
     for position, kind in enumerate(candidates):
+        kind = viable_schedule_kind(kind, parallel.pipeline_parallel, num_layers)
         shape = resolve_schedule_shape(
-            parallel, kind, num_micro_batches, num_chunks, num_layers,
+            parallel, kind,
+            num_micro_batches,
+            # The chunk request tunes interleaving; ZB-V's chunk count is
+            # structural and must not inherit it.
+            1 if kind is ScheduleKind.ZB_V else num_chunks,
+            num_layers,
         )
         key = (shape[0], shape[3])
         if key in seen:
@@ -450,6 +522,8 @@ def simulated_bubble_fraction(
 def find_best_strategy(
     candidates: Iterable[ParallelismConfig],
     evaluate: Callable[[ParallelismConfig], Tuple[bool, float, Optional[str]]],
+    strategy_bound: Optional[Callable[[ParallelismConfig], Optional[float]]] = None,
+    stats: Optional[SearchStats] = None,
 ) -> Tuple[Optional[EvaluatedStrategy], List[EvaluatedStrategy]]:
     """Evaluate every candidate and return the fastest feasible one.
 
@@ -457,6 +531,19 @@ def find_best_strategy(
         evaluate: maps a strategy to ``(feasible, iteration_time_s, reason)``;
             the reason describes why an infeasible strategy failed (OOM,
             host OOM, illegal degree, ...).
+        strategy_bound: optional per-strategy analytic floor -- a *true lower
+            bound* on the iteration time ``evaluate`` would report for the
+            candidate (safety-scaled strictly below it, like
+            :data:`repro.sim.fastpath.LOWER_BOUND_SAFETY`; ``None``/zero
+            proves nothing).  When given, candidates are evaluated in
+            ascending-(floor, index) order and a candidate whose floor cannot
+            beat the best feasible time found so far is skipped entirely --
+            no cost model, no stage executor, no schedule sweep.  Ties on
+            iteration time keep the lowest original index, so the selected
+            strategy is provably the one an exhaustive in-order sweep would
+            pick (property-tested on an exhaustive lattice).
+        stats: accumulator for ``strategies_evaluated`` /
+            ``strategies_pruned`` counters.
 
     Degenerate-schedule warnings are deduplicated across the whole search:
     evaluating a candidate may rebuild its :class:`ParallelismConfig` (e.g.
@@ -467,10 +554,21 @@ def find_best_strategy(
 
     Returns:
         ``(best, evaluated)`` where ``best`` is None when no candidate is
-        feasible (the workload OOMs under every configuration).
+        feasible (the workload OOMs under every configuration).  Pruned
+        candidates do not appear in ``evaluated`` -- they were never
+        evaluated; only the counters record them.
     """
+    ordered = list(candidates)
+    bounds: List[Optional[float]] = [None] * len(ordered)
+    order = list(range(len(ordered)))
+    if strategy_bound is not None:
+        bounds = [strategy_bound(candidate) for candidate in ordered]
+        order = prune_evaluation_order(
+            [bound if bound is not None else 0.0 for bound in bounds]
+        )
     evaluated: List[EvaluatedStrategy] = []
     best: Optional[EvaluatedStrategy] = None
+    best_index = -1
     caught: List[warnings.WarningMessage] = []
     try:
         # record=True without touching the filter state: caller filters (e.g.
@@ -478,14 +576,28 @@ def find_best_strategy(
         # that would have been *shown* are buffered for deduplication.
         with warnings.catch_warnings(record=True) as recorded:
             try:
-                for candidate in candidates:
+                for index in order:
+                    candidate = ordered[index]
+                    if (
+                        best is not None
+                        and cannot_beat(bounds[index], best.iteration_time_s)
+                    ):
+                        if stats is not None:
+                            stats.strategies_pruned += 1
+                        continue
                     feasible, time_s, reason = evaluate(candidate)
+                    if stats is not None:
+                        stats.strategies_evaluated += 1
                     record = EvaluatedStrategy(candidate, feasible, time_s, reason)
                     evaluated.append(record)
                     if not feasible:
                         continue
-                    if best is None or record.iteration_time_s < best.iteration_time_s:
+                    if best is None or record.iteration_time_s < best.iteration_time_s or (
+                        record.iteration_time_s == best.iteration_time_s
+                        and index < best_index
+                    ):
                         best = record
+                        best_index = index
             finally:
                 caught.extend(recorded)
     finally:

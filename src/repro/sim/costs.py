@@ -372,6 +372,13 @@ class CostModel:
         loss, balancing per-stage forward+backward time
         (:func:`uneven_layer_partition`).  With one virtual stage the profile
         degenerates to the whole model plus both boundary extras.
+
+        The profile is placement-agnostic: virtual stages are in logical
+        layer order, so a chunked schedule asks for ``p * v`` stages and maps
+        them to ranks itself -- under ZB-V's V placement the embedding stage
+        (vs 0) and the classifier stage (vs ``2p - 1``) both land on rank 0,
+        whose boundary-heavy chunks the uneven partition correspondingly
+        docks layers from.
         """
         if num_virtual_stages < 1:
             raise ValueError("num_virtual_stages must be >= 1")

@@ -63,7 +63,13 @@ from repro.sim.pipeline import (
     peak_activation_bytes,
     simulate_pipeline,
 )
-from repro.sim.schedules import OpKind, PipelineSchedule, ScheduleKind, build_schedule
+from repro.sim.schedules import (
+    OpKind,
+    PipelineSchedule,
+    ScheduleKind,
+    build_schedule,
+    virtual_stage_ranks,
+)
 
 #: Relative safety margin applied to the analytic lower bound before a
 #: pruning comparison: the bound's float summation order differs from the
@@ -131,6 +137,9 @@ def critical_path_timeline(
     p = schedule.num_stages
     m = schedule.num_micro_batches
     last_stage = schedule.num_virtual_stages - 1
+    # Placement map (mirrors the event engine's _PipelineState.vs_rank): the
+    # rank a cross-stage hand-off targets is placement-dependent.
+    vs_rank = schedule.virtual_stage_ranks
     # Per-stage costs flattened into arrays, durations pre-summed exactly as
     # the event engine sums them per dispatch (same expressions, so the same
     # floats), keeping attribute lookups out of the O(#ops) loop.
@@ -197,7 +206,7 @@ def critical_path_timeline(
                     d2h_avail[rank] = d2h_start + transfer
                     d2h_busy[rank] += transfer
                 if virtual_stage < last_stage:
-                    dst_rank = (virtual_stage + 1) % p
+                    dst_rank = vs_rank[virtual_stage + 1]
                     arrival = end
                     if dst_rank != rank:
                         if p2p_bytes[virtual_stage] > 0:
@@ -252,7 +261,7 @@ def critical_path_timeline(
                 if grad > now:
                     now = grad
                 if virtual_stage > 0:
-                    dst_rank = (virtual_stage - 1) % p
+                    dst_rank = vs_rank[virtual_stage - 1]
                     arrival = end
                     if dst_rank != rank:
                         grad_bytes = p2p_bytes[virtual_stage - 1]
@@ -436,19 +445,24 @@ def pipeline_lower_bound_for_shape(
     O(p m v) op lists.
 
     Three classical bounds, maximised (all are valid for every schedule kind
-    this package builds -- each rank's first op is the forward of its chunk-0
-    virtual stage, and for fused schedules each rank's last op is the
-    gradient-producing backward of chunk 0):
+    this package builds -- under both placements rank ``r``'s earliest
+    possible op is the forward of virtual stage ``r``, and for fused schedules
+    each rank's last op is the gradient-producing backward of chunk 0):
 
     * **fill + max-stage work**: rank ``r`` cannot start before micro-batch 0
       has been forwarded through virtual stages ``0..r-1`` (compute plus P2P
-      hops), and must then execute all of its ops back-to-back at best;
+      hops), and must then execute all of its ops back-to-back at best --
+      the rank's work sums its virtual stages under the schedule's placement
+      (:func:`~repro.sim.schedules.virtual_stage_ranks`), so a V placement
+      charges rank ``r`` stages ``r`` and ``2p - 1 - r``;
     * **gradient drain** (fused kinds only): after rank ``r``'s final
       backward, its gradient still cascades through every upstream stage --
-      under ZB-H1 the trailing grad-weight ops overlap that cascade, so the
-      term is dropped there;
+      the zero-bubble kinds overlap that cascade with their trailing
+      grad-weight ops, so the term is dropped there;
     * **single micro-batch traversal**: one micro-batch's forward chain down
-      the pipeline plus its backward(-input) chain back.
+      the pipeline plus its backward(-input) chain back, with each hop routed
+      through the placement map (V-placed neighbours fold back onto the same
+      rank, where the hop is free).
 
     The result is scaled down by :data:`LOWER_BOUND_SAFETY` so float rounding
     can never make the "bound" exceed the true makespan; pruning on
@@ -475,20 +489,26 @@ def pipeline_lower_bound_for_shape(
             return 0.0
         return p2p_latency_s + num_bytes / p2p_bandwidth_bytes_per_s
 
+    vs_rank = virtual_stage_ranks(kind, num_stages, num_chunks)
+    rank_work = [0.0] * p
+    for vs in range(num_virtual):
+        stage = per_stage[vs]
+        rank_work[vs_rank[vs]] += m * (
+            stage.forward_s + stage.recompute_s + stage.backward_s
+        )
+
     forward_chain = 0.0   # fill path: forward of mb 0 through stages 0..r-1
     backward_chain = 0.0  # drain path: grad cascade through stages r-1..0
     best = 0.0
     split = kind.splits_backward
     for rank in range(p):
-        work = 0.0
-        for chunk in range(num_chunks):
-            stage = per_stage[chunk * p + rank]
-            work += m * (stage.forward_s + stage.recompute_s + stage.backward_s)
-        bound = forward_chain + work
+        bound = forward_chain + rank_work[rank]
         if not split:
             bound += backward_chain
         best = max(best, bound)
         if rank < p - 1:
+            # Virtual stages 0..p-1 live on ranks 0..p-1 under both
+            # placements, so the fill/drain chains index stages by rank.
             stage = per_stage[rank]
             forward_chain += stage.forward_s + hop(rank, rank + 1, stage.p2p_bytes)
             backward_chain += (
@@ -502,8 +522,7 @@ def pipeline_lower_bound_for_shape(
         traversal += stage.forward_s + stage.recompute_s
         traversal += stage.split_backward_input_s if split else stage.backward_s
         if vs < num_virtual - 1:
-            src, dst = vs % p, (vs + 1) % p
-            traversal += 2.0 * hop(src, dst, stage.p2p_bytes)
+            traversal += 2.0 * hop(vs_rank[vs], vs_rank[vs + 1], stage.p2p_bytes)
     best = max(best, traversal)
     return best * (1.0 - LOWER_BOUND_SAFETY)
 

@@ -4,7 +4,11 @@ Lowers a :class:`repro.sim.schedules.PipelineSchedule` onto the discrete-event
 :class:`repro.sim.engine.SimulationEngine`: every rank owns a compute, a D2H
 and an H2D :class:`~repro.sim.streams.Stream`, ranks execute their op lists in
 schedule order, and inter-stage activation/gradient hand-offs become P2P
-transfer events whose completion unblocks the neighbouring rank.
+transfer events whose completion unblocks the neighbouring rank.  The rank a
+hand-off targets comes from the schedule's placement map
+(:attr:`~repro.sim.schedules.PipelineSchedule.virtual_stage_ranks`): block
+layouts route ``vs % p``, the ZB-V placement folds the wave back through the
+same ranks.
 
 Execution invariants:
 
@@ -402,6 +406,9 @@ class _PipelineState:
         self.p2p_bandwidth = p2p_bandwidth_bytes_per_s
         self.p2p_latency = p2p_latency_s
         self.pcie_bandwidth = pcie_bandwidth_bytes_per_s
+        # Placement map: which rank holds each virtual stage.  Block layouts
+        # reduce to ``vs % p``; the V placement folds back through the ranks.
+        self.vs_rank = schedule.virtual_stage_ranks
         p = schedule.num_stages
         self.compute = [Stream(StreamKind.COMPUTE) for _ in range(p)]
         self.d2h = [Stream(StreamKind.D2H) for _ in range(p)]
@@ -521,7 +528,7 @@ class _PipelineState:
             )
         if op.virtual_stage < self.schedule.num_virtual_stages - 1:
             dst_stage = op.virtual_stage + 1
-            dst_rank = dst_stage % self.schedule.num_stages
+            dst_rank = self.vs_rank[dst_stage]
             transfer = self._transfer_time(op.rank, dst_rank, stage.p2p_bytes)
             engine.schedule_at(
                 end + transfer,
@@ -541,7 +548,7 @@ class _PipelineState:
     def _on_backward_complete(self, engine: SimulationEngine, op: StageOp, end: float) -> None:
         if op.virtual_stage > 0:
             dst_stage = op.virtual_stage - 1
-            dst_rank = dst_stage % self.schedule.num_stages
+            dst_rank = self.vs_rank[dst_stage]
             transfer = self._transfer_time(
                 op.rank, dst_rank, self.costs[dst_stage].p2p_bytes
             )

@@ -1,10 +1,35 @@
-"""Pipeline-parallel schedule construction (GPipe / 1F1B / interleaved / ZB-H1).
+"""Pipeline-parallel schedule construction (GPipe / 1F1B / interleaved / ZB-H1 / ZB-V).
 
 A schedule lowers ``(num_stages, num_micro_batches, num_chunks)`` into one
 statically-ordered op list per pipeline rank.  Ranks execute their list *in
 order* (that in-order discipline is what distinguishes 1F1B from a greedy
 work-conserving executor), while the event-driven simulator in
 :mod:`repro.sim.pipeline` resolves the cross-rank data dependencies.
+
+Schedules are built from a small composable IR rather than one hand-written
+builder per kind (:class:`ScheduleRecipe`): a schedule is the product of
+
+* a **placement rule** -- where the virtual stages live.  ``BLOCK`` is
+  Megatron's layout (chunk ``c`` of rank ``r`` is virtual stage
+  ``c * num_stages + r``); ``V_WAVE`` is the zero-bubble V layout (exactly two
+  chunks, chunk 0 of rank ``r`` is virtual stage ``r`` and chunk 1 is
+  ``2p - 1 - r``, so rank 0 holds both the first and the last virtual stage);
+* a **backward-split rule** -- ``FUSED`` runs one ``BACKWARD`` per pass;
+  the split rules run a ``BACKWARD_INPUT`` (grad w.r.t. the stage input, the
+  only backward op on the inter-stage critical path) plus a deferrable
+  ``BACKWARD_WEIGHT``, with a per-rank defer policy: ``SPLIT_LAG_RANK``
+  statically lags each W by ``min(rank, passes)`` grad-input ops (ZB-H1),
+  ``SPLIT_FILL_GAPS`` places W ops wherever the rank would otherwise idle
+  (ZB-V);
+* a **steady-state rule** -- ``ALL_FORWARD_THEN_BACKWARD`` (GPipe) or
+  ``ONE_F_ONE_B`` (warm-up forwards, 1F/1B alternation, cool-down drain).
+
+The four block-placed kinds lower through one closed-form composed builder
+and reproduce the pre-IR hand-written op lists bit-identically (golden-tested
+in ``tests/test_schedule_ir.py``); the V placement lowers through a
+deterministic unit-cost wavefront list scheduler, whose generation order is a
+topological order of the dependency DAG consistent with every rank's list --
+which is what guarantees the schedule can never deadlock, for any op costs.
 
 Invariants every built schedule satisfies (checked by :meth:`PipelineSchedule.validate`):
 
@@ -26,51 +51,163 @@ Cross-rank dependencies resolved by the simulator:
   ``BACKWARD_INPUT``, which is what lets zero-bubble schedules defer it into
   bubbles without stalling the inter-stage gradient chain.
 
-Interleaving follows Megatron-LM's virtual-pipeline layout: rank ``r`` holds
-``num_chunks`` model chunks, chunk ``c`` of rank ``r`` is virtual stage
-``c * num_stages + r``, and micro-batches advance through all
-``num_stages * num_chunks`` virtual stages.
+The rank holding a virtual stage is placement-dependent
+(:func:`virtual_stage_ranks`); both simulators and the analytic lower bound
+use that map rather than the ``vs % p`` arithmetic that only holds for BLOCK.
 
 ZB-H1 (Qi et al., "Zero Bubble Pipeline Parallelism") splits each backward
-into a grad-input op ``B`` (on the inter-stage critical path, frees the
-micro-batch's activations) and a grad-weight op ``W`` (rank-local, needs only
-a stashed per-micro-batch buffer).  Each rank defers its ``W`` ops by a small
-bounded lag so they fill the 1F1B warm-up/cool-down bubbles; the activation
-in-flight bound stays exactly 1F1B's ``min(p - rank, m)``, at the price of up
-to :meth:`PipelineSchedule.max_deferred_weights` outstanding weight-grad
-stashes per rank.
+into a grad-input op ``B`` and a grad-weight op ``W``; each rank defers its
+``W`` ops by a bounded ``defer = rank`` lag so they fill the 1F1B
+warm-up/cool-down bubbles, keeping 1F1B's ``min(p - rank, m)`` activation
+bound at the price of up to :meth:`PipelineSchedule.max_deferred_weights`
+weight-grad stashes per rank.  ZB-V additionally V-places two chunks per rank
+so the loss stage sits next to the first stage on rank 0: the pipeline fill
+shrinks to ``(p - 1)`` *chunk* forwards (half a stage each) and the W ops
+drain into the wave's idle gaps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, NamedTuple, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+
+class PlacementRule(Enum):
+    """Where a schedule's virtual stages live (the placement axis of the IR)."""
+
+    #: Megatron block layout: chunk ``c`` of rank ``r`` is virtual stage
+    #: ``c * num_stages + r``.
+    BLOCK = "block"
+    #: Zero-bubble V layout: exactly two chunks, chunk 0 of rank ``r`` is
+    #: virtual stage ``r``, chunk 1 is ``2 num_stages - 1 - r`` -- the wave
+    #: runs down the ranks and folds back up, so rank 0 holds both the first
+    #: and the last (loss) virtual stage.
+    V_WAVE = "v-wave"
+
+
+class BackwardSplitRule(Enum):
+    """How a schedule runs the backward pass (the split axis of the IR)."""
+
+    #: One fused ``BACKWARD`` per (chunk, micro-batch) pass.
+    FUSED = "fused"
+    #: Split ``BACKWARD_INPUT``/``BACKWARD_WEIGHT`` with each W statically
+    #: lagging its grad-input op by ``min(rank, passes)`` passes (ZB-H1's
+    #: makespan-optimal per-rank defer policy).
+    SPLIT_LAG_RANK = "split-lag-rank"
+    #: Split ``BACKWARD_INPUT``/``BACKWARD_WEIGHT`` with W ops placed wherever
+    #: the wavefront scheduler would otherwise leave the rank idle (ZB-V's
+    #: gap-filling defer policy); leftovers drain at the tail.
+    SPLIT_FILL_GAPS = "split-fill-gaps"
+
+    @property
+    def splits_backward(self) -> bool:
+        return self is not BackwardSplitRule.FUSED
+
+
+class SteadyStateRule(Enum):
+    """How forwards and backwards interleave (the steady-state axis of the IR)."""
+
+    #: All forwards first, then all backwards in reverse order (GPipe).
+    ALL_FORWARD_THEN_BACKWARD = "f-then-b"
+    #: Warm-up forwards, steady 1F/1B alternation, cool-down backward drain.
+    ONE_F_ONE_B = "1f1b"
+
+
+class ScheduleRecipe(NamedTuple):
+    """The composable IR: a schedule is placement x backward-split x steady-state."""
+
+    placement: PlacementRule
+    backward_split: BackwardSplitRule
+    steady_state: SteadyStateRule
 
 
 class ScheduleKind(Enum):
-    """The pipeline schedules the simulator understands."""
+    """The pipeline schedules the simulator understands.
+
+    Each kind names one :class:`ScheduleRecipe` composition (see
+    :attr:`recipe`); adding a schedule means naming a new composition, not
+    writing a new builder.
+    """
 
     GPIPE = "gpipe"
     ONE_F_ONE_B = "1f1b"
     INTERLEAVED = "interleaved"
     ZB_H1 = "zb-h1"
+    ZB_V = "zb-v"
 
     @classmethod
     def from_name(cls, name: str) -> "ScheduleKind":
-        """Parse a CLI-style schedule name (``gpipe`` / ``1f1b`` / ``interleaved`` / ``zb-h1``)."""
+        """Parse a CLI-style schedule name, case-insensitively.
+
+        Raises:
+            ValueError: listing every valid name, so a caller typo (or a
+                schedule added to a newer version only) is self-diagnosing.
+        """
         for kind in cls:
             if kind.value == name.lower():
                 return kind
-        raise ValueError(
-            f"unknown schedule {name!r}; expected one of "
-            f"{', '.join(k.value for k in cls)}"
-        )
+        valid = ", ".join(repr(k.value) for k in cls)
+        raise ValueError(f"unknown schedule {name!r}; valid names are {valid}")
+
+    @property
+    def recipe(self) -> ScheduleRecipe:
+        """The (placement, backward-split, steady-state) composition of this kind."""
+        return _RECIPES[self]
 
     @property
     def splits_backward(self) -> bool:
         """Whether the schedule runs grad-input and grad-weight as separate ops."""
-        return self is ScheduleKind.ZB_H1
+        return self.recipe.backward_split.splits_backward
+
+    @property
+    def placement(self) -> PlacementRule:
+        """Where this kind's virtual stages live."""
+        return self.recipe.placement
+
+
+#: The compositions behind the named kinds.  GPipe/1F1B/interleaved differ
+#: only along one axis each; the zero-bubble kinds differ from 1F1B only in
+#: the split rule (ZB-H1) or the split rule plus the placement (ZB-V).
+_RECIPES: Dict[ScheduleKind, ScheduleRecipe] = {
+    ScheduleKind.GPIPE: ScheduleRecipe(
+        PlacementRule.BLOCK, BackwardSplitRule.FUSED,
+        SteadyStateRule.ALL_FORWARD_THEN_BACKWARD,
+    ),
+    ScheduleKind.ONE_F_ONE_B: ScheduleRecipe(
+        PlacementRule.BLOCK, BackwardSplitRule.FUSED, SteadyStateRule.ONE_F_ONE_B,
+    ),
+    ScheduleKind.INTERLEAVED: ScheduleRecipe(
+        PlacementRule.BLOCK, BackwardSplitRule.FUSED, SteadyStateRule.ONE_F_ONE_B,
+    ),
+    ScheduleKind.ZB_H1: ScheduleRecipe(
+        PlacementRule.BLOCK, BackwardSplitRule.SPLIT_LAG_RANK,
+        SteadyStateRule.ONE_F_ONE_B,
+    ),
+    ScheduleKind.ZB_V: ScheduleRecipe(
+        PlacementRule.V_WAVE, BackwardSplitRule.SPLIT_FILL_GAPS,
+        SteadyStateRule.ONE_F_ONE_B,
+    ),
+}
+
+#: Chunks per rank a V placement requires: the wave runs down the ranks and
+#: folds back up exactly once.
+V_WAVE_CHUNKS = 2
+
+
+def virtual_stage_ranks(
+    kind: ScheduleKind, num_stages: int, num_chunks: int,
+) -> Tuple[int, ...]:
+    """The rank holding each virtual stage, in logical stage order.
+
+    The single placement map shared by the event engine, the critical-path
+    fast evaluator and the analytic lower bound -- all three must route
+    activations/gradients identically or the fast == event invariant breaks.
+    """
+    if kind.placement is PlacementRule.V_WAVE:
+        last = V_WAVE_CHUNKS * num_stages - 1
+        return tuple(min(vs, last - vs) for vs in range(last + 1))
+    return tuple(vs % num_stages for vs in range(num_stages * num_chunks))
 
 
 class OpKind(Enum):
@@ -108,10 +245,10 @@ class StageOp(NamedTuple):
     Attributes:
         kind: forward or backward.
         rank: physical pipeline rank executing the op.
-        chunk: model chunk on that rank (0 unless interleaved).
+        chunk: model chunk on that rank (0 unless the placement is chunked).
         micro_batch: micro-batch index in ``[0, num_micro_batches)``.
-        virtual_stage: ``chunk * num_stages + rank`` -- position in the
-            logical layer order.
+        virtual_stage: position in the logical layer order; the chunk-to-stage
+            map depends on the schedule's :class:`PlacementRule`.
     """
 
     kind: OpKind
@@ -139,6 +276,15 @@ class PipelineSchedule:
         return self.num_stages * self.num_chunks
 
     @property
+    def virtual_stage_ranks(self) -> Tuple[int, ...]:
+        """Placement map ``virtual stage -> rank`` (memoized; see module helper)."""
+        cached = self.__dict__.get("_virtual_stage_ranks")
+        if cached is None:
+            cached = virtual_stage_ranks(self.kind, self.num_stages, self.num_chunks)
+            object.__setattr__(self, "_virtual_stage_ranks", cached)
+        return cached
+
+    @property
     def ops_per_rank(self) -> int:
         """Ops each rank executes: ``2 m v`` fused, ``3 m v`` with split backward."""
         steps = 3 if self.kind.splits_backward else 2
@@ -148,11 +294,11 @@ class PipelineSchedule:
         """The textbook bubble bound for uniform stage times and free P2P.
 
         GPipe and 1F1B both idle for ``(p - 1)`` stage slots out of
-        ``(m + p - 1)``; interleaving with ``v`` chunks shrinks a slot by
-        ``v``, giving ``(p - 1) / (v * m + p - 1)``.  For ZB-H1 this is the
-        1F1B *upper bound* the measured bubble undercuts: the zero-bubble
-        value depends on the F/B/W cost split, which the schedule alone does
-        not know (the simulator measures it).
+        ``(m + p - 1)``; chunking with ``v`` chunks shrinks a slot by ``v``,
+        giving ``(p - 1) / (v * m + p - 1)``.  For the zero-bubble kinds this
+        is the fused *upper bound* the measured bubble undercuts: the
+        zero-bubble value depends on the F/B/W cost split, which the schedule
+        alone does not know (the simulator measures it).
         """
         p = self.num_stages
         if p <= 1:
@@ -165,11 +311,14 @@ class PipelineSchedule:
         """Peak number of micro-batch activations held by a rank.
 
         Walks the rank's op list counting forwards minus activation-freeing
-        backwards; for 1F1B (and ZB-H1, whose ``BACKWARD_INPUT`` frees the
-        activations) this is the classic ``min(p - rank, m)`` bound, for GPipe
-        it is ``m``.  Interleaved ranks count activations across all their
-        chunks.  Deferred ``BACKWARD_WEIGHT`` ops do not hold activations --
-        their stash is counted by :meth:`max_deferred_weights`.
+        backwards; for 1F1B (and the zero-bubble kinds, whose
+        ``BACKWARD_INPUT`` frees the activations) this is the classic
+        ``min(p - rank, m)`` bound, for GPipe it is ``m``.  Chunked ranks
+        count activations across all their chunks -- each chunk pass pins only
+        ``1 / num_chunks`` of the rank's per-micro-batch state, which is how
+        the memory model weighs the count.  Deferred ``BACKWARD_WEIGHT`` ops
+        do not hold activations -- their stash is counted by
+        :meth:`max_deferred_weights`.
         """
         live = 0
         peak = 0
@@ -201,7 +350,10 @@ class PipelineSchedule:
 
         A ``BACKWARD_INPUT`` pins the per-micro-batch buffers its deferred
         ``BACKWARD_WEIGHT`` will need (the linear-layer inputs); the stash is
-        released when the W op runs.  Zero for fused schedules.
+        released when the W op runs.  Chunked split schedules (ZB-V) count
+        stashes across both chunks -- like :meth:`max_in_flight`, each chunk
+        stash pins ``1 / num_chunks`` of a full micro-batch's buffers.  Zero
+        for fused schedules.
         """
         live = 0
         peak = 0
@@ -307,16 +459,18 @@ def build_schedule(
     num_micro_batches: int,
     num_chunks: int = 1,
 ) -> PipelineSchedule:
-    """Construct a validated pipeline schedule.
+    """Construct a validated pipeline schedule from its kind's recipe.
 
     Args:
-        kind: GPipe, 1F1B or interleaved-1F1B.
+        kind: GPipe, 1F1B, interleaved-1F1B, ZB-H1 or ZB-V.
         num_stages: pipeline-parallel degree ``p``.
         num_micro_batches: micro-batches ``m`` per iteration.
-        num_chunks: virtual chunks per rank ``v``; must be 1 unless
-            interleaved.  Interleaving additionally requires
-            ``m % p == 0`` (Megatron's constraint) so that micro-batch groups
-            tile the virtual pipeline.
+        num_chunks: virtual chunks per rank ``v``; must be 1 unless the
+            placement is chunked (interleaved takes any ``v``, the V placement
+            exactly :data:`V_WAVE_CHUNKS`).  Interleaving additionally
+            requires ``m % p == 0`` (Megatron's constraint) so that
+            micro-batch groups tile the virtual pipeline; the V wavefront has
+            no divisibility constraint.
 
     Raises:
         ValueError: on inconsistent ``(kind, p, m, v)`` combinations.
@@ -327,7 +481,14 @@ def build_schedule(
         raise ValueError("num_micro_batches must be >= 1")
     if num_chunks < 1:
         raise ValueError("num_chunks must be >= 1")
-    if kind is not ScheduleKind.INTERLEAVED and num_chunks != 1:
+    recipe = kind.recipe
+    if recipe.placement is PlacementRule.V_WAVE:
+        if num_chunks != V_WAVE_CHUNKS:
+            raise ValueError(
+                f"{kind.value} schedules use exactly {V_WAVE_CHUNKS} V-placed "
+                f"chunks per rank (got num_chunks={num_chunks})"
+            )
+    elif kind is not ScheduleKind.INTERLEAVED and num_chunks != 1:
         # ZB-H1 included: it is defined on the non-interleaved pipeline.
         raise ValueError(f"{kind.value} schedules use exactly one chunk per rank")
     if kind is ScheduleKind.INTERLEAVED and num_chunks > 1 and num_stages > 1:
@@ -338,112 +499,296 @@ def build_schedule(
             )
 
     p, m, v = num_stages, num_micro_batches, num_chunks
-    builders = {
-        ScheduleKind.GPIPE: _gpipe_rank_ops,
-        ScheduleKind.ONE_F_ONE_B: _one_f_one_b_rank_ops,
-        ScheduleKind.INTERLEAVED: _interleaved_rank_ops,
-        ScheduleKind.ZB_H1: _zb_h1_rank_ops,
-    }
-    rank_ops = tuple(tuple(builders[kind](rank, p, m, v)) for rank in range(p))
+    if recipe.placement is PlacementRule.V_WAVE:
+        rank_lists = _v_wave_rank_ops(recipe, p, m)
+    else:
+        rank_lists = [_block_rank_ops(recipe, rank, p, m, v) for rank in range(p)]
     schedule = PipelineSchedule(
         kind=kind,
         num_stages=p,
         num_micro_batches=m,
         num_chunks=v,
-        rank_ops=rank_ops,
+        rank_ops=tuple(tuple(ops) for ops in rank_lists),
     )
     schedule.validate()
     return schedule
 
 
 def _op(kind: OpKind, rank: int, chunk: int, micro_batch: int, p: int) -> StageOp:
+    """A block-placed op: virtual stage ``chunk * p + rank``."""
     return StageOp(kind, rank, chunk, micro_batch, chunk * p + rank)
 
 
-def _gpipe_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
-    """GPipe: all forwards, then all backwards in reverse micro-batch order."""
-    ops = [_op(OpKind.FORWARD, rank, 0, mb, p) for mb in range(m)]
-    ops.extend(_op(OpKind.BACKWARD, rank, 0, mb, p) for mb in reversed(range(m)))
-    return ops
+# --------------------------------------------------------------- block builder
+def _block_rank_ops(
+    recipe: ScheduleRecipe, rank: int, p: int, m: int, v: int,
+) -> List[StageOp]:
+    """Compose one block-placed rank's op list from its recipe.
 
-
-def _one_f_one_b_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
-    """Non-interleaved 1F1B: warmup forwards, steady 1F1B, cooldown backwards."""
-    warmup = min(p - 1 - rank, m)
-    ops = [_op(OpKind.FORWARD, rank, 0, mb, p) for mb in range(warmup)]
-    for index in range(m - warmup):
-        ops.append(_op(OpKind.FORWARD, rank, 0, warmup + index, p))
-        ops.append(_op(OpKind.BACKWARD, rank, 0, index, p))
-    ops.extend(_op(OpKind.BACKWARD, rank, 0, mb, p) for mb in range(m - warmup, m))
-    return ops
-
-
-def _zb_h1_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
-    """ZB-H1: 1F1B forward/grad-input order with grad-weight ops deferred.
-
-    The forward warm-up and the F/B alternation are exactly 1F1B's, with every
-    fused backward replaced by its grad-input half; the grad-weight halves lag
-    their grad-input ops by ``defer = rank`` micro-batches.  The first stage
-    runs W fused behind each B (it has nothing upstream to feed and its
-    cool-down waits are the longest anyway); later stages defer progressively
-    more W's toward the tail, so their grad-input ops -- the only ops on the
-    cross-stage gradient cascade -- run back-to-back spaced by ``B`` instead
-    of ``B + W``.  Gradients therefore reach upstream ranks one ``W`` earlier
-    per stage gap, and the deferred W's drain inside the cool-down gaps that
-    1F1B leaves idle.
-
-    Exhaustive search over per-rank lags on small ``(p, m)`` grids confirms
-    ``defer = rank`` is makespan-optimal for this op layout and achieves the
-    schedule's lower bound ``(p - 1) T_F + m (T_F + T_B + T_W)`` whenever
-    ``T_W >= T_B`` (the paper's ZB-H1 regime).
-
-    The lag is bounded: the backlog momentarily reaches ``lag + 1`` right
-    after a grad-input op and before its W drains, so at most
-    ``min(rank + 1, m)`` grad-weight stashes are ever outstanding
-    (:meth:`PipelineSchedule.max_deferred_weights`), and the activation
-    in-flight bound stays 1F1B's ``min(p - rank, m)``.
+    Produces bit-identical output to the pre-IR per-kind builders: the fused
+    pass order is fixed by the steady-state rule (warm-up depth, alternation,
+    drain order) and the split rule is a purely local rewrite of that order
+    (:func:`_apply_backward_split`), so the composition axes never interact.
     """
-    warmup = min(p - 1 - rank, m)
-    defer = min(rank, m)
-    ops = [_op(OpKind.FORWARD, rank, 0, mb, p) for mb in range(warmup)]
-    done_b = 0
-    done_w = 0
-
-    def append_backward(mb: int) -> None:
-        nonlocal done_b, done_w
-        ops.append(_op(OpKind.BACKWARD_INPUT, rank, 0, mb, p))
-        done_b += 1
-        if done_b - done_w > defer:
-            ops.append(_op(OpKind.BACKWARD_WEIGHT, rank, 0, done_w, p))
-            done_w += 1
-
-    for index in range(m - warmup):
-        ops.append(_op(OpKind.FORWARD, rank, 0, warmup + index, p))
-        append_backward(index)
-    for mb in range(m - warmup, m):
-        append_backward(mb)
-    while done_w < m:
-        ops.append(_op(OpKind.BACKWARD_WEIGHT, rank, 0, done_w, p))
-        done_w += 1
-    return ops
+    fused = _block_fused_rank_ops(recipe.steady_state, rank, p, m, v)
+    if not recipe.backward_split.splits_backward:
+        return fused
+    # ZB-H1's per-rank defer policy: rank r lags each W by r grad-input ops.
+    # Exhaustive search over per-rank lags on small (p, m) grids confirms
+    # defer = rank is makespan-optimal for the 1F1B op layout and achieves
+    # the schedule's lower bound (p - 1) T_F + m (T_F + T_B + T_W) whenever
+    # T_W >= T_B (the paper's ZB-H1 regime).  The backlog momentarily reaches
+    # lag + 1 right after a grad-input op, so at most min(rank + 1, m v)
+    # grad-weight stashes are ever outstanding, and the activation in-flight
+    # bound stays 1F1B's min(p - rank, m).
+    return _apply_backward_split(fused, defer=rank)
 
 
-def _interleaved_rank_ops(rank: int, p: int, m: int, v: int) -> List[StageOp]:
-    """Megatron-LM interleaved 1F1B over ``v`` chunks per rank."""
-    if v == 1:
-        return _one_f_one_b_rank_ops(rank, p, m, v)
+def _block_fused_rank_ops(
+    steady: SteadyStateRule, rank: int, p: int, m: int, v: int,
+) -> List[StageOp]:
+    """The fused (forward/backward) pass order of one block-placed rank.
+
+    ``ALL_FORWARD_THEN_BACKWARD`` runs every forward then drains backwards in
+    reverse (GPipe); ``ONE_F_ONE_B`` runs the rank-dependent warm-up, the
+    1F/1B alternation and the cool-down drain -- with ``v > 1`` chunks the
+    warm-up depth and the (chunk, micro-batch) step order follow Megatron's
+    virtual-pipeline layout (:func:`_interleaved_chunk_and_micro_batch`).
+    """
     total = m * v
-    warmup = min((p - 1 - rank) * 2 + (v - 1) * p, total)
-    ops: List[StageOp] = []
-    for step in range(warmup):
-        chunk, mb = _interleaved_chunk_and_micro_batch(step, p, v, forward=True)
-        ops.append(_op(OpKind.FORWARD, rank, chunk, mb, p))
+    if steady is SteadyStateRule.ALL_FORWARD_THEN_BACKWARD:
+        forwards = [(0, mb) for mb in range(m)]
+        backwards = list(reversed(forwards))
+        warmup = total
+    elif v == 1:
+        forwards = [(0, mb) for mb in range(m)]
+        backwards = forwards
+        warmup = min(p - 1 - rank, m)
+    else:
+        forwards = [
+            _interleaved_chunk_and_micro_batch(step, p, v, forward=True)
+            for step in range(total)
+        ]
+        backwards = [
+            _interleaved_chunk_and_micro_batch(step, p, v, forward=False)
+            for step in range(total)
+        ]
+        warmup = min((p - 1 - rank) * 2 + (v - 1) * p, total)
+    ops = [
+        _op(OpKind.FORWARD, rank, chunk, mb, p) for chunk, mb in forwards[:warmup]
+    ]
     for index in range(total - warmup):
-        chunk, mb = _interleaved_chunk_and_micro_batch(warmup + index, p, v, forward=True)
+        chunk, mb = forwards[warmup + index]
         ops.append(_op(OpKind.FORWARD, rank, chunk, mb, p))
-        chunk, mb = _interleaved_chunk_and_micro_batch(index, p, v, forward=False)
+        chunk, mb = backwards[index]
         ops.append(_op(OpKind.BACKWARD, rank, chunk, mb, p))
     for index in range(total - warmup, total):
-        chunk, mb = _interleaved_chunk_and_micro_batch(index, p, v, forward=False)
+        chunk, mb = backwards[index]
         ops.append(_op(OpKind.BACKWARD, rank, chunk, mb, p))
     return ops
+
+
+def _apply_backward_split(ops: List[StageOp], defer: int) -> List[StageOp]:
+    """Rewrite a fused op list into its split-backward form.
+
+    Every ``BACKWARD`` becomes a ``BACKWARD_INPUT`` in place; once more than
+    ``defer`` grad-input ops are outstanding, the oldest pending grad-weight
+    op is emitted right behind the grad-input op that pushed the backlog over
+    the lag, and any leftovers drain at the tail.  The rewrite is rank-local
+    and order-preserving, so it composes with any placement or steady-state
+    rule without changing the forward/grad-input critical path.
+    """
+    out: List[StageOp] = []
+    pending: List[StageOp] = []
+    drained = 0
+    for op in ops:
+        if op.kind is OpKind.BACKWARD:
+            out.append(op._replace(kind=OpKind.BACKWARD_INPUT))
+            pending.append(op)
+            if len(pending) - drained > defer:
+                out.append(pending[drained]._replace(kind=OpKind.BACKWARD_WEIGHT))
+                drained += 1
+        else:
+            out.append(op)
+    for op in pending[drained:]:
+        out.append(op._replace(kind=OpKind.BACKWARD_WEIGHT))
+    return out
+
+
+# ------------------------------------------------------------ V-wave builder
+#: Abstract unit durations that shape the wavefront's op order (the simulator
+#: later executes the order under the real costs).  One forward, one
+#: grad-input and one grad-weight unit reflect the zero-bubble regime the
+#: schedule targets (F ~ B_input ~ W per chunk); a fused backward is their
+#: grad-input + grad-weight sum.
+_WAVE_F = 1.0
+_WAVE_B_INPUT = 1.0
+_WAVE_B_WEIGHT = 1.0
+_WAVE_B_FUSED = _WAVE_B_INPUT + _WAVE_B_WEIGHT
+
+
+def _v_wave_rank_ops(
+    recipe: ScheduleRecipe, p: int, m: int,
+) -> List[List[StageOp]]:
+    """Compose every rank's op list for the V placement by wavefront scheduling.
+
+    The V layout has no closed-form warm-up depth (the forward wave folds
+    back through the same ranks while the backward wave starts on rank 0), so
+    the op order is derived by deterministic unit-cost list scheduling over
+    the dependency DAG: repeatedly execute, across all ranks, the op with the
+    earliest possible start time, with grad-input/backward ops beating
+    forwards on ties (the 1F1B steady-state discipline), deeper chunks
+    beating shallower ones among forwards (the fold-back chunk leads to the
+    loss and frees memory sooner), then lowest micro-batch / rank for
+    determinism.
+
+    Two per-rank resource caps bound the transient memory the way 1F1B's
+    warm-up depth does:
+
+    * at most ``2 p`` forward passes in flight per rank (the activation
+      footprint of 1F1B's worst rank, ``min(p, m)`` full micro-batches), with
+      the last slot reserved for the fold-back chunk so the wave can always
+      reach the loss stage and drain -- which is what makes the cap
+      starvation-free;
+    * at most ``2 p`` outstanding grad-weight stashes per rank: under the
+      ``SPLIT_FILL_GAPS`` rule a pending W normally runs only when the rank's
+      next forward/grad-input op cannot start for at least one W duration
+      (W ops fill bubbles and never delay the critical path; leftovers drain
+      at the tail), but once the backlog hits the cap the oldest W runs
+      unconditionally.
+
+    The generation order is itself a feasible execution, i.e. a topological
+    order of the op DAG consistent with every rank's list order, so the
+    resulting schedule cannot deadlock under any cost vector.
+    """
+    split = recipe.backward_split.splits_backward
+    num_virtual = V_WAVE_CHUNKS * p
+    last_vs = num_virtual - 1
+    # chunk 0 of rank r is virtual stage r; chunk 1 is 2p - 1 - r.
+    chunk_vs = [[rank, last_vs - rank] for rank in range(p)]
+    backward_dur = _WAVE_B_INPUT if split else _WAVE_B_FUSED
+    live_cap = V_WAVE_CHUNKS * p
+    stash_cap = V_WAVE_CHUNKS * p
+
+    size = num_virtual * m
+    forward_ready: List[Optional[float]] = [0.0] * m + [None] * (size - m)
+    forward_done: List[Optional[float]] = [None] * size
+    grad_ready: List[Optional[float]] = [None] * size
+    # Per rank, per chunk: the next micro-batch whose forward / backward has
+    # not been scheduled yet (passes of one chunk are scheduled in micro-batch
+    # order -- readiness is monotone in the micro-batch, so this loses nothing).
+    next_forward = [[0, 0] for _ in range(p)]
+    next_backward = [[0, 0] for _ in range(p)]
+    pending_weights: List[List[Tuple[int, int]]] = [[] for _ in range(p)]
+    live = [0] * p
+    rank_avail = [0.0] * p
+    lists: List[List[StageOp]] = [[] for _ in range(p)]
+    remaining = num_virtual * m * 2  # forwards + backwards drive the loop
+
+    # Candidate priorities (lower wins on equal start): forced grad-weight
+    # (stash cap hit) < backward(-input) < forward < gap-filling grad-weight.
+    _FORCED_W, _BACKWARD, _FORWARD, _FILLER_W = -1, 0, 1, 2
+
+    def candidate(rank: int):
+        """The rank's next op as (start, priority, chunk-pref, mb, chunk).
+
+        Grad-weight handling folds in here: a forced W (stash cap hit)
+        pre-empts everything, a gap-filling W runs only when the next F/B op
+        cannot start for at least one W duration.  Gap safety is
+        non-anticipating: when a W's start is the global minimum, every other
+        rank's next op starts no earlier, so nothing could have become ready
+        inside the gap.
+        """
+        best = None
+        now = rank_avail[rank]
+        for chunk in (0, 1):
+            mb = next_backward[rank][chunk]
+            if mb < m:
+                vs = chunk_vs[rank][chunk]
+                key = vs * m + mb
+                done = forward_done[key]
+                if done is not None:
+                    grad = done if vs == last_vs else grad_ready[key]
+                    if grad is not None:
+                        ready = grad if grad > done else done
+                        start = ready if ready > now else now
+                        entry = (start, _BACKWARD, 0, mb, chunk)
+                        if best is None or entry < best:
+                            best = entry
+            mb = next_forward[rank][chunk]
+            if mb < m:
+                # Reserve the last live slot for the fold-back chunk.
+                limit = live_cap if chunk == 1 else live_cap - 1
+                if live[rank] < limit:
+                    vs = chunk_vs[rank][chunk]
+                    ready = forward_ready[vs * m + mb]
+                    if ready is not None:
+                        start = ready if ready > now else now
+                        entry = (start, _FORWARD, -chunk, mb, chunk)
+                        if best is None or entry < best:
+                            best = entry
+        weights = pending_weights[rank]
+        if weights:
+            if len(weights) >= stash_cap:
+                best = (now, _FORCED_W, 0, weights[0][0], weights[0][1])
+            elif best is None or best[0] >= now + _WAVE_B_WEIGHT:
+                best = (now, _FILLER_W, 0, weights[0][0], weights[0][1])
+        return best
+
+    # Per-rank candidate cache: a rank's candidate only changes when the rank
+    # executes an op or receives new readiness from a neighbour, so the
+    # O(ranks) recomputation per executed op collapses to O(dirtied ranks).
+    cached: List[Optional[Tuple[float, int, int, int, int]]] = [None] * p
+    dirty = [True] * p
+    while remaining:
+        chosen = None
+        for rank in range(p):
+            if dirty[rank]:
+                cached[rank] = candidate(rank)
+                dirty[rank] = False
+            entry = cached[rank]
+            if entry is None:
+                continue
+            key = entry + (rank,)
+            if chosen is None or key < chosen:
+                chosen = key
+        assert chosen is not None, "wavefront starved with ops remaining"
+        start, priority, _, mb, chunk, rank = chosen
+        dirty[rank] = True
+        vs = chunk_vs[rank][chunk]
+        key = vs * m + mb
+        if priority == _FORCED_W or priority == _FILLER_W:
+            pending_weights[rank].pop(0)
+            lists[rank].append(StageOp(OpKind.BACKWARD_WEIGHT, rank, chunk, mb, vs))
+            rank_avail[rank] = start + _WAVE_B_WEIGHT
+            continue
+        if priority == _FORWARD:
+            end = start + _WAVE_F
+            lists[rank].append(StageOp(OpKind.FORWARD, rank, chunk, mb, vs))
+            next_forward[rank][chunk] = mb + 1
+            live[rank] += 1
+            forward_done[key] = end
+            if vs < last_vs:
+                forward_ready[key + m] = end
+                dirty[min(vs + 1, last_vs - vs - 1)] = True
+        else:  # backward / grad-input
+            end = start + backward_dur
+            op_kind = OpKind.BACKWARD_INPUT if split else OpKind.BACKWARD
+            lists[rank].append(StageOp(op_kind, rank, chunk, mb, vs))
+            next_backward[rank][chunk] = mb + 1
+            live[rank] -= 1
+            if split:
+                pending_weights[rank].append((mb, chunk))
+            if vs > 0:
+                grad_ready[key - m] = end
+                dirty[min(vs - 1, last_vs - vs + 1)] = True
+        rank_avail[rank] = end
+        remaining -= 1
+
+    if split:
+        for rank in range(p):
+            for mb, chunk in pending_weights[rank]:
+                lists[rank].append(
+                    StageOp(OpKind.BACKWARD_WEIGHT, rank, chunk, mb, chunk_vs[rank][chunk])
+                )
+    return lists

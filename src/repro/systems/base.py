@@ -18,7 +18,9 @@ Scoring invariants:
   schedule, planner transients and the classifier working set once per rank,
   and -- for zero-bubble schedules -- each deferred grad-weight stash a
   configurable fraction of a micro-batch's skeletal bytes
-  (:data:`repro.sim.pipeline.ZB_WEIGHT_STASH_FRACTION`);
+  (:data:`repro.sim.pipeline.ZB_WEIGHT_STASH_FRACTION`), scaled by the chunk
+  count for chunked split schedules (ZB-V pins two chunk stashes per rank,
+  each half a micro-batch's worth);
 * a strategy is infeasible ("oom"/"oohm") if *no* schedule candidate fits;
   with ``pipeline_schedule="auto"`` the fastest feasible candidate wins.
 """
@@ -36,17 +38,20 @@ from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
 from repro.parallel.memory_model import MemoryBreakdown, estimate_memory
 from repro.parallel.search import (
     PIPELINE_SCHEDULE_CANDIDATES,
+    SearchStats,
     StrategySearchSpace,
     cannot_beat,
     enumerate_strategies,
     find_best_strategy,
     prune_evaluation_order,
     resolve_schedule_shape,
+    viable_schedule_kind,
 )
 from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
 from repro.sim.costs import CostModel, LayerCosts
 from repro.sim.executor import IterationTimeline, LayerTask, simulate_iteration
 from repro.sim.fastpath import (
+    LOWER_BOUND_SAFETY,
     cached_build_schedule,
     evaluate_schedule,
     pipeline_lower_bound_for_shape,
@@ -124,6 +129,11 @@ class TrainingReport:
     #: (pruned = skipped via the analytic lower bound, never simulated).
     schedules_simulated: int = 0
     schedules_pruned: int = 0
+    #: Strategy-level work counters: parallelism points actually evaluated
+    #: vs skipped outright because their analytic floor (FLOPs/bandwidth
+    #: compute plus serial overhead) could not beat the incumbent.
+    strategies_evaluated: int = 0
+    strategies_pruned: int = 0
 
     @property
     def wall_clock(self) -> str:
@@ -316,6 +326,7 @@ class TrainingSystem(ABC):
         pipeline_engine: str = "fast",
         validate_pipeline: bool = False,
         prune_schedule_sweep: bool = True,
+        prune_strategy_search: bool = True,
     ) -> None:
         """Args:
             pipeline_schedule: how PP candidates are executed and scored --
@@ -323,7 +334,8 @@ class TrainingSystem(ABC):
                 (1F1B by default, the schedule Megatron-LM and DeepSpeed run).
                 ``"auto"`` simulates every candidate in
                 :data:`repro.parallel.search.PIPELINE_SCHEDULE_CANDIDATES`
-                (1F1B, interleaved, ZB-H1) and keeps the fastest feasible one.
+                (1F1B, interleaved, ZB-H1, ZB-V) and keeps the fastest
+                feasible one.
                 ``None`` falls back to the legacy analytic bubble formula.
             pipeline_chunks: virtual chunks per rank for interleaved-1F1B.
             pipeline_engine: ``"fast"`` (memoized critical-path evaluator,
@@ -335,6 +347,13 @@ class TrainingSystem(ABC):
                 lower bound cannot beat the incumbent (on by default; the
                 bound is conservative, so disabling this only slows the
                 sweep, it never changes the selected strategy).
+            prune_strategy_search: order strategy candidates by their
+                analytic floor (:meth:`strategy_lower_bound`) and skip whole
+                parallelism points that provably cannot beat the best
+                feasible candidate found so far -- before any cost model,
+                stage executor or schedule sweep runs for them.  Like the
+                schedule-level bound this is conservative and never changes
+                the selected strategy, only the work spent finding it.
         """
         self.calibration = calibration
         self.precision = precision
@@ -349,6 +368,7 @@ class TrainingSystem(ABC):
         self.pipeline_engine = pipeline_engine
         self.validate_pipeline = validate_pipeline
         self.prune_schedule_sweep = prune_schedule_sweep
+        self.prune_strategy_search = prune_strategy_search
 
     # ------------------------------------------------------------- subclass API
     @property
@@ -395,7 +415,15 @@ class TrainingSystem(ABC):
             evaluations[parallel] = evaluation
             return evaluation.feasible, evaluation.iteration_time_s, evaluation.reason
 
-        best, evaluated = find_best_strategy(candidates, evaluate)
+        strategy_bound = None
+        if self.prune_strategy_search:
+            def strategy_bound(parallel: ParallelismConfig) -> float:
+                return self.strategy_lower_bound(workload, parallel)
+
+        stats = SearchStats()
+        best, evaluated = find_best_strategy(
+            candidates, evaluate, strategy_bound=strategy_bound, stats=stats,
+        )
         simulated = sum(e.schedules_simulated for e in evaluations.values())
         pruned = sum(e.schedules_pruned for e in evaluations.values())
         if best is None:
@@ -407,6 +435,8 @@ class TrainingSystem(ABC):
                 failure_reason=reason,
                 schedules_simulated=simulated,
                 schedules_pruned=pruned,
+                strategies_evaluated=stats.strategies_evaluated,
+                strategies_pruned=stats.strategies_pruned,
             )
         evaluation = evaluations[best.parallel]
         mfu = compute_mfu(
@@ -422,6 +452,11 @@ class TrainingSystem(ABC):
             notes.append(f"pipeline schedule: {evaluation.pipeline.schedule.kind.value}")
         if pruned:
             notes.append(f"schedule sweep: {simulated} simulated, {pruned} pruned")
+        if stats.strategies_pruned:
+            notes.append(
+                f"strategy search: {stats.strategies_evaluated} evaluated, "
+                f"{stats.strategies_pruned} pruned by the analytic floor"
+            )
         return TrainingReport(
             system=self.name,
             workload=workload,
@@ -437,6 +472,8 @@ class TrainingSystem(ABC):
             notes=notes,
             schedules_simulated=simulated,
             schedules_pruned=pruned,
+            strategies_evaluated=stats.strategies_evaluated,
+            strategies_pruned=stats.strategies_pruned,
         )
 
     def max_sequence_length(
@@ -461,6 +498,65 @@ class TrainingSystem(ABC):
         return longest
 
     # ------------------------------------------------------------ shared pieces
+    def strategy_lower_bound(self, workload: Workload, parallel: ParallelismConfig) -> float:
+        """A cheap analytic floor on :meth:`evaluate_strategy`'s iteration time.
+
+        Pure closed-form arithmetic -- no memory estimate, no swap schedule,
+        no stage-executor simulation, no schedule build -- which is what
+        makes pruning on it profitable: a pruned strategy costs one
+        :class:`~repro.sim.costs.CostModel` instantiation instead of a full
+        evaluation.
+
+        The floor is the sum of two terms, each provably below what
+        :meth:`_shared_evaluation` reports for a feasible strategy:
+
+        * **compute floor**: the busiest pipeline rank holds at least
+          ``num_layers / pp`` transformer layers (uneven partitions only
+          rebalance around that average), each micro-batch must run their
+          forward and backward there serially, and the replica runs
+          ``global_batch // dp`` micro-batches.  Per-layer spans are the cost
+          model's compute + non-overlapped communication times -- the same
+          numbers the stage executor replays, which can only *add* swap
+          stalls, recomputation and boundary (embedding/classifier) work;
+        * **serial floor**: the optimizer step, gradient synchronisation and
+          ZeRO-3 gather times, which every evaluation charges verbatim;
+          allocator-reorganisation stalls and system-specific serial extras
+          only add on top.
+
+        Scaled down by :data:`repro.sim.fastpath.LOWER_BOUND_SAFETY` so float
+        rounding can never turn the floor into an over-estimate; combined
+        with :func:`repro.parallel.search.find_best_strategy`'s index
+        tie-breaking, strategy-level pruning can never change the selected
+        strategy (property-tested on an exhaustive lattice).
+        """
+        model = workload.model
+        cost_model = CostModel(
+            model=model,
+            cluster=workload.cluster(),
+            parallel=parallel,
+            batch_size=workload.micro_batch_size,
+            calibration=self.calibration,
+            precision=self.precision,
+        )
+        layer_costs = cost_model.layer_costs(workload.sequence_length)
+        micro_iterations = max(
+            workload.global_batch_samples // max(parallel.data_parallel, 1), 1,
+        )
+        layer_span = layer_costs.forward_total_s + layer_costs.backward_total_s
+        compute_floor = (
+            micro_iterations * model.num_layers * layer_span
+            / parallel.pipeline_parallel
+        )
+        params_per_gpu = model.num_parameters / (
+            parallel.tensor_parallel * parallel.pipeline_parallel
+        )
+        serial_floor = (
+            cost_model.optimizer_step_time(params_per_gpu)
+            + cost_model.gradient_sync_time(params_per_gpu)
+            + cost_model.zero3_gather_time(params_per_gpu)
+        )
+        return (compute_floor + serial_floor) * (1.0 - LOWER_BOUND_SAFETY)
+
     def stage_execution(
         self,
         workload: Workload,
@@ -629,7 +725,10 @@ class TrainingSystem(ABC):
                 # peak_in_flight counts chunk-level passes; each holds only
                 # 1/num_chunks of the stage's per-micro-batch activations.  A
                 # zero-bubble schedule additionally pins a fraction of a
-                # micro-batch's skeletal bytes per deferred grad-weight op.
+                # micro-batch's skeletal bytes per deferred grad-weight op --
+                # likewise a per-chunk stash, so a chunked split schedule
+                # (ZB-V, with two resident chunk stashes per rank) charges
+                # each deferred W 1/num_chunks of the full-micro-batch stash.
                 # Activations peak on the first rank, weight stashes on the
                 # last, so take the max of the *combined* per-rank value.
                 peaks = pipeline_schedule.peak_in_flight()
@@ -638,11 +737,13 @@ class TrainingSystem(ABC):
                     if pipeline_schedule.kind.splits_backward else None
                 )
                 in_flight = max(
-                    peaks[rank] / pipeline_schedule.num_chunks
-                    + (
-                        ZB_WEIGHT_STASH_FRACTION * stashes[rank]
-                        if stashes is not None else 0.0
-                    )
+                    (
+                        peaks[rank]
+                        + (
+                            ZB_WEIGHT_STASH_FRACTION * stashes[rank]
+                            if stashes is not None else 0.0
+                        )
+                    ) / pipeline_schedule.num_chunks
                     for rank in range(pipeline_schedule.num_stages)
                 )
             memory = base_memory
@@ -699,6 +800,14 @@ class TrainingSystem(ABC):
                 # The auto sweep should try *real* interleaving even when the
                 # system was constructed with the default single chunk.
                 chunks = max(chunks, 2)
+            # ZB-V's chunk count is structural (always two V-placed chunks),
+            # so it must not inherit the interleave chunk request; when the
+            # model cannot fill two chunks per rank the kind degrades to
+            # ZB-H1 -- the sweep must stay total over legal parallelism
+            # points, while explicit resolve_schedule_shape calls reject.
+            kind = viable_schedule_kind(kind, parallel.pipeline_parallel, model.num_layers)
+            if kind is ScheduleKind.ZB_V:
+                chunks = 1
             # num_layers caps the chunk count so every virtual stage holds at
             # least one layer: over-asking degrades, never throws -- the
             # search may not crash on a legal parallelism point.  Shapes, not

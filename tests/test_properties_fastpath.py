@@ -14,7 +14,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.parallel.strategy import ParallelismConfig
-from repro.parallel.search import SearchStats, best_pipeline_schedule
+from repro.parallel.search import SearchStats, best_pipeline_schedule, find_best_strategy
 from repro.sim.fastpath import (
     critical_path_timeline,
     evaluate_schedule,
@@ -32,6 +32,9 @@ def schedule_shapes(draw):
     if kind is ScheduleKind.INTERLEAVED:
         v = draw(st.integers(min_value=1, max_value=3))
         m = p * draw(st.integers(min_value=1, max_value=4))
+    elif kind is ScheduleKind.ZB_V:
+        v = 2  # the V placement folds exactly two chunks per rank
+        m = draw(st.integers(min_value=1, max_value=12))
     else:
         v = 1
         m = draw(st.integers(min_value=1, max_value=12))
@@ -222,3 +225,116 @@ class TestPruningNeverChangesArgmax:
         )
         assert pruned[0] is unpruned[0]
         assert pruned[1].total_s == unpruned[1].total_s
+
+
+class TestStrategyPruningNeverChangesArgmax:
+    """find_best_strategy with a per-strategy analytic floor selects exactly
+    the candidate an exhaustive in-order sweep selects -- same strategy, same
+    time -- as long as the floor is a (safety-scaled) true lower bound."""
+
+    @staticmethod
+    def _lattice():
+        """A deterministic exhaustive candidate lattice with ties and
+        infeasible points.  Times are a fixed function of the degrees, so
+        the test re-derives the same search every run."""
+        candidates = []
+        for pp in (1, 2, 4):
+            for tp in (1, 2, 4):
+                for mb in (8, 16):
+                    candidates.append(ParallelismConfig(
+                        tensor_parallel=tp, pipeline_parallel=pp,
+                        data_parallel=1, micro_batches=mb,
+                    ))
+        def true_time(parallel):
+            # Deliberately produces exact ties: time depends only on
+            # (pp, tp), not on micro_batches, so each (pp, tp) pair appears
+            # twice with identical times -- the index tie-break must keep
+            # the first-enumerated one.
+            return 100.0 / parallel.pipeline_parallel + 7.0 * parallel.tensor_parallel
+        def feasible(parallel):
+            return not (parallel.pipeline_parallel == 4 and parallel.tensor_parallel == 4)
+        def evaluate(parallel):
+            if not feasible(parallel):
+                return False, float("inf"), "oom"
+            return True, true_time(parallel), None
+        def floor(parallel):
+            # A true lower bound: 60% of the real time (infeasible points
+            # get a floor too -- pruning them is harmless).
+            return 0.6 * true_time(parallel)
+        return candidates, evaluate, floor
+
+    def test_exhaustive_lattice(self):
+        candidates, evaluate, floor = self._lattice()
+        stats = SearchStats()
+        pruned_best, pruned_evaluated = find_best_strategy(
+            candidates, evaluate, strategy_bound=floor, stats=stats,
+        )
+        plain_best, plain_evaluated = find_best_strategy(candidates, evaluate)
+        assert pruned_best is not None and plain_best is not None
+        assert pruned_best.parallel == plain_best.parallel
+        assert pruned_best.iteration_time_s == plain_best.iteration_time_s
+        # The lattice must actually exercise pruning, or the test is vacuous.
+        assert stats.strategies_pruned > 0
+        assert stats.strategies_evaluated == len(pruned_evaluated)
+        assert stats.strategies_evaluated + stats.strategies_pruned == len(candidates)
+        assert len(plain_evaluated) == len(candidates)
+
+    @given(st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=100.0),  # true time
+            st.booleans(),                              # feasible
+            st.floats(min_value=0.0, max_value=1.0),    # floor tightness
+        ),
+        min_size=1, max_size=24,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_randomized_times_and_floors(self, spec):
+        """For arbitrary candidate times, feasibility patterns and per-
+        candidate floor tightness (any floor <= the true time), pruning
+        never changes the selected candidate."""
+        candidates = [
+            ParallelismConfig(micro_batches=index + 1)
+            for index in range(len(spec))
+        ]
+        table = {c: entry for c, entry in zip(candidates, spec)}
+        def evaluate(parallel):
+            time_s, feasible, _ = table[parallel]
+            if not feasible:
+                return False, float("inf"), "oom"
+            return True, time_s, None
+        def floor(parallel):
+            time_s, _, tightness = table[parallel]
+            return tightness * time_s * (1.0 - 1e-9)
+        stats = SearchStats()
+        pruned_best, _ = find_best_strategy(
+            candidates, evaluate, strategy_bound=floor, stats=stats,
+        )
+        plain_best, _ = find_best_strategy(candidates, evaluate)
+        if plain_best is None:
+            assert pruned_best is None
+            # With no feasible incumbent nothing can be pruned.
+            assert stats.strategies_pruned == 0
+        else:
+            assert pruned_best is not None
+            assert pruned_best.parallel == plain_best.parallel
+            assert pruned_best.iteration_time_s == plain_best.iteration_time_s
+
+    def test_real_system_search_is_invariant_under_pruning(self):
+        """MemoSystem's auto search: the analytic floor prunes whole
+        parallelism points yet reports the identical strategy and numbers."""
+        from repro.config import tokens
+        from repro.systems.base import Workload
+        from repro.systems.memo import MemoSystem
+
+        workload = Workload("7B", tokens(64), 16, global_batch_samples=64)
+        pruned = MemoSystem(pipeline_schedule="auto").run(workload)
+        plain = MemoSystem(
+            pipeline_schedule="auto", prune_strategy_search=False,
+        ).run(workload)
+        assert pruned.feasible and plain.feasible
+        assert pruned.parallel == plain.parallel
+        assert pruned.iteration_time_s == plain.iteration_time_s
+        assert pruned.mfu == plain.mfu
+        assert pruned.strategies_pruned > 0
+        assert plain.strategies_pruned == 0
+        assert plain.strategies_evaluated >= pruned.strategies_evaluated

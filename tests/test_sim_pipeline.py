@@ -43,7 +43,7 @@ def uniform_costs(schedule, forward=1.0, backward=2.0, **kwargs):
 class TestScheduleConstruction:
     @pytest.mark.parametrize("kind", list(ScheduleKind))
     def test_op_counts_and_validity(self, kind):
-        chunks = 2 if kind is ScheduleKind.INTERLEAVED else 1
+        chunks = 2 if kind in (ScheduleKind.INTERLEAVED, ScheduleKind.ZB_V) else 1
         schedule = build_schedule(kind, num_stages=4, num_micro_batches=8, num_chunks=chunks)
         schedule.validate()
         for ops in schedule.rank_ops:
@@ -96,8 +96,10 @@ class TestScheduleConstruction:
     def test_from_name(self):
         assert ScheduleKind.from_name("1F1B") is ScheduleKind.ONE_F_ONE_B
         assert ScheduleKind.from_name("ZB-H1") is ScheduleKind.ZB_H1
-        with pytest.raises(ValueError, match="unknown schedule"):
-            ScheduleKind.from_name("zb-v")
+        assert ScheduleKind.from_name("ZB-V") is ScheduleKind.ZB_V
+        # The error lists every valid name, so typos are self-diagnosing.
+        with pytest.raises(ValueError, match="'gpipe'.*'1f1b'.*'zb-v'"):
+            ScheduleKind.from_name("zb-h2")
 
     def test_invalid_sizes_rejected(self):
         with pytest.raises(ValueError):
@@ -426,9 +428,15 @@ class TestSearchIntegration:
         kind, timeline = best_pipeline_schedule(
             parallel, forward_s=1.0, backward_s=2.0, backward_weight_fraction=0.5,
         )
-        assert kind is ScheduleKind.ZB_H1
+        # In the zero-bubble regime (W ~ B_input) the V placement wins: it
+        # halves the pipeline fill on top of ZB-H1's deferred W ops.
+        assert kind is ScheduleKind.ZB_V
         one_f = simulate_pipeline_schedule(parallel, ScheduleKind.ONE_F_ONE_B, 1.0, 2.0)
         assert timeline.total_s < one_f.total_s
+        zb_h1 = simulate_pipeline_schedule(
+            parallel, ScheduleKind.ZB_H1, 1.0, 2.0, backward_weight_fraction=0.5,
+        )
+        assert timeline.total_s <= zb_h1.total_s
 
     def test_best_pipeline_schedule_dedups_degenerate_candidates(self):
         # m % p != 0, so interleaved resolves to plain 1F1B and must not be
@@ -437,7 +445,7 @@ class TestSearchIntegration:
         kind, timeline = best_pipeline_schedule(
             parallel, forward_s=1.0, backward_s=2.0, backward_weight_fraction=0.5,
         )
-        assert kind in (ScheduleKind.ONE_F_ONE_B, ScheduleKind.ZB_H1)
+        assert kind in (ScheduleKind.ONE_F_ONE_B, ScheduleKind.ZB_H1, ScheduleKind.ZB_V)
         assert timeline.total_s > 0
         with pytest.raises(ValueError, match="candidates"):
             best_pipeline_schedule(parallel, 1.0, 2.0, candidates=())
