@@ -15,8 +15,10 @@ and writes ``BENCH_search.json`` with the wall-clocks, the schedule- and
 strategy-level work counters (simulated / pruned / evaluated) and the
 selected strategy of each arm.  Exits non-zero when the fast path is slower
 than the event engine, when the two arms disagree on the selected strategy or
-its iteration time, or when the reference search prunes no strategies -- the
-fast path must be a pure speedup, never a behaviour change.
+its iteration time, when the reference search prunes no strategies, or when
+the schedule-cache hit rate collapses (hits below misses would mean the
+wave-ratio key component fragmented the cache) -- the fast path must be a
+pure speedup, never a behaviour change.
 
 Usage::
 
@@ -139,6 +141,13 @@ def main(argv=None) -> int:
         return 1
     if fast.strategies_pruned <= 0:
         print("FAIL: the analytic strategy floor pruned nothing", file=sys.stderr)
+        return 1
+    schedules = caches["schedules"]
+    if schedules.hits < schedules.misses:
+        print("FAIL: schedule-cache hits collapsed under the cache keys "
+              f"(hits {schedules.hits} < misses {schedules.misses}) -- the "
+              "wave-ratio key component is fragmenting the cache",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -21,6 +21,7 @@ of the figure's series.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional, Sequence
 
@@ -30,7 +31,7 @@ from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
 from repro.parallel.memory_model import estimate_memory
 from repro.parallel.search import resolve_schedule
 from repro.parallel.strategy import OffloadMode, ParallelismConfig, RecomputeMode
-from repro.sim.fastpath import evaluate_schedule
+from repro.sim.fastpath import evaluate_schedule, wave_ratio_from_costs
 from repro.sim.pipeline import (
     stage_costs_from_iteration,
     stage_peak_memory,
@@ -188,7 +189,30 @@ def _command_plan(args) -> int:
     return 0
 
 
+def _validate_stage_costs(costs) -> Optional[str]:
+    """Reject NaN / negative / zero per-stage costs before they reach the simulator.
+
+    ``StageCosts`` itself rejects NaN and negatives at construction; the CLI
+    additionally refuses zero forward/backward durations (a zero-cost stage
+    makes every bubble fraction and wave ratio meaningless) and turns the
+    failure into a clear per-stage message instead of a traceback.
+    """
+    for index, stage in enumerate(costs):
+        for name in ("forward_s", "backward_s"):
+            value = getattr(stage, name)
+            if not math.isfinite(value) or value <= 0:
+                return (f"stage {index} has invalid {name}={value}; "
+                        "per-stage costs must be finite and positive")
+    return None
+
+
 def _command_sim_pipeline(args) -> int:
+    for name in ("gpus", "pp", "tp", "cp", "micro_batches", "chunks", "seqlen_k"):
+        value = getattr(args, name)
+        if value < 1:
+            print(f"error: --{name.replace('_', '-')} must be a positive integer "
+                  f"(got {value})", file=sys.stderr)
+            return 2
     model_parallel = args.tp * args.cp * args.pp
     if args.gpus % model_parallel != 0:
         print(f"error: TP x CP x PP ({model_parallel}) must divide --gpus ({args.gpus})",
@@ -261,12 +285,22 @@ def _command_sim_pipeline(args) -> int:
         try:
             # num_layers caps the chunks so every virtual chunk holds a layer
             # (and rejects a V placement the layer budget cannot satisfy).
-            return resolve_schedule(
+            schedule = resolve_schedule(
                 parallel, kind, args.micro_batches, chunks,
                 num_layers=workload.model.num_layers,
-            ), None
+            )
         except ValueError as error:
             return None, str(error)
+        if kind is ScheduleKind.ZB_V and schedule.kind is ScheduleKind.ZB_V:
+            # ZB-V's wavefront order depends on the candidate's real
+            # F : B_input : W ratio; costs depend only on the chunk count,
+            # so deriving the ratio from the ratio-less build is sound.
+            ratio = wave_ratio_from_costs(stage_costs_for(schedule))
+            schedule = resolve_schedule(
+                parallel, kind, args.micro_batches, chunks,
+                num_layers=workload.model.num_layers, wave_ratio=ratio,
+            )
+        return schedule, None
 
     if not args.uniform_stages:
         profile = execution.cost_model.stage_cost_profile(
@@ -304,9 +338,13 @@ def _command_sim_pipeline(args) -> int:
                     activation_bytes_per_micro_batch=per_mb_activation,
                 )
                 ranks = v_schedule.virtual_stage_ranks
+                ratio = v_schedule.wave_ratio
                 print(f"\nV-placement ({v_schedule.num_virtual_stages} virtual stages, "
                       f"2 chunks per rank; the wave runs down ranks "
                       f"0..{args.pp - 1} and folds back to rank 0):")
+                print(f"  wave ratio F : B_input : W = {ratio.forward:g} : "
+                      f"{ratio.backward_input:g} : {ratio.backward_weight:g} "
+                      f"(quantised from per-virtual-stage costs)")
                 header = (f"{'vstage':>6} {'rank':>5} {'layers':>7} {'forward':>10} "
                           f"{'grad-in B':>10} {'grad-wt W':>10}")
                 print(header)
@@ -333,6 +371,10 @@ def _command_sim_pipeline(args) -> int:
             print(f"{name:<13} (skipped: {reason})")
             continue
         costs = stage_costs_for(schedule)
+        cost_error = _validate_stage_costs(costs)
+        if cost_error is not None:
+            print(f"error: {name}: {cost_error}", file=sys.stderr)
+            return 2
         timeline = evaluate_schedule(
             schedule, costs,
             p2p_bandwidth_bytes_per_s=p2p_bytes / p2p_time if p2p_time > 0 else float("inf"),

@@ -62,9 +62,10 @@ from repro.sim.fastpath import (
     cached_build_schedule,
     evaluate_schedule,
     pipeline_lower_bound_for_shape,
+    wave_ratio_from_costs,
 )
 from repro.sim.pipeline import PipelineTimeline, StageCosts
-from repro.sim.schedules import ScheduleKind, V_WAVE_CHUNKS
+from repro.sim.schedules import ScheduleKind, V_WAVE_CHUNKS, WaveRatio
 
 #: Schedule kinds a training system's strategy search may try for a PP
 #: candidate (GPipe is omitted: it is dominated by 1F1B on both time and
@@ -318,6 +319,7 @@ def resolve_schedule(
     num_micro_batches: Optional[int] = None,
     num_chunks: int = 1,
     num_layers: Optional[int] = None,
+    wave_ratio: Optional[WaveRatio] = None,
 ):
     """Build the schedule a PP candidate would run.
 
@@ -331,11 +333,15 @@ def resolve_schedule(
     satisfy (wrong chunk count, or fewer than two layers per rank), which
     raises instead of silently building a non-V schedule; candidate sweeps
     pre-degrade the kind with :func:`viable_schedule_kind`.
+
+    ``wave_ratio`` shapes the ZB-V wavefront's op order
+    (:func:`repro.sim.fastpath.wave_ratio_from_costs` derives it from the
+    candidate's costs); non-V kinds -- including a degraded ZB-V -- ignore it.
     """
     shape = resolve_schedule_shape(
         parallel, schedule_kind, num_micro_batches, num_chunks, num_layers,
     )
-    return cached_build_schedule(*shape)
+    return cached_build_schedule(*shape, wave_ratio=wave_ratio)
 
 
 def _uniform_schedule_costs(
@@ -394,17 +400,19 @@ def simulate_pipeline_schedule(
     select the critical-path fast path (default) or the event-engine oracle
     (:func:`repro.sim.fastpath.evaluate_schedule`).
     """
-    schedule = resolve_schedule(
+    shape = resolve_schedule_shape(
         parallel, schedule_kind, num_micro_batches, num_chunks, num_layers,
     )
     costs = _uniform_schedule_costs(
-        schedule.num_chunks, forward_s, backward_s,
+        shape[3], forward_s, backward_s,
         p2p_time_s=p2p_time_s,
         offload_bytes=offload_bytes,
         prefetch_bytes=prefetch_bytes,
         activation_bytes=activation_bytes,
         backward_weight_fraction=backward_weight_fraction,
     )
+    ratio = wave_ratio_from_costs(costs) if shape[0] is ScheduleKind.ZB_V else None
+    schedule = cached_build_schedule(*shape, wave_ratio=ratio)
     return evaluate_schedule(
         schedule,
         costs,
@@ -448,7 +456,7 @@ def best_pipeline_schedule(
     if not candidates:
         raise ValueError("candidates must not be empty")
     bandwidth = (1.0 / p2p_time_s) if p2p_time_s > 0 else float("inf")
-    entries = []  # (bound, position, kind, resolved shape, costs)
+    entries = []  # (bound, position, kind, resolved shape, costs, wave ratio)
     seen = set()
     for position, kind in enumerate(candidates):
         kind = viable_schedule_kind(kind, parallel.pipeline_parallel, num_layers)
@@ -469,24 +477,25 @@ def best_pipeline_schedule(
             p2p_time_s=p2p_time_s,
             backward_weight_fraction=backward_weight_fraction,
         )
+        ratio = wave_ratio_from_costs(costs) if shape[0] is ScheduleKind.ZB_V else None
         bound = (
             pipeline_lower_bound_for_shape(
                 *shape, costs, p2p_bandwidth_bytes_per_s=bandwidth,
             )
             if prune else 0.0
         )
-        entries.append((bound, position, kind, shape, costs))
+        entries.append((bound, position, kind, shape, costs, ratio))
 
     best: Optional[Tuple[ScheduleKind, PipelineTimeline]] = None
     best_position = -1
     for index in prune_evaluation_order([entry[0] for entry in entries]):
-        bound, position, kind, shape, costs = entries[index]
+        bound, position, kind, shape, costs, ratio = entries[index]
         if prune and cannot_beat(bound, best[1].total_s if best is not None else None):
             if stats is not None:
                 stats.schedules_pruned += 1
             continue
         timeline = evaluate_schedule(
-            cached_build_schedule(*shape), costs,
+            cached_build_schedule(*shape, wave_ratio=ratio), costs,
             p2p_bandwidth_bytes_per_s=bandwidth,
             engine=engine, validate=validate,
         )

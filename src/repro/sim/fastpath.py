@@ -36,7 +36,9 @@ On top of the evaluator sit two layers used by the strategy search:
 
 * **memoization** -- :func:`cached_build_schedule` caches validated
   :class:`~repro.sim.schedules.PipelineSchedule` objects by their
-  ``(kind, stages, micro_batches, chunks)`` structure key, and
+  ``(kind, stages, micro_batches, chunks, wave ratio)`` structure key (the
+  quantised wave ratio is part of a ZB-V schedule's identity: different
+  ratios order the wavefront differently), and
   :func:`evaluate_schedule` caches fast-path timelines by
   ``(structure key, per-stage StageCosts tuple, transfer parameters)``;
   both keys are small and fully describe the computation, so the experiment
@@ -66,8 +68,12 @@ from repro.sim.pipeline import (
 from repro.sim.schedules import (
     OpKind,
     PipelineSchedule,
+    PlacementRule,
     ScheduleKind,
+    UNIT_WAVE_RATIO,
+    WaveRatio,
     build_schedule,
+    quantise_wave_ratio,
     virtual_stage_ranks,
 )
 
@@ -79,28 +85,118 @@ from repro.sim.schedules import (
 LOWER_BOUND_SAFETY = 1e-9
 
 
+#: Generation counter of the fast-path caches.  Canonical schedules are
+#: stamped with the generation they were built under; after a cache clear the
+#: counter advances, so schedules from a dead generation stop qualifying for
+#: the timeline cache (they can no longer alias refilled entries) and the next
+#: :func:`cached_build_schedule` call rebuilds a fresh current-generation
+#: instance.
+_CACHE_GENERATION = 1
+
+
+def _current_cache_generation() -> int:
+    """The live cache generation (exposed for tests)."""
+    return _CACHE_GENERATION
+
+
 @lru_cache(maxsize=2048)
+def _cached_build_schedule_inner(
+    kind: ScheduleKind,
+    num_stages: int,
+    num_micro_batches: int,
+    num_chunks: int,
+    wave_ratio: Optional[WaveRatio],
+) -> PipelineSchedule:
+    schedule = build_schedule(
+        kind, num_stages, num_micro_batches,
+        num_chunks=num_chunks, wave_ratio=wave_ratio,
+    )
+    # Mark builder provenance on the (frozen) instance: the timeline cache
+    # may only alias schedules whose rank_ops are the canonical builder
+    # output for their structure key, and checking a marker avoids building
+    # a canonical twin just to compare identities.  The generation stamp ties
+    # the marker to the cache state it was issued under -- a clear invalidates
+    # every outstanding stamp.
+    object.__setattr__(schedule, "_canonical", True)
+    object.__setattr__(schedule, "_canonical_generation", _CACHE_GENERATION)
+    return schedule
+
+
 def cached_build_schedule(
     kind: ScheduleKind,
     num_stages: int,
     num_micro_batches: int,
     num_chunks: int = 1,
+    wave_ratio: Optional[WaveRatio] = None,
 ) -> PipelineSchedule:
     """Memoized :func:`repro.sim.schedules.build_schedule`.
 
-    A schedule is fully determined by ``(kind, p, m, v)`` and immutable, so
-    the strategy search shares one validated instance per structure key
-    instead of rebuilding (and re-validating) ``O(p * m * v)`` op lists for
-    every candidate evaluation.  Always pass ``num_chunks`` positionally:
-    ``lru_cache`` keys positional and keyword invocations separately.
+    A schedule is fully determined by ``(kind, p, m, v, wave ratio)`` and
+    immutable, so the strategy search shares one validated instance per
+    structure key instead of rebuilding (and re-validating) ``O(p * m * v)``
+    op lists for every candidate evaluation.
+
+    This thin wrapper normalises the call *before* the ``lru_cache`` layer --
+    positional and keyword invocations, an omitted vs explicit default
+    ``num_chunks``, and the ratio of kinds the ratio cannot shape (block
+    placements, or the unit ratio itself) all collapse onto one cache key, so
+    call-style differences can no longer split the cache into duplicate
+    entries holding distinct instances of the same schedule.
     """
-    schedule = build_schedule(kind, num_stages, num_micro_batches, num_chunks=num_chunks)
-    # Mark builder provenance on the (frozen) instance: the timeline cache
-    # may only alias schedules whose rank_ops are the canonical builder
-    # output for their structure key, and checking a marker avoids building
-    # a canonical twin just to compare identities.
-    object.__setattr__(schedule, "_canonical", True)
-    return schedule
+    if wave_ratio is not None:
+        if not isinstance(wave_ratio, WaveRatio):
+            wave_ratio = WaveRatio(*wave_ratio)
+        if (
+            kind.placement is not PlacementRule.V_WAVE
+            or wave_ratio == UNIT_WAVE_RATIO
+        ):
+            wave_ratio = None
+    return _cached_build_schedule_inner(
+        kind, num_stages, num_micro_batches, num_chunks, wave_ratio,
+    )
+
+
+def _clear_schedule_cache() -> None:
+    """Drop the schedule cache and retire its generation of canonical stamps."""
+    global _CACHE_GENERATION
+    _CACHE_GENERATION += 1
+    _cached_build_schedule_inner.cache_clear()
+
+
+# The wrapper keeps the lru_cache introspection surface callers rely on
+# (fastpath_cache_info, benchmarks, tests); cache_clear routes through the
+# generation bump so stale canonical stamps can never alias refilled entries.
+cached_build_schedule.cache_info = _cached_build_schedule_inner.cache_info  # type: ignore[attr-defined]
+cached_build_schedule.cache_clear = _clear_schedule_cache  # type: ignore[attr-defined]
+
+
+def wave_ratio_from_costs(
+    costs: Union[StageCosts, Sequence[StageCosts]],
+) -> WaveRatio:
+    """The quantised wavefront ratio a candidate's real costs induce.
+
+    Averages the per-virtual-stage forward, grad-input (recompute included --
+    the grad-input op carries the recompute stall in both simulators) and
+    grad-weight durations, then snaps them onto the bucket grid
+    (:func:`repro.sim.schedules.quantise_wave_ratio`).  Bucketing is what
+    keeps the schedule/timeline caches effective under cost-aware ZB-V: every
+    cost vector within a bucket shares one cache key.
+    """
+    if isinstance(costs, StageCosts):
+        per_stage = [costs]
+    else:
+        per_stage = list(costs)
+    if not per_stage:
+        return UNIT_WAVE_RATIO
+    scale = 1.0 / len(per_stage)
+    forward = sum(stage.forward_s for stage in per_stage) * scale
+    backward_input = sum(
+        stage.recompute_s + stage.split_backward_input_s for stage in per_stage
+    ) * scale
+    backward_weight = sum(
+        stage.split_backward_weight_s for stage in per_stage
+    ) * scale
+    return quantise_wave_ratio(forward, backward_input, backward_weight)
 
 
 def critical_path_timeline(
@@ -338,12 +434,15 @@ def _cached_fast_timeline(
     num_stages: int,
     num_micro_batches: int,
     num_chunks: int,
+    wave_ratio: Optional[WaveRatio],
     costs: Tuple[StageCosts, ...],
     p2p_bandwidth_bytes_per_s: float,
     p2p_latency_s: float,
     pcie_bandwidth_bytes_per_s: float,
 ) -> PipelineTimeline:
-    schedule = cached_build_schedule(kind, num_stages, num_micro_batches, num_chunks)
+    schedule = cached_build_schedule(
+        kind, num_stages, num_micro_batches, num_chunks, wave_ratio,
+    )
     return critical_path_timeline(
         schedule, list(costs),
         p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
@@ -383,14 +482,23 @@ def evaluate_schedule(
             pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
         )
     per_stage = tuple(_normalise_costs(schedule, costs))
-    # The timeline cache keys on the (kind, p, m, v) structure, which only
-    # describes schedules produced by the canonical builder.  A hand-built
-    # schedule with custom rank_ops must not alias a canonical cache entry,
-    # so it is evaluated directly.
-    if getattr(schedule, "_canonical", False):
+    # The timeline cache keys on the (kind, p, m, v, wave ratio) structure,
+    # which only describes schedules produced by the canonical builder.  A
+    # hand-built schedule with custom rank_ops must not alias a canonical
+    # cache entry, and neither may a canonical schedule from a *retired*
+    # generation (cleared caches refill with fresh instances; a stale stamp
+    # must not route its holder through them), so both are evaluated
+    # directly.
+    if (
+        getattr(schedule, "_canonical", False)
+        and getattr(schedule, "_canonical_generation", 0) == _CACHE_GENERATION
+    ):
+        ratio = schedule.wave_ratio
         fast = _cached_fast_timeline(
             schedule.kind, schedule.num_stages, schedule.num_micro_batches,
-            schedule.num_chunks, per_stage,
+            schedule.num_chunks,
+            None if ratio == UNIT_WAVE_RATIO else ratio,
+            per_stage,
             p2p_bandwidth_bytes_per_s, p2p_latency_s, pcie_bandwidth_bytes_per_s,
         )
     else:
@@ -442,7 +550,10 @@ def pipeline_lower_bound_for_shape(
     Takes the schedule *shape* rather than a built schedule: the bound only
     depends on ``(kind, p, m, v)`` and the per-stage costs, which is what
     lets the candidate loops prune a schedule without ever materialising its
-    O(p m v) op lists.
+    O(p m v) op lists.  It is deliberately *order-independent* -- every term
+    below holds for any op order a kind could run, so the bound stays a valid
+    floor for cost-aware ZB-V wavefronts no matter which wave ratio shaped
+    them (the ratio never enters the bound).
 
     Three classical bounds, maximised (all are valid for every schedule kind
     this package builds -- under both placements rank ``r``'s earliest
@@ -536,6 +647,13 @@ def fastpath_cache_info() -> Dict[str, object]:
 
 
 def clear_fastpath_caches() -> None:
-    """Drop all memoized schedules and timelines (tests and benchmarks)."""
-    cached_build_schedule.cache_clear()
+    """Drop all memoized schedules and timelines (tests and benchmarks).
+
+    Also advances the cache generation: schedules returned before the clear
+    keep their ``_canonical`` marker but their generation stamp is retired,
+    so :func:`evaluate_schedule` stops routing them through the (refilled)
+    timeline cache -- previously such survivors could alias instances from a
+    dead generation.
+    """
+    cached_build_schedule.cache_clear()  # bumps the generation
     _cached_fast_timeline.cache_clear()

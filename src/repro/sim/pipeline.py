@@ -42,6 +42,7 @@ transfer-staging buffers that are drained and reused between micro-batches.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -104,14 +105,22 @@ class StageCosts:
     weight_grad_bytes: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.forward_s < 0 or self.backward_s < 0 or self.recompute_s < 0:
-            raise ValueError("stage times must be non-negative")
+        # NaN slips through a bare ``< 0`` check (every comparison with NaN is
+        # False), so gate on isfinite explicitly.
+        for name in ("forward_s", "backward_s", "recompute_s"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"stage times must be finite and non-negative (got {name}={value})"
+                )
         for name in ("p2p_bytes", "offload_bytes", "prefetch_bytes", "activation_bytes",
                      "weight_grad_bytes"):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be finite and non-negative (got {value})")
         if self.backward_weight_s is not None and not (
-            0.0 <= self.backward_weight_s <= self.backward_s + 1e-12
+            math.isfinite(self.backward_weight_s)
+            and 0.0 <= self.backward_weight_s <= self.backward_s + 1e-12
         ):
             raise ValueError(
                 "backward_weight_s must lie within [0, backward_s] "

@@ -27,9 +27,13 @@ builder per kind (:class:`ScheduleRecipe`): a schedule is the product of
 The four block-placed kinds lower through one closed-form composed builder
 and reproduce the pre-IR hand-written op lists bit-identically (golden-tested
 in ``tests/test_schedule_ir.py``); the V placement lowers through a
-deterministic unit-cost wavefront list scheduler, whose generation order is a
-topological order of the dependency DAG consistent with every rank's list --
-which is what guarantees the schedule can never deadlock, for any op costs.
+deterministic *cost-aware* wavefront list scheduler, ordering ops under the
+recipe's quantised ``F : B_input : B_weight`` duration ratio
+(:class:`WaveRatio`; ratio-less builds use :data:`UNIT_WAVE_RATIO` and
+reproduce the legacy unit-cost order bit-identically).  The generation order
+is a topological order of the dependency DAG consistent with every rank's
+list -- which is what guarantees the schedule can never deadlock, for any op
+costs.
 
 Invariants every built schedule satisfies (checked by :meth:`PipelineSchedule.validate`):
 
@@ -68,9 +72,11 @@ drain into the wave's idle gaps.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 
 class PlacementRule(Enum):
@@ -114,12 +120,75 @@ class SteadyStateRule(Enum):
     ONE_F_ONE_B = "1f1b"
 
 
+class WaveRatio(NamedTuple):
+    """Quantised ``F : B_input : B_weight`` durations shaping the V wavefront.
+
+    The V-wave list scheduler orders ops by earliest start under *abstract*
+    per-op durations; this tuple carries those durations, normalised so the
+    largest component is 1.0 and snapped to the :data:`WAVE_RATIO_BUCKETS`
+    grid (multiples of ``1 / WAVE_RATIO_BUCKETS``).  Quantisation is what
+    keeps the schedule caches effective: every cost vector inside one bucket
+    maps to the same ratio, hence the same cache key and the same shared
+    schedule instance.  A hashable ``NamedTuple`` so it can sit directly in
+    ``lru_cache`` keys.
+    """
+
+    forward: float
+    backward_input: float
+    backward_weight: float
+
+
+#: The legacy unit-cost wavefront (``F = B_input = W = 1``): the zero-bubble
+#: regime the schedule originally assumed.  Ratio-less builds use this and
+#: reproduce the pre-cost-aware op lists bit-identically.
+UNIT_WAVE_RATIO = WaveRatio(1.0, 1.0, 1.0)
+
+#: Quantisation grid of :func:`quantise_wave_ratio`: ratio components snap to
+#: multiples of ``1 / WAVE_RATIO_BUCKETS`` in ``(0, 1]``.  Eight buckets keep
+#: the key space tiny (at most ``8^2`` distinct ratios, since one component is
+#: always 1.0) while still separating the regimes that change the wavefront's
+#: op order (forward-dominated, weight-heavy, zero-bubble).
+WAVE_RATIO_BUCKETS = 8
+
+
+def quantise_wave_ratio(
+    forward_s: float, backward_input_s: float, backward_weight_s: float,
+) -> WaveRatio:
+    """Snap real per-chunk durations onto the wave-ratio bucket grid.
+
+    Normalises by the largest duration and rounds each component to the
+    nearest multiple of ``1 / WAVE_RATIO_BUCKETS``, clamped to at least one
+    bucket (a zero abstract duration would let the list scheduler stack
+    infinitely many ops into one instant, which no real cost vector does).
+    Degenerate inputs -- non-finite values, or no positive duration at all --
+    fall back to :data:`UNIT_WAVE_RATIO` rather than raising: the ratio only
+    shapes an op *order*, and every order is executable, so a conservative
+    default is always safe.
+    """
+    values = (forward_s, backward_input_s, backward_weight_s)
+    if not all(math.isfinite(value) and value >= 0.0 for value in values):
+        return UNIT_WAVE_RATIO
+    top = max(values)
+    if top <= 0.0:
+        return UNIT_WAVE_RATIO
+    return WaveRatio(*(
+        max(1, round(value / top * WAVE_RATIO_BUCKETS)) / WAVE_RATIO_BUCKETS
+        for value in values
+    ))
+
+
 class ScheduleRecipe(NamedTuple):
-    """The composable IR: a schedule is placement x backward-split x steady-state."""
+    """The composable IR: a schedule is placement x backward-split x steady-state.
+
+    ``wave_ratio`` parameterises the V-wave list scheduler's abstract op
+    durations (``None`` means :data:`UNIT_WAVE_RATIO`); block placements have
+    closed-form builders and ignore it.
+    """
 
     placement: PlacementRule
     backward_split: BackwardSplitRule
     steady_state: SteadyStateRule
+    wave_ratio: Optional[WaveRatio] = None
 
 
 class ScheduleKind(Enum):
@@ -263,13 +332,22 @@ class StageOp(NamedTuple):
 
 @dataclass(frozen=True)
 class PipelineSchedule:
-    """A complete schedule: one ordered op list per pipeline rank."""
+    """A complete schedule: one ordered op list per pipeline rank.
+
+    ``wave_ratio`` records the quantised F : B_input : B_weight durations the
+    V-wave list scheduler ordered the ops under; block-placed kinds always
+    carry :data:`UNIT_WAVE_RATIO`.  It is part of the schedule's identity --
+    two ZB-V schedules with the same ``(kind, p, m, v)`` but different ratios
+    generally have different op orders, so every cache keyed on the structure
+    must include it.
+    """
 
     kind: ScheduleKind
     num_stages: int
     num_micro_batches: int
     num_chunks: int
     rank_ops: Tuple[Tuple[StageOp, ...], ...]
+    wave_ratio: WaveRatio = UNIT_WAVE_RATIO
 
     @property
     def num_virtual_stages(self) -> int:
@@ -458,6 +536,7 @@ def build_schedule(
     num_stages: int,
     num_micro_batches: int,
     num_chunks: int = 1,
+    wave_ratio: Optional[WaveRatio] = None,
 ) -> PipelineSchedule:
     """Construct a validated pipeline schedule from its kind's recipe.
 
@@ -471,9 +550,16 @@ def build_schedule(
             requires ``m % p == 0`` (Megatron's constraint) so that
             micro-batch groups tile the virtual pipeline; the V wavefront has
             no divisibility constraint.
+        wave_ratio: quantised F : B_input : B_weight durations shaping the
+            V-wave list scheduler's op order (see :func:`quantise_wave_ratio`);
+            ``None`` keeps the legacy unit-cost wavefront.  Block placements
+            have closed-form op orders the ratio cannot change, so it is
+            normalised away for them -- passing a ratio to a degraded
+            candidate (ZB-V falling back to ZB-H1) is harmless by design.
 
     Raises:
-        ValueError: on inconsistent ``(kind, p, m, v)`` combinations.
+        ValueError: on inconsistent ``(kind, p, m, v)`` combinations, or a
+            ``wave_ratio`` with non-finite or non-positive components.
     """
     if num_stages < 1:
         raise ValueError("num_stages must be >= 1")
@@ -482,6 +568,19 @@ def build_schedule(
     if num_chunks < 1:
         raise ValueError("num_chunks must be >= 1")
     recipe = kind.recipe
+    if wave_ratio is not None:
+        if not isinstance(wave_ratio, WaveRatio):
+            wave_ratio = WaveRatio(*wave_ratio)
+        for component in wave_ratio:
+            if not (math.isfinite(component) and component > 0.0):
+                raise ValueError(
+                    f"wave_ratio components must be finite and positive "
+                    f"(got {wave_ratio})"
+                )
+        if recipe.placement is not PlacementRule.V_WAVE or wave_ratio == UNIT_WAVE_RATIO:
+            wave_ratio = None
+    if wave_ratio is not None:
+        recipe = recipe._replace(wave_ratio=wave_ratio)
     if recipe.placement is PlacementRule.V_WAVE:
         if num_chunks != V_WAVE_CHUNKS:
             raise ValueError(
@@ -509,6 +608,7 @@ def build_schedule(
         num_micro_batches=m,
         num_chunks=v,
         rank_ops=tuple(tuple(ops) for ops in rank_lists),
+        wave_ratio=wave_ratio if wave_ratio is not None else UNIT_WAVE_RATIO,
     )
     schedule.validate()
     return schedule
@@ -616,31 +716,70 @@ def _apply_backward_split(ops: List[StageOp], defer: int) -> List[StageOp]:
 
 
 # ------------------------------------------------------------ V-wave builder
-#: Abstract unit durations that shape the wavefront's op order (the simulator
-#: later executes the order under the real costs).  One forward, one
-#: grad-input and one grad-weight unit reflect the zero-bubble regime the
-#: schedule targets (F ~ B_input ~ W per chunk); a fused backward is their
-#: grad-input + grad-weight sum.
-_WAVE_F = 1.0
-_WAVE_B_INPUT = 1.0
-_WAVE_B_WEIGHT = 1.0
-_WAVE_B_FUSED = _WAVE_B_INPUT + _WAVE_B_WEIGHT
-
-
 def _v_wave_rank_ops(
     recipe: ScheduleRecipe, p: int, m: int,
+) -> Tuple[Tuple[StageOp, ...], ...]:
+    """Compose every rank's op list for the V placement, cost-aware.
+
+    Generates the wavefront order under the recipe's abstract per-op
+    durations (:attr:`ScheduleRecipe.wave_ratio`; ``None`` is the legacy
+    unit-cost wavefront).  A greedy list scheduler carries no optimality
+    guarantee for arbitrary durations, so for a non-unit ratio both the
+    cost-aware and the unit-cost orders are generated and the one with the
+    smaller makespan *under the ratio durations* is kept (ties prefer the
+    cost-aware order) -- which is what makes cost-aware ZB-V provably never
+    worse than the legacy order on any cost vector the ratio represents
+    exactly, and empirically better in forward-dominated and weight-heavy
+    regimes (property-tested in ``tests/test_wave_ratio.py``).
+    """
+    ratio = recipe.wave_ratio if recipe.wave_ratio is not None else UNIT_WAVE_RATIO
+    return _selected_wave_order(recipe.backward_split.splits_backward, p, m, ratio)
+
+
+@lru_cache(maxsize=4096)
+def _selected_wave_order(
+    split: bool, p: int, m: int, ratio: WaveRatio,
+) -> Tuple[Tuple[StageOp, ...], ...]:
+    """The better of the cost-aware and unit wavefront orders, memoized.
+
+    The wavefront order is a pure function of ``(split, p, m, ratio)`` -- the
+    recipe's only other influence on :func:`_wave_order` is structural and
+    fixed for the V placement -- so the generated orders and the replay
+    comparison are memoized here, *outside* the fastpath schedule cache:
+    distinct schedule-cache keys that share a shape reuse the unit order, and
+    when quantisation maps a candidate's costs onto an already-seen bucket the
+    whole selection is free.  Entries carry no cost-model state (only the
+    abstract ratio), so this memo is never invalidated by cache clears.
+
+    The unit-order replay is skipped entirely when the cost-aware generation
+    pass emits the very same order (common for mild ratios) -- the comparison
+    could only ever tie, and ties keep the cost-aware order anyway.
+    """
+    order = tuple(tuple(ops) for ops in _wave_order(split, p, m, ratio))
+    if ratio != UNIT_WAVE_RATIO:
+        unit_order = _selected_wave_order(split, p, m, UNIT_WAVE_RATIO)
+        if order != unit_order and (
+            _wave_order_makespan(unit_order, p, m, ratio, split)
+            < _wave_order_makespan(order, p, m, ratio, split)
+        ):
+            order = unit_order
+    return order
+
+
+def _wave_order(
+    split: bool, p: int, m: int, ratio: WaveRatio,
 ) -> List[List[StageOp]]:
-    """Compose every rank's op list for the V placement by wavefront scheduling.
+    """One wavefront list-scheduling pass under the given abstract durations.
 
     The V layout has no closed-form warm-up depth (the forward wave folds
     back through the same ranks while the backward wave starts on rank 0), so
-    the op order is derived by deterministic unit-cost list scheduling over
-    the dependency DAG: repeatedly execute, across all ranks, the op with the
-    earliest possible start time, with grad-input/backward ops beating
-    forwards on ties (the 1F1B steady-state discipline), deeper chunks
-    beating shallower ones among forwards (the fold-back chunk leads to the
-    loss and frees memory sooner), then lowest micro-batch / rank for
-    determinism.
+    the op order is derived by deterministic list scheduling over the
+    dependency DAG under the ratio's abstract F / B_input / W durations:
+    repeatedly execute, across all ranks, the op with the earliest possible
+    start time, with grad-input/backward ops beating forwards on ties (the
+    1F1B steady-state discipline), deeper chunks beating shallower ones among
+    forwards (the fold-back chunk leads to the loss and frees memory sooner),
+    then lowest micro-batch / rank for determinism.
 
     Two per-rank resource caps bound the transient memory the way 1F1B's
     warm-up depth does:
@@ -661,12 +800,12 @@ def _v_wave_rank_ops(
     order of the op DAG consistent with every rank's list order, so the
     resulting schedule cannot deadlock under any cost vector.
     """
-    split = recipe.backward_split.splits_backward
+    wave_f, wave_b_input, wave_b_weight = ratio
     num_virtual = V_WAVE_CHUNKS * p
     last_vs = num_virtual - 1
     # chunk 0 of rank r is virtual stage r; chunk 1 is 2p - 1 - r.
     chunk_vs = [[rank, last_vs - rank] for rank in range(p)]
-    backward_dur = _WAVE_B_INPUT if split else _WAVE_B_FUSED
+    backward_dur = wave_b_input if split else wave_b_input + wave_b_weight
     live_cap = V_WAVE_CHUNKS * p
     stash_cap = V_WAVE_CHUNKS * p
 
@@ -731,7 +870,7 @@ def _v_wave_rank_ops(
         if weights:
             if len(weights) >= stash_cap:
                 best = (now, _FORCED_W, 0, weights[0][0], weights[0][1])
-            elif best is None or best[0] >= now + _WAVE_B_WEIGHT:
+            elif best is None or best[0] >= now + wave_b_weight:
                 best = (now, _FILLER_W, 0, weights[0][0], weights[0][1])
         return best
 
@@ -760,10 +899,10 @@ def _v_wave_rank_ops(
         if priority == _FORCED_W or priority == _FILLER_W:
             pending_weights[rank].pop(0)
             lists[rank].append(StageOp(OpKind.BACKWARD_WEIGHT, rank, chunk, mb, vs))
-            rank_avail[rank] = start + _WAVE_B_WEIGHT
+            rank_avail[rank] = start + wave_b_weight
             continue
         if priority == _FORWARD:
-            end = start + _WAVE_F
+            end = start + wave_f
             lists[rank].append(StageOp(OpKind.FORWARD, rank, chunk, mb, vs))
             next_forward[rank][chunk] = mb + 1
             live[rank] += 1
@@ -792,3 +931,79 @@ def _v_wave_rank_ops(
                     StageOp(OpKind.BACKWARD_WEIGHT, rank, chunk, mb, chunk_vs[rank][chunk])
                 )
     return lists
+
+
+def _wave_order_makespan(
+    lists: Sequence[Sequence[StageOp]],
+    p: int,
+    m: int,
+    ratio: WaveRatio,
+    split: bool,
+) -> float:
+    """Makespan of a fixed V-placed op order under the ratio's durations.
+
+    Replays the per-rank lists with in-order execution, free P2P and the
+    ratio's abstract F / B_input / W durations -- the same ``max``/``+``
+    recurrence the critical-path fast evaluator computes for uniform per-chunk
+    :class:`~repro.sim.pipeline.StageCosts` equal to the ratio, so the
+    builder's cost-aware-vs-unit comparison agrees exactly with what the
+    simulators would report on such costs.  Used only to pick between the two
+    candidate orders in :func:`_v_wave_rank_ops`; both candidates come from
+    the wavefront generator and are therefore deadlock-free.
+    """
+    f_dur, b_input_dur, w_dur = ratio
+    b_dur = b_input_dur if split else b_input_dur + w_dur
+    num_virtual = V_WAVE_CHUNKS * p
+    last_vs = num_virtual - 1
+    size = num_virtual * m
+    forward_ready: List[Optional[float]] = [0.0] * m + [None] * (size - m)
+    forward_done: List[Optional[float]] = [None] * size
+    grad_ready: List[Optional[float]] = [None] * size
+    avail = [0.0] * p
+    pointer = [0] * p
+    worklist = list(range(p))
+    while worklist:
+        rank = worklist.pop()
+        ops = lists[rank]
+        num_ops = len(ops)
+        rank_avail = avail[rank]
+        index = pointer[rank]
+        while index < num_ops:
+            kind, _, _, mb, vs = ops[index]
+            key = vs * m + mb
+            if kind is OpKind.FORWARD:
+                ready = forward_ready[key]
+                if ready is None:
+                    break
+                start = ready if ready > rank_avail else rank_avail
+                end = start + f_dur
+                forward_done[key] = end
+                if vs < last_vs:
+                    forward_ready[key + m] = end
+                    dst = min(vs + 1, last_vs - vs - 1)
+                    if dst != rank:
+                        worklist.append(dst)
+            elif kind is OpKind.BACKWARD_WEIGHT:
+                end = rank_avail + w_dur
+            else:  # BACKWARD or BACKWARD_INPUT
+                done = forward_done[key]
+                if done is None:
+                    break
+                grad = done if vs == last_vs else grad_ready[key]
+                if grad is None:
+                    break
+                earliest = grad if grad > done else done
+                start = earliest if earliest > rank_avail else rank_avail
+                end = start + b_dur
+                if vs > 0:
+                    grad_ready[key - m] = end
+                    dst = min(vs - 1, last_vs - vs + 1)
+                    if dst != rank:
+                        worklist.append(dst)
+            rank_avail = end
+            index += 1
+        avail[rank] = rank_avail
+        pointer[rank] = index
+    if any(pointer[rank] < len(lists[rank]) for rank in range(p)):
+        raise RuntimeError("wave order replay deadlocked")  # pragma: no cover
+    return max(avail)

@@ -55,6 +55,7 @@ from repro.sim.fastpath import (
     cached_build_schedule,
     evaluate_schedule,
     pipeline_lower_bound_for_shape,
+    wave_ratio_from_costs,
 )
 from repro.sim.pipeline import (
     PipelineTimeline,
@@ -713,12 +714,20 @@ class TrainingSystem(ABC):
                 p2p_bytes=p2p_bytes,
             )
 
+        def wave_ratio_for(shape: Tuple[ScheduleKind, int, int, int]):
+            # ZB-V's wavefront order depends on the candidate's real
+            # F : B_input : W durations; block placements ignore the ratio.
+            if shape[0] is not ScheduleKind.ZB_V:
+                return None
+            return wave_ratio_from_costs(stage_costs_for(shape))
+
         def evaluate_with_schedule(
             schedule_kind: Optional[ScheduleKind],
             shape: Optional[Tuple[ScheduleKind, int, int, int]],
         ) -> StrategyEvaluation:
             pipeline_schedule: Optional[PipelineSchedule] = (
-                cached_build_schedule(*shape) if shape is not None else None
+                cached_build_schedule(*shape, wave_ratio=wave_ratio_for(shape))
+                if shape is not None else None
             )
             in_flight = 1.0
             if pipeline_schedule is not None:

@@ -21,24 +21,39 @@ from repro.sim.fastpath import (
     pipeline_lower_bound,
 )
 from repro.sim.pipeline import StageCosts, simulate_pipeline
-from repro.sim.schedules import ScheduleKind, build_schedule
+from repro.sim.schedules import (
+    ScheduleKind, WAVE_RATIO_BUCKETS, WaveRatio, build_schedule,
+)
+
+
+@st.composite
+def wave_ratios(draw):
+    """A random quantised ratio (always including unit in the search space)."""
+    if draw(st.booleans()):
+        return None
+    buckets = WAVE_RATIO_BUCKETS
+    components = [draw(st.integers(min_value=1, max_value=buckets)) for _ in range(3)]
+    components[draw(st.integers(min_value=0, max_value=2))] = buckets
+    return WaveRatio(*(value / buckets for value in components))
 
 
 @st.composite
 def schedule_shapes(draw):
-    """Random (kind, p, m, v) combinations that build_schedule accepts."""
+    """Random (kind, p, m, v, ratio) combinations that build_schedule accepts."""
     kind = draw(st.sampled_from(list(ScheduleKind)))
     p = draw(st.integers(min_value=1, max_value=6))
+    ratio = None
     if kind is ScheduleKind.INTERLEAVED:
         v = draw(st.integers(min_value=1, max_value=3))
         m = p * draw(st.integers(min_value=1, max_value=4))
     elif kind is ScheduleKind.ZB_V:
         v = 2  # the V placement folds exactly two chunks per rank
         m = draw(st.integers(min_value=1, max_value=12))
+        ratio = draw(wave_ratios())  # cost-aware wavefront orders too
     else:
         v = 1
         m = draw(st.integers(min_value=1, max_value=12))
-    return kind, p, m, v
+    return kind, p, m, v, ratio
 
 
 @st.composite
@@ -68,12 +83,12 @@ def heterogeneous_costs(draw, num_virtual_stages, split_backward):
 
 @st.composite
 def simulation_cases(draw):
-    kind, p, m, v = draw(schedule_shapes())
+    kind, p, m, v, ratio = draw(schedule_shapes())
     costs = draw(heterogeneous_costs(p * v, kind.splits_backward))
     bandwidth = draw(st.sampled_from([float("inf"), 10.0, 0.5]))
     latency = draw(st.sampled_from([0.0, 0.05]))
     pcie = draw(st.sampled_from([1.0, 16.0]))
-    return (kind, p, m, v), costs, bandwidth, latency, pcie
+    return (kind, p, m, v, ratio), costs, bandwidth, latency, pcie
 
 
 class TestFastPathEquivalence:
@@ -83,8 +98,8 @@ class TestFastPathEquivalence:
         """Makespan, busy times, bubble and peak memory match exactly --
         ``==`` on floats, not approx -- across all kinds and random
         heterogeneous costs (stages <= 6, micro-batches <= 12)."""
-        (kind, p, m, v), costs, bandwidth, latency, pcie = case
-        schedule = build_schedule(kind, p, m, num_chunks=v)
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
         oracle = simulate_pipeline(
             schedule, costs,
             p2p_bandwidth_bytes_per_s=bandwidth,
@@ -109,8 +124,8 @@ class TestFastPathEquivalence:
     @settings(max_examples=80, deadline=None)
     def test_record_ops_reproduces_event_op_times(self, case):
         """With record_ops=True every op's (start, end) matches the engine's."""
-        (kind, p, m, v), costs, bandwidth, latency, pcie = case
-        schedule = build_schedule(kind, p, m, num_chunks=v)
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
         oracle = simulate_pipeline(
             schedule, costs,
             p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
@@ -131,8 +146,8 @@ class TestFastPathEquivalence:
     @settings(max_examples=80, deadline=None)
     def test_validate_oracle_accepts_every_case(self, case):
         """evaluate_schedule(validate=True) must never raise a mismatch."""
-        (kind, p, m, v), costs, bandwidth, latency, pcie = case
-        schedule = build_schedule(kind, p, m, num_chunks=v)
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
         timeline = evaluate_schedule(
             schedule, costs,
             p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
@@ -145,8 +160,8 @@ class TestLowerBoundProperties:
     @given(simulation_cases())
     @settings(max_examples=150, deadline=None)
     def test_lower_bound_never_exceeds_makespan(self, case):
-        (kind, p, m, v), costs, bandwidth, latency, pcie = case
-        schedule = build_schedule(kind, p, m, num_chunks=v)
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
         timeline = critical_path_timeline(
             schedule, costs,
             p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,

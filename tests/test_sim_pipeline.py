@@ -503,7 +503,7 @@ class TestSystemsIntegration:
             MegatronSystem(pipeline_schedule=kind)._shared_evaluation(
                 workload, parallel, alpha=0.0,
             )
-            for kind in ("1f1b", "zb-h1")
+            for kind in ("1f1b", "zb-h1", "zb-v")
         ]
         # The auto sweep tries real interleaving (two chunks) even though the
         # system default is a single chunk per rank.

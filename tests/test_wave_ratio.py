@@ -1,0 +1,464 @@
+"""Cost-aware ZB-V wavefront: quantisation, cache identity, and optimality.
+
+Covers the end-to-end fix for the unit-cost steady-state drift:
+
+* ratio quantisation is well-formed and collapses degenerate inputs to unit;
+* ``cached_build_schedule`` keys are normalised (positional vs keyword call
+  styles, tuple vs ``WaveRatio``, unit vs ``None``) so no duplicate lru
+  entries exist;
+* cache clears retire the canonical generation instead of aliasing stale
+  schedule objects into the refilled timeline cache;
+* every bucket-grid ratio builds a deadlock-free ZB-V order within the 2p
+  live / 2p stash caps;
+* the cost-aware order's makespan is never worse than the unit-cost order's
+  on a skewed-cost grid, and is exhaustively optimal against brute-force
+  order enumeration on small (p, m) grids.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.sim.fastpath import (
+    cached_build_schedule,
+    clear_fastpath_caches,
+    critical_path_timeline,
+    evaluate_schedule,
+    pipeline_lower_bound,
+    wave_ratio_from_costs,
+)
+from repro.sim.pipeline import StageCosts, simulate_pipeline
+from repro.sim.schedules import (
+    OpKind,
+    ScheduleKind,
+    StageOp,
+    UNIT_WAVE_RATIO,
+    WAVE_RATIO_BUCKETS,
+    WaveRatio,
+    build_schedule,
+    quantise_wave_ratio,
+)
+
+
+def bucket_grid():
+    """Every quantised ratio: components on the 1/8 grid with max == 1."""
+    buckets = WAVE_RATIO_BUCKETS
+    return [
+        WaveRatio(f / buckets, b / buckets, w / buckets)
+        for f in range(1, buckets + 1)
+        for b in range(1, buckets + 1)
+        for w in range(1, buckets + 1)
+        if max(f, b, w) == buckets
+    ]
+
+
+def ratio_costs(ratio, scale=1.0):
+    """Uniform StageCosts whose F : B_input : W durations equal ``ratio``."""
+    return StageCosts(
+        forward_s=ratio.forward * scale,
+        backward_s=(ratio.backward_input + ratio.backward_weight) * scale,
+        backward_weight_s=ratio.backward_weight * scale,
+    )
+
+
+class TestQuantisation:
+    def test_known_example(self):
+        assert quantise_wave_ratio(3.0, 1.0, 0.2) == WaveRatio(1.0, 0.375, 0.125)
+
+    @pytest.mark.parametrize("bad", [
+        (0.0, 0.0, 0.0),
+        (float("nan"), 1.0, 1.0),
+        (1.0, float("inf"), 1.0),
+        (-1.0, 1.0, 1.0),
+    ])
+    def test_degenerate_inputs_collapse_to_unit(self, bad):
+        assert quantise_wave_ratio(*bad) == UNIT_WAVE_RATIO
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e6),
+        st.floats(min_value=1e-6, max_value=1e6),
+        st.floats(min_value=1e-6, max_value=1e6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_quantised_ratio_is_well_formed(self, f, b, w):
+        """Dominant component is exactly 1; all lie on the 1/8 grid in (0, 1]."""
+        ratio = quantise_wave_ratio(f, b, w)
+        assert max(ratio) == 1.0
+        for value in ratio:
+            assert 0.0 < value <= 1.0
+            assert value * WAVE_RATIO_BUCKETS == round(value * WAVE_RATIO_BUCKETS)
+
+    def test_ratio_from_costs_averages_virtual_stages(self):
+        costs = [
+            StageCosts(forward_s=2.0, backward_s=2.0, backward_weight_s=0.5),
+            StageCosts(forward_s=4.0, backward_s=4.0, backward_weight_s=1.5),
+        ]
+        # Averages: F=3, B_input=2, W=1 -> quantised 1 : 2/3 : 1/3.
+        assert wave_ratio_from_costs(costs) == quantise_wave_ratio(3.0, 2.0, 1.0)
+
+    def test_ratio_from_costs_includes_recompute_in_backward(self):
+        with_recompute = StageCosts(
+            forward_s=1.0, backward_s=2.0, backward_weight_s=1.0, recompute_s=1.0,
+        )
+        without = StageCosts(forward_s=1.0, backward_s=2.0, backward_weight_s=1.0)
+        assert (wave_ratio_from_costs([with_recompute])
+                != wave_ratio_from_costs([without]))
+
+
+class TestCacheKeyNormalisation:
+    """Satellite: keyword/positional call styles must share one lru entry."""
+
+    def setup_method(self):
+        clear_fastpath_caches()
+
+    def test_keyword_and_positional_chunks_share_one_entry(self):
+        positional = cached_build_schedule(ScheduleKind.INTERLEAVED, 4, 8, 2)
+        keyword = cached_build_schedule(ScheduleKind.INTERLEAVED, 4, 8, num_chunks=2)
+        assert keyword is positional
+        info = cached_build_schedule.cache_info()
+        assert info.misses == 1 and info.hits == 1
+
+    def test_tuple_and_wave_ratio_share_one_entry(self):
+        ratio = WaveRatio(1.0, 0.75, 0.5)
+        from_named = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2, wave_ratio=ratio)
+        from_tuple = cached_build_schedule(
+            ScheduleKind.ZB_V, 4, 8, 2, wave_ratio=(1.0, 0.75, 0.5),
+        )
+        assert from_tuple is from_named
+
+    def test_unit_ratio_and_none_share_one_entry(self):
+        bare = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2)
+        unit = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2, wave_ratio=UNIT_WAVE_RATIO)
+        assert unit is bare
+
+    def test_non_v_kinds_ignore_the_ratio(self):
+        """A degraded ZB-V candidate passing its ratio must not split the key."""
+        ratio = WaveRatio(1.0, 0.5, 0.25)
+        bare = cached_build_schedule(ScheduleKind.ZB_H1, 4, 8, 1)
+        with_ratio = cached_build_schedule(ScheduleKind.ZB_H1, 4, 8, 1, wave_ratio=ratio)
+        assert with_ratio is bare
+
+    def test_distinct_ratios_are_distinct_schedules(self):
+        skewed = cached_build_schedule(
+            ScheduleKind.ZB_V, 4, 8, 2, wave_ratio=WaveRatio(1.0, 0.25, 0.25),
+        )
+        unit = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2)
+        assert skewed is not unit
+        assert skewed.wave_ratio == WaveRatio(1.0, 0.25, 0.25)
+        assert unit.wave_ratio == UNIT_WAVE_RATIO
+
+
+class TestCacheGenerations:
+    """Satellite: cache clears must retire previously-canonical schedules."""
+
+    def setup_method(self):
+        clear_fastpath_caches()
+
+    def test_clear_retires_the_old_generation(self):
+        stale = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2)
+        stale_generation = stale._canonical_generation
+        clear_fastpath_caches()
+        fresh = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2)
+        assert fresh is not stale
+        assert fresh._canonical is True
+        assert fresh._canonical_generation > stale_generation
+
+    def test_stale_schedule_still_evaluates_correctly(self):
+        """A schedule from a dead generation bypasses the timeline cache but
+        reports the same numbers as a freshly-built one."""
+        costs = StageCosts(forward_s=1.0, backward_s=2.0, backward_weight_s=0.8)
+        stale = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2)
+        before = evaluate_schedule(stale, costs)
+        clear_fastpath_caches()
+        after_stale = evaluate_schedule(stale, costs)
+        fresh = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2)
+        after_fresh = evaluate_schedule(fresh, costs)
+        assert after_stale.total_s == before.total_s == after_fresh.total_s
+        assert after_stale.rank_peak_in_flight == after_fresh.rank_peak_in_flight
+
+    def test_hand_built_schedules_never_hit_the_timeline_cache(self):
+        costs = StageCosts(forward_s=1.0, backward_s=2.0)
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        assert not getattr(schedule, "_canonical", False)
+        canonical = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8, 1)
+        assert (evaluate_schedule(schedule, costs).total_s
+                == evaluate_schedule(canonical, costs).total_s)
+
+
+class TestBucketIdentity:
+    """Satellite: all costs within one bucket map to the same schedule object."""
+
+    @given(
+        st.floats(min_value=0.05, max_value=4.0),
+        st.floats(min_value=0.05, max_value=4.0),
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=-0.04, max_value=0.04),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_same_bucket_same_schedule_object(self, forward, backward, share, jitter):
+        """Perturbing costs without moving the quantised ratio must cache-hit."""
+        base = StageCosts(
+            forward_s=forward, backward_s=backward,
+            backward_weight_s=share * backward,
+        )
+        perturbed = StageCosts(
+            forward_s=forward * (1.0 + jitter), backward_s=backward,
+            backward_weight_s=share * backward,
+        )
+        ratio = wave_ratio_from_costs([base])
+        assume(wave_ratio_from_costs([perturbed]) == ratio)
+        first = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2, wave_ratio=ratio)
+        second = cached_build_schedule(
+            ScheduleKind.ZB_V, 4, 8, 2,
+            wave_ratio=wave_ratio_from_costs([perturbed]),
+        )
+        assert second is first
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 6])
+    @pytest.mark.parametrize("m", [1, 2, 5, 8])
+    def test_bucket_grid_never_deadlocks_nor_violates_caps(self, p, m):
+        """Every representable ratio yields a valid order within the 2p caps.
+
+        ``build_schedule`` itself replays both candidate orders (a deadlocked
+        order would raise), and the event engine would hang on an unsatisfiable
+        op list -- so simulating one skewed case per grid point doubles as a
+        liveness check.
+        """
+        for ratio in bucket_grid():
+            schedule = build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2,
+                                      wave_ratio=ratio)
+            assert all(peak <= 2 * p for peak in schedule.peak_in_flight())
+            assert all(stash <= 2 * p for stash in schedule.peak_deferred_weights())
+            for ops in schedule.rank_ops:
+                assert len(ops) == 3 * 2 * m
+        skewed = build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2,
+                                wave_ratio=WaveRatio(1.0, 0.25, 0.125))
+        timeline = simulate_pipeline(skewed, ratio_costs(skewed.wave_ratio))
+        assert timeline.total_s > 0.0
+
+
+class TestCostAwareNeverWorse:
+    """Tentpole property: cost-aware order <= unit order on skewed costs."""
+
+    @pytest.mark.parametrize("p", [2, 3, 4, 6])
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 12])
+    def test_skewed_cost_grid(self, p, m):
+        for ratio in bucket_grid():
+            costs = ratio_costs(ratio)
+            aware = critical_path_timeline(
+                build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2,
+                               wave_ratio=ratio),
+                costs,
+            )
+            unit = critical_path_timeline(
+                build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2), costs,
+            )
+            assert aware.total_s <= unit.total_s + 1e-9, (p, m, tuple(ratio))
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.05, max_value=4.0),
+        st.floats(min_value=0.05, max_value=4.0),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_random_costs_never_worse_after_quantisation_error(
+        self, p, m, forward, backward, share,
+    ):
+        """On arbitrary (non-representable) costs the aware order may only
+        beat unit up to the quantisation error: one bucket (1/8) of the
+        dominant duration per op on the critical path.  Use a conservative
+        slack of one bucket times the total op count."""
+        costs = StageCosts(forward_s=forward, backward_s=backward,
+                           backward_weight_s=share * backward)
+        ratio = wave_ratio_from_costs([costs])
+        aware = critical_path_timeline(
+            build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2, wave_ratio=ratio),
+            costs,
+        )
+        unit = critical_path_timeline(
+            build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2), costs,
+        )
+        dominant = max(forward, backward)
+        slack = (dominant / WAVE_RATIO_BUCKETS) * (2 * m + 2 * p)
+        assert aware.total_s <= unit.total_s + slack
+
+    def test_lower_bound_stays_valid_for_every_ratio(self):
+        """The analytic floor is order-independent, so it must hold for any
+        wavefront order the ratio produces."""
+        for ratio in bucket_grid():
+            schedule = build_schedule(ScheduleKind.ZB_V, 4, 6, num_chunks=2,
+                                      wave_ratio=ratio)
+            costs = ratio_costs(ratio)
+            bound = pipeline_lower_bound(schedule, costs)
+            assert bound <= critical_path_timeline(schedule, costs).total_s
+
+
+def _zb_v_chains(p, m, rank):
+    """The rank's F < B_input < W chains, one per (chunk, micro-batch)."""
+    last = 2 * p - 1
+    return [
+        tuple(
+            StageOp(kind, rank, chunk, mb, rank if chunk == 0 else last - rank)
+            for kind in (OpKind.FORWARD, OpKind.BACKWARD_INPUT,
+                         OpKind.BACKWARD_WEIGHT)
+        )
+        for chunk in (0, 1)
+        for mb in range(m)
+    ]
+
+
+def _interleavings(chains):
+    """All linear extensions of the given chains (within-chain order kept)."""
+    total = sum(len(chain) for chain in chains)
+    results = []
+
+    def extend(prefix, positions):
+        if len(prefix) == total:
+            results.append(tuple(prefix))
+            return
+        for index, chain in enumerate(chains):
+            if positions[index] < len(chain):
+                positions[index] += 1
+                prefix.append(chain[positions[index] - 1])
+                extend(prefix, positions)
+                prefix.pop()
+                positions[index] -= 1
+
+    extend([], [0] * len(chains))
+    return results
+
+
+def _order_makespan(rank_ops, p, ratio):
+    """Longest-path makespan of fixed per-rank orders under free P2P.
+
+    Mirrors the event engine's semantics (in-order ranks, F needs upstream F,
+    B_input needs own F plus downstream B_input, W needs own B_input).
+    Returns ``None`` when the orders deadlock.
+    """
+    durations = {
+        OpKind.FORWARD: ratio.forward,
+        OpKind.BACKWARD_INPUT: ratio.backward_input,
+        OpKind.BACKWARD_WEIGHT: ratio.backward_weight,
+    }
+    last = 2 * p - 1
+    end = {}
+    position = [0] * len(rank_ops)
+    total = sum(len(ops) for ops in rank_ops)
+    done = 0
+    avail = [0.0] * len(rank_ops)
+    progressed = True
+    while done < total and progressed:
+        progressed = False
+        for rank, ops in enumerate(rank_ops):
+            while position[rank] < len(ops):
+                op = ops[position[rank]]
+                vs, mb, kind = op.virtual_stage, op.micro_batch, op.kind
+                if kind is OpKind.FORWARD:
+                    needs = [(OpKind.FORWARD, vs - 1, mb)] if vs > 0 else []
+                elif kind is OpKind.BACKWARD_INPUT:
+                    needs = [(OpKind.FORWARD, vs, mb)]
+                    if vs < last:
+                        needs.append((OpKind.BACKWARD_INPUT, vs + 1, mb))
+                else:
+                    needs = [(OpKind.BACKWARD_INPUT, vs, mb)]
+                try:
+                    ready = [end[key] for key in needs]
+                except KeyError:
+                    break
+                finish = max([avail[rank]] + ready) + durations[kind]
+                end[(kind, vs, mb)] = finish
+                avail[rank] = finish
+                position[rank] += 1
+                done += 1
+                progressed = True
+    return max(avail) if done == total else None
+
+
+class TestExhaustiveOptimality:
+    """Tentpole verification: brute-force order enumeration on small grids.
+
+    Mirrors how ZB-H1's defer rule was verified: enumerate every linear
+    extension of each rank's dependency chains, evaluate each combination,
+    and check the builder's order achieves the global optimum.
+    """
+
+    # A spread of the bucket grid covering forward-dominated, weight-heavy
+    # and balanced regimes (the full 169-point grid is exercised by the
+    # never-worse test above; brute force over it would be minutes of work).
+    RATIOS = [
+        UNIT_WAVE_RATIO,
+        WaveRatio(1.0, 0.5, 0.25),     # forward-dominated
+        WaveRatio(0.5, 1.0, 0.75),     # backward-dominated
+        WaveRatio(0.25, 0.5, 1.0),     # weight-heavy
+        WaveRatio(1.0, 1.0, 0.125),    # near-zero W
+        WaveRatio(0.125, 1.0, 0.125),  # B_input towers
+        WaveRatio(1.0, 0.125, 1.0),    # F and W tower
+        WaveRatio(0.875, 1.0, 0.625),  # near-balanced off-unit
+    ]
+
+    def test_replay_matches_the_fast_evaluator(self):
+        """Ground the brute-force evaluator: on the builder's own order it
+        reports the exact makespan the fast path (and hence the event engine)
+        reports under matching costs and free P2P."""
+        for p, m in ((2, 1), (3, 1), (2, 2), (4, 3)):
+            for ratio in self.RATIOS:
+                schedule = build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2,
+                                          wave_ratio=ratio)
+                replayed = _order_makespan(schedule.rank_ops, p, ratio)
+                simulated = critical_path_timeline(schedule, ratio_costs(ratio))
+                assert replayed == pytest.approx(simulated.total_s, abs=1e-12)
+
+    @pytest.mark.parametrize("p,m", [(2, 1), (3, 1)])
+    def test_builder_is_exhaustively_optimal(self, p, m):
+        """Every ratio's builder order matches the brute-force optimum over
+        all per-rank linear extensions (20 per rank: two F<B<W chains)."""
+        per_rank = [_interleavings(_zb_v_chains(p, m, rank)) for rank in range(p)]
+        for ratio in self.RATIOS:
+            best = min(
+                span
+                for span in (
+                    _order_makespan(combo, p, ratio)
+                    for combo in itertools.product(*per_rank)
+                )
+                if span is not None
+            )
+            schedule = build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2,
+                                      wave_ratio=ratio)
+            mine = _order_makespan(schedule.rank_ops, p, ratio)
+            assert mine == pytest.approx(best, rel=1e-12), (p, m, tuple(ratio))
+
+    def test_sampled_dominance_on_2x2(self):
+        """(p, m) = (2, 2) is too large to enumerate fully; against a random
+        sample of valid order combinations the builder is never beaten."""
+        import random
+
+        rng = random.Random(20250808)
+        p, m = 2, 2
+        chains = [_zb_v_chains(p, m, rank) for rank in range(p)]
+        for ratio in self.RATIOS:
+            schedule = build_schedule(ScheduleKind.ZB_V, p, m, num_chunks=2,
+                                      wave_ratio=ratio)
+            mine = _order_makespan(schedule.rank_ops, p, ratio)
+            for _ in range(400):
+                combo = []
+                for rank_chains in chains:
+                    order = []
+                    positions = [0] * len(rank_chains)
+                    remaining = sum(len(chain) for chain in rank_chains)
+                    while remaining:
+                        choices = [i for i, chain in enumerate(rank_chains)
+                                   if positions[i] < len(chain)]
+                        pick = rng.choice(choices)
+                        order.append(rank_chains[pick][positions[pick]])
+                        positions[pick] += 1
+                        remaining -= 1
+                    combo.append(tuple(order))
+                span = _order_makespan(tuple(combo), p, ratio)
+                if span is not None:
+                    assert mine <= span + 1e-12, tuple(ratio)
