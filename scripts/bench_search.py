@@ -9,7 +9,11 @@ Runs the same reference workload through two search configurations:
 * **fast** -- the default configuration: memoized critical-path evaluator,
   bound-based schedule pruning, and strategy-level pruning (whole
   parallelism points skipped via the FLOPs/bandwidth/serial-overhead floor
-  before any schedule sweep).
+  before any schedule sweep);
+* **stochastic-disabled** -- the fast configuration with the stochastic
+  layer constructed but inert (``jitter="0"``); guards that carrying the
+  Monte-Carlo machinery changes neither the selected strategy nor the
+  iteration time nor a single schedule-cache hit/miss counter.
 
 and writes ``BENCH_search.json`` with the wall-clocks, the schedule- and
 strategy-level work counters (simulated / pruned / evaluated) and the
@@ -99,23 +103,40 @@ def main(argv=None) -> int:
     )
     fast_seconds, fast = run_search(workload, args.repeats)
     caches = fastpath_cache_info()
+    # Third arm: the stochastic layer present but disabled (null jitter).
+    # The Monte-Carlo machinery must be invisible when off -- same strategy,
+    # same iteration time, and the exact same cache traffic as the fast arm.
+    disabled_seconds, disabled = run_search(workload, args.repeats, jitter="0")
+    disabled_caches = fastpath_cache_info()
 
     speedup = legacy_seconds / fast_seconds if fast_seconds > 0 else float("inf")
     unchanged = (
         legacy.parallel == fast.parallel
         and legacy.iteration_time_s == fast.iteration_time_s
     )
+    cache_counts = {
+        name: {"hits": info.hits, "misses": info.misses}
+        for name, info in caches.items()
+    }
+    disabled_cache_counts = {
+        name: {"hits": info.hits, "misses": info.misses}
+        for name, info in disabled_caches.items()
+    }
+    stochastic_inert = (
+        disabled.parallel == fast.parallel
+        and disabled.iteration_time_s == fast.iteration_time_s
+        and disabled_cache_counts == cache_counts
+    )
     payload = {
         "mode": "smoke" if args.smoke else "reference",
         "workload": spec,
         "legacy_event_engine": arm_payload(legacy_seconds, legacy),
         "fast_path": arm_payload(fast_seconds, fast),
+        "stochastic_disabled": arm_payload(disabled_seconds, disabled),
         "speedup": round(speedup, 2),
         "selected_strategy_unchanged": unchanged,
-        "fastpath_caches": {
-            name: {"hits": info.hits, "misses": info.misses}
-            for name, info in caches.items()
-        },
+        "stochastic_layer_inert_when_disabled": stochastic_inert,
+        "fastpath_caches": cache_counts,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -131,10 +152,17 @@ def main(argv=None) -> int:
           f"{fast.schedules_simulated} schedules simulated, "
           f"{fast.schedules_pruned} pruned)")
     print(f"  speedup {speedup:.1f}x, strategy unchanged: {unchanged}")
+    print(f"  stochastic layer disabled arm: {disabled_seconds:.3f}s, "
+          f"inert: {stochastic_inert}")
     print(f"  wrote {args.output}")
 
     if not unchanged:
         print("FAIL: fast path changed the selected strategy", file=sys.stderr)
+        return 1
+    if not stochastic_inert:
+        print("FAIL: the disabled stochastic layer changed the search "
+              "(strategy, iteration time, or schedule-cache hit/miss "
+              "counters differ from the fast arm)", file=sys.stderr)
         return 1
     if fast_seconds > legacy_seconds:
         print("FAIL: fast path slower than the event engine", file=sys.stderr)

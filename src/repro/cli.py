@@ -37,6 +37,11 @@ from repro.sim.pipeline import (
     stage_peak_memory,
 )
 from repro.sim.schedules import ScheduleKind
+from repro.sim.stochastic import (
+    RISK_OBJECTIVES,
+    monte_carlo_timeline,
+    parse_jitter_spec,
+)
 from repro.experiments.figure1 import crossover_sequence_length_k, run_figure1a, run_figure1b
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure11 import max_loss_divergence, run_figure11a, run_figure11d
@@ -129,6 +134,20 @@ def build_parser() -> argparse.ArgumentParser:
     sim_pipeline.add_argument("--validate", action="store_true",
                               help="cross-check the fast path against the event-engine "
                                    "oracle and fail on any divergence")
+    sim_pipeline.add_argument("--jitter", default=None, metavar="SPEC",
+                              help="seeded perturbation spec for Monte-Carlo robustness "
+                                   "scoring: a bare sigma ('0.05') or "
+                                   "'compute=S,link=S,straggler=P[:ALPHA]'; '0' disables "
+                                   "(every draw equals the deterministic run)")
+    sim_pipeline.add_argument("--replicas", type=int, default=16,
+                              help="Monte-Carlo draws per schedule when --jitter is given")
+    sim_pipeline.add_argument("--seed", type=int, default=0,
+                              help="base seed of the per-replica generators; a fixed "
+                                   "seed reproduces the distribution bit for bit")
+    sim_pipeline.add_argument("--objective", default="mean",
+                              choices=list(RISK_OBJECTIVES),
+                              help="makespan statistic ranking the schedules in the "
+                                   "robustness table (cvar = mean of the worst 5%%)")
 
     table3 = subparsers.add_parser("table3", help="regenerate Table 3 (or a subset)")
     table3.add_argument("--models", default="7B",
@@ -218,6 +237,17 @@ def _command_sim_pipeline(args) -> int:
         print(f"error: TP x CP x PP ({model_parallel}) must divide --gpus ({args.gpus})",
               file=sys.stderr)
         return 2
+    jitter = None
+    if args.jitter is not None:
+        try:
+            jitter = parse_jitter_spec(args.jitter)
+        except ValueError as error:
+            print(f"error: --jitter: {error}", file=sys.stderr)
+            return 2
+        if args.replicas < 1:
+            print(f"error: --replicas must be a positive integer (got {args.replicas})",
+                  file=sys.stderr)
+            return 2
     parallel = ParallelismConfig(
         tensor_parallel=args.tp,
         context_parallel=args.cp,
@@ -362,6 +392,8 @@ def _command_sim_pipeline(args) -> int:
     print(header)
     print("-" * len(header))
 
+    p2p_bandwidth = p2p_bytes / p2p_time if p2p_time > 0 else float("inf")
+    distributions = []  # (label, MakespanDistribution) rows of the robustness table
     for name in names:
         schedule, reason = resolve_named(name)
         if schedule is None:
@@ -377,7 +409,7 @@ def _command_sim_pipeline(args) -> int:
             return 2
         timeline = evaluate_schedule(
             schedule, costs,
-            p2p_bandwidth_bytes_per_s=p2p_bytes / p2p_time if p2p_time > 0 else float("inf"),
+            p2p_bandwidth_bytes_per_s=p2p_bandwidth,
             pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
             engine=args.engine, validate=args.validate,
         )
@@ -392,6 +424,31 @@ def _command_sim_pipeline(args) -> int:
               f"{timeline.analytic_bubble_fraction:>9.3f} "
               f"{stages[0].total_bytes / GiB:>9.2f} GiB  "
               f"{timeline.rank_peak_in_flight}")
+        if jitter is not None:
+            distributions.append((label, monte_carlo_timeline(
+                schedule, costs, jitter,
+                replicas=args.replicas, seed=args.seed,
+                p2p_bandwidth_bytes_per_s=p2p_bandwidth,
+                pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
+                validate=args.validate,
+            )))
+
+    if distributions:
+        print(f"\nRobustness under jitter {jitter.describe()} "
+              f"({args.replicas} replicas, seed {args.seed}; "
+              f"every draw >= deterministic >= analytic bound):")
+        header = (f"{'schedule':<13} {'det':>9} {'mean':>9} {'p50':>9} "
+                  f"{'p95':>9} {'p99':>9} {'cvar':>9} {'bubble var':>11}")
+        print(header)
+        print("-" * len(header))
+        for label, dist in distributions:
+            print(f"{label:<13} {dist.deterministic_total_s:>8.2f}s "
+                  f"{dist.mean_s:>8.2f}s {dist.p50_s:>8.2f}s "
+                  f"{dist.p95_s:>8.2f}s {dist.p99_s:>8.2f}s "
+                  f"{dist.cvar95_s:>8.2f}s {dist.bubble_variance:>11.5f}")
+        winner = min(distributions, key=lambda row: row[1].score(args.objective))
+        print(f"best by {args.objective}: {winner[0]} "
+              f"({winner[1].score(args.objective):.2f}s)")
     return 0
 
 

@@ -47,9 +47,10 @@ Invariants of the pipeline-schedule scoring helpers:
 
 from __future__ import annotations
 
+import contextlib
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.model.specs import ModelConfig
 from repro.parallel.strategy import (
@@ -66,6 +67,13 @@ from repro.sim.fastpath import (
 )
 from repro.sim.pipeline import PipelineTimeline, StageCosts
 from repro.sim.schedules import ScheduleKind, V_WAVE_CHUNKS, WaveRatio
+from repro.sim.stochastic import (
+    DEFAULT_REPLICAS,
+    JitterSpec,
+    MakespanDistribution,
+    RISK_OBJECTIVES,
+    monte_carlo_timeline,
+)
 
 #: Schedule kinds a training system's strategy search may try for a PP
 #: candidate (GPipe is omitted: it is dominated by 1F1B on both time and
@@ -165,6 +173,59 @@ class SearchStats:
         self.schedules_pruned += other.schedules_pruned
         self.strategies_evaluated += other.strategies_evaluated
         self.strategies_pruned += other.strategies_pruned
+
+
+#: Nesting depth of :func:`deduplicated_degenerate_warnings` -- the
+#: outermost context owns the recording and re-emit; inner contexts are
+#: transparent, so replicated searches (one full search per Monte-Carlo
+#: draw) still warn once per *outer* search, not once per replica.
+_degenerate_dedup_depth = 0
+
+
+@contextlib.contextmanager
+def deduplicated_degenerate_warnings() -> Iterator[None]:
+    """Deduplicate :class:`DegenerateScheduleWarning` across a search.
+
+    Evaluating a candidate may rebuild its :class:`ParallelismConfig` (e.g.
+    to pin recompute/offload modes), which would otherwise re-emit one
+    warning per candidate -- and Monte-Carlo replication multiplies that by
+    the replica count.  Inside the context, warnings are recorded rather
+    than shown (``record=True`` without touching the filter state, so caller
+    filters like ``-W error`` still act immediately); on exit -- even via an
+    exception -- the recorded warnings are re-emitted with the first
+    :class:`DegenerateScheduleWarning` kept and its repeats dropped; all
+    other warnings pass through untouched.
+
+    The context is re-entrant: a search nested inside another (a replicated
+    stability sweep running :func:`find_best_strategy` once per draw) joins
+    the outermost context instead of opening its own recording scope, so the
+    dedup is once per *outer* search, never once per replica.
+    """
+    global _degenerate_dedup_depth
+    if _degenerate_dedup_depth > 0:
+        _degenerate_dedup_depth += 1
+        try:
+            yield
+        finally:
+            _degenerate_dedup_depth -= 1
+        return
+    _degenerate_dedup_depth += 1
+    caught: List[warnings.WarningMessage] = []
+    try:
+        with warnings.catch_warnings(record=True) as recorded:
+            try:
+                yield
+            finally:
+                caught.extend(recorded)
+    finally:
+        _degenerate_dedup_depth -= 1
+        degenerate_warned = False
+        for entry in caught:
+            if issubclass(entry.category, DegenerateScheduleWarning):
+                if degenerate_warned:
+                    continue
+                degenerate_warned = True
+            warnings.warn_explicit(entry.message, entry.category, entry.filename, entry.lineno)
 
 
 def prune_evaluation_order(bounds: Sequence[float]) -> List[int]:
@@ -437,6 +498,10 @@ def best_pipeline_schedule(
     validate: bool = False,
     prune: bool = True,
     stats: Optional[SearchStats] = None,
+    objective: str = "mean",
+    jitter: Optional[JitterSpec] = None,
+    replicas: int = DEFAULT_REPLICAS,
+    seed: int = 0,
 ) -> Tuple[ScheduleKind, PipelineTimeline]:
     """Evaluate every schedule candidate for a PP point and keep the fastest.
 
@@ -452,9 +517,28 @@ def best_pipeline_schedule(
     systems run the same candidate sweep with heterogeneous per-stage costs
     and per-candidate memory checks
     (:meth:`repro.systems.base.TrainingSystem._shared_evaluation`).
+
+    Risk-adjusted selection: with a non-null ``jitter`` spec each surviving
+    candidate is additionally replicated ``replicas`` times under seeded
+    perturbations (:func:`repro.sim.stochastic.monte_carlo_timeline`) and
+    candidates compete on ``objective`` -- ``"mean" | "p50" | "p95" | "p99"
+    | "cvar"`` of the makespan distribution -- instead of the deterministic
+    makespan.  Every jitter multiplier is >= 1, so each draw's makespan (and
+    therefore every risk score) sits at or above the deterministic makespan
+    and the analytic lower bound: pruning against the incumbent's risk score
+    stays conservative and argmax-invariant.  The returned timeline is the
+    winner's *deterministic* timeline (the distribution is a scoring device,
+    not a replacement schedule); with a null/absent jitter spec every
+    objective degenerates to the deterministic makespan and the selection is
+    bit-identical to the deterministic sweep.
     """
     if not candidates:
         raise ValueError("candidates must not be empty")
+    if objective not in RISK_OBJECTIVES:
+        raise ValueError(
+            f"unknown risk objective {objective!r}; expected one of {RISK_OBJECTIVES}"
+        )
+    mc_active = jitter is not None and not jitter.is_null
     bandwidth = (1.0 / p2p_time_s) if p2p_time_s > 0 else float("inf")
     entries = []  # (bound, position, kind, resolved shape, costs, wave ratio)
     seen = set()
@@ -487,24 +571,37 @@ def best_pipeline_schedule(
         entries.append((bound, position, kind, shape, costs, ratio))
 
     best: Optional[Tuple[ScheduleKind, PipelineTimeline]] = None
+    best_score: Optional[float] = None
     best_position = -1
     for index in prune_evaluation_order([entry[0] for entry in entries]):
         bound, position, kind, shape, costs, ratio = entries[index]
-        if prune and cannot_beat(bound, best[1].total_s if best is not None else None):
+        # Every jitter draw's makespan is >= the deterministic makespan, so
+        # the analytic bound under-estimates every risk score too -- pruning
+        # against the incumbent's risk score remains conservative.
+        if prune and cannot_beat(bound, best_score):
             if stats is not None:
                 stats.schedules_pruned += 1
             continue
+        schedule = cached_build_schedule(*shape, wave_ratio=ratio)
         timeline = evaluate_schedule(
-            cached_build_schedule(*shape, wave_ratio=ratio), costs,
+            schedule, costs,
             p2p_bandwidth_bytes_per_s=bandwidth,
             engine=engine, validate=validate,
         )
+        if mc_active:
+            score = monte_carlo_timeline(
+                schedule, costs, jitter, replicas=replicas, seed=seed,
+                p2p_bandwidth_bytes_per_s=bandwidth, validate=validate,
+            ).score(objective)
+        else:
+            score = timeline.total_s
         if stats is not None:
             stats.schedules_simulated += 1
-        if best is None or timeline.total_s < best[1].total_s or (
-            timeline.total_s == best[1].total_s and position < best_position
+        if best is None or score < best_score or (
+            score == best_score and position < best_position
         ):
             best = (kind, timeline)
+            best_score = score
             best_position = position
     assert best is not None
     return best
@@ -554,12 +651,11 @@ def find_best_strategy(
         stats: accumulator for ``strategies_evaluated`` /
             ``strategies_pruned`` counters.
 
-    Degenerate-schedule warnings are deduplicated across the whole search:
-    evaluating a candidate may rebuild its :class:`ParallelismConfig` (e.g.
-    to pin recompute/offload modes), which would otherwise re-emit one
-    :class:`DegenerateScheduleWarning` per candidate.  The first such warning
-    is re-emitted once, the repeats are swallowed; all other warnings pass
-    through untouched.
+    Degenerate-schedule warnings are deduplicated across the whole search
+    via :func:`deduplicated_degenerate_warnings`: the first such warning is
+    re-emitted once, the repeats are swallowed; all other warnings pass
+    through untouched.  The context is re-entrant, so a replicated sweep
+    wrapping several searches in one outer context still warns exactly once.
 
     Returns:
         ``(best, evaluated)`` where ``best`` is None when no candidate is
@@ -578,46 +674,27 @@ def find_best_strategy(
     evaluated: List[EvaluatedStrategy] = []
     best: Optional[EvaluatedStrategy] = None
     best_index = -1
-    caught: List[warnings.WarningMessage] = []
-    try:
-        # record=True without touching the filter state: caller filters (e.g.
-        # -W error) still act immediately inside evaluate(); only warnings
-        # that would have been *shown* are buffered for deduplication.
-        with warnings.catch_warnings(record=True) as recorded:
-            try:
-                for index in order:
-                    candidate = ordered[index]
-                    if (
-                        best is not None
-                        and cannot_beat(bounds[index], best.iteration_time_s)
-                    ):
-                        if stats is not None:
-                            stats.strategies_pruned += 1
-                        continue
-                    feasible, time_s, reason = evaluate(candidate)
-                    if stats is not None:
-                        stats.strategies_evaluated += 1
-                    record = EvaluatedStrategy(candidate, feasible, time_s, reason)
-                    evaluated.append(record)
-                    if not feasible:
-                        continue
-                    if best is None or record.iteration_time_s < best.iteration_time_s or (
-                        record.iteration_time_s == best.iteration_time_s
-                        and index < best_index
-                    ):
-                        best = record
-                        best_index = index
-            finally:
-                caught.extend(recorded)
-    finally:
-        # Re-emit outside the recording context -- even when evaluate()
-        # raised -- keeping the first DegenerateScheduleWarning and dropping
-        # the per-candidate repeats; other warnings pass through untouched.
-        degenerate_warned = False
-        for entry in caught:
-            if issubclass(entry.category, DegenerateScheduleWarning):
-                if degenerate_warned:
-                    continue
-                degenerate_warned = True
-            warnings.warn_explicit(entry.message, entry.category, entry.filename, entry.lineno)
+    with deduplicated_degenerate_warnings():
+        for index in order:
+            candidate = ordered[index]
+            if (
+                best is not None
+                and cannot_beat(bounds[index], best.iteration_time_s)
+            ):
+                if stats is not None:
+                    stats.strategies_pruned += 1
+                continue
+            feasible, time_s, reason = evaluate(candidate)
+            if stats is not None:
+                stats.strategies_evaluated += 1
+            record = EvaluatedStrategy(candidate, feasible, time_s, reason)
+            evaluated.append(record)
+            if not feasible:
+                continue
+            if best is None or record.iteration_time_s < best.iteration_time_s or (
+                record.iteration_time_s == best.iteration_time_s
+                and index < best_index
+            ):
+                best = record
+                best_index = index
     return best, evaluated

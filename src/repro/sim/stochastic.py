@@ -1,0 +1,635 @@
+"""Stochastic, failure-aware evaluation of pipeline schedules.
+
+Both evaluators in this package are deterministic, so a search over them
+optimizes a mean that real clusters never deliver: stragglers, jittery links
+and preemptions routinely invert schedule decisions won by a 1% margin.  This
+module adds the missing layer -- seeded perturbation models, Monte-Carlo
+replication and a risk-adjusted score -- without touching either engine:
+
+* a perturbation is a **pure** ``StageCosts -> StageCosts`` transform
+  (:func:`perturb_stage_costs`): every draw produces an ordinary per-stage
+  cost vector, which the existing critical-path fast evaluator scores
+  unchanged, so the ``fast == event`` equivalence invariant holds *per draw*
+  (property-tested in ``tests/test_properties_fastpath.py``);
+* every multiplier the models draw is **>= 1** (folded lognormal compute
+  jitter, Pareto-tailed straggler multipliers, folded lognormal link
+  inflation), so each draw's makespan is at least the deterministic makespan
+  and the analytic lower bound of :func:`repro.sim.fastpath.pipeline_lower_bound`
+  stays a valid floor for *every* replica -- which is exactly what keeps
+  bound-based pruning conservative under a risk-adjusted objective;
+* all randomness flows through ``numpy.random.Generator`` seeded with
+  ``(seed, replica)`` seed sequences: the same seed reproduces the same
+  :class:`MakespanDistribution` bit for bit, across cache clears and across
+  processes, and replica ``r``'s draws are independent of how many replicas
+  run before or after it;
+* draws consume a **fixed number of variates** regardless of the spec's
+  parameter values: the underlying normal/uniform draws are made first and
+  the spec's scales are applied after, so two specs that differ only in
+  scale see the *same* underlying noise -- perturbations (and therefore
+  makespans, the recurrence being monotone in every duration) are pointwise
+  coupled and monotone in each jitter scale, which the statistical test
+  suite asserts per seed rather than merely in expectation.
+
+On top sit :func:`monte_carlo_timeline` (replicated evaluation returning a
+:class:`MakespanDistribution` with p50/p95/p99, CVaR and bubble variance),
+:func:`objective_score` (the ``"mean" | "p50" | "p95" | "p99" | "cvar"``
+risk objectives consumed by the strategy search) and
+:func:`simulate_rank_failure` (the elastic scenario hook: kill rank ``r`` at
+time ``t``, re-plan the unfinished micro-batches on ``p - 1`` ranks).
+
+Monte-Carlo draws are evaluated through :func:`critical_path_timeline`
+directly, *never* through the memoized ``evaluate_schedule`` wrapper: each
+draw's cost vector is unique, so routing replicas through the lru caches
+would evict the deterministic search's working set without ever hitting
+(the bench guard in ``scripts/bench_search.py`` checks the deterministic
+cache counters are untouched by the stochastic layer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sim.fastpath import (
+    _check_against_oracle,
+    critical_path_timeline,
+    pipeline_lower_bound,
+)
+from repro.sim.pipeline import (
+    PipelineTimeline,
+    StageCosts,
+    _normalise_costs,
+    simulate_pipeline,
+)
+from repro.sim.schedules import (
+    PipelineSchedule,
+    ScheduleKind,
+    build_schedule,
+)
+
+#: Risk objectives the search may optimize.  ``"mean"`` reproduces the
+#: deterministic selection when jitter is disabled; the percentile objectives
+#: score the tail; ``"cvar"`` is the expected makespan of the worst 5% of
+#: draws (the conditional value-at-risk at the 95% level).
+RISK_OBJECTIVES: Tuple[str, ...] = ("mean", "p50", "p95", "p99", "cvar")
+
+#: Default Monte-Carlo replication factor of the risk-adjusted search paths.
+DEFAULT_REPLICAS = 16
+
+#: Default Pareto tail index of the straggler model.  ``alpha = 3`` keeps the
+#: mean multiplier finite (``alpha / (alpha - 1) = 1.5``) while producing the
+#: occasional 2-4x straggler that real clusters exhibit; smaller values
+#: fatten the tail.
+DEFAULT_STRAGGLER_ALPHA = 3.0
+
+
+@dataclass(frozen=True)
+class JitterSpec:
+    """Parameters of the seeded perturbation model.
+
+    Every model multiplies a cost by a factor **>= 1** -- jitter can only
+    slow a stage down, never speed it up -- so the deterministic makespan
+    and the analytic lower bound remain floors for every draw.
+
+    Attributes:
+        compute_sigma: scale of the folded-lognormal jitter on per-stage
+            compute times (forward and backward each draw their own
+            ``exp(sigma * |z|)`` multiplier; recompute and the grad-weight
+            share scale with the backward multiplier so the zero-bubble
+            B/W split is preserved).
+        straggler_prob: probability that a *rank* is a straggler in a draw;
+            a straggler rank's compute times (every virtual stage placed on
+            it, via the schedule's placement map) are multiplied by a
+            Pareto-tailed factor ``(1 - u) ** (-1 / alpha) >= 1``.
+        straggler_alpha: Pareto tail index of the straggler multiplier
+            (smaller = fatter tail).
+        link_sigma: scale of the folded-lognormal inflation of the
+            inter-stage P2P payload (``p2p_bytes``), modelling jittery or
+            congested links; transfer latency and PCIe traffic are left to
+            their deterministic parameters.
+    """
+
+    compute_sigma: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_alpha: float = DEFAULT_STRAGGLER_ALPHA
+    link_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("compute_sigma", "link_sigma"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{name} must be finite and non-negative (got {value})")
+        if not math.isfinite(self.straggler_prob) or not 0.0 <= self.straggler_prob <= 1.0:
+            raise ValueError(
+                f"straggler_prob must lie in [0, 1] (got {self.straggler_prob})"
+            )
+        if not math.isfinite(self.straggler_alpha) or self.straggler_alpha <= 0:
+            raise ValueError(
+                f"straggler_alpha must be positive (got {self.straggler_alpha})"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when every perturbation is the identity (zero jitter)."""
+        return (
+            self.compute_sigma == 0.0
+            and self.straggler_prob == 0.0
+            and self.link_sigma == 0.0
+        )
+
+    def describe(self) -> str:
+        """The spec back in :func:`parse_jitter_spec`'s grammar (``"0"`` if null)."""
+        if self.is_null:
+            return "0"
+        parts = []
+        if self.compute_sigma:
+            parts.append(f"compute={self.compute_sigma:g}")
+        if self.link_sigma:
+            parts.append(f"link={self.link_sigma:g}")
+        if self.straggler_prob:
+            parts.append(f"straggler={self.straggler_prob:g}:{self.straggler_alpha:g}")
+        return ",".join(parts)
+
+
+#: The zero-jitter spec: perturbation is the identity, every Monte-Carlo draw
+#: collapses onto the deterministic fast path bit for bit.
+NULL_JITTER = JitterSpec()
+
+
+def parse_jitter_spec(text: str) -> JitterSpec:
+    """Parse the CLI / config jitter grammar into a :class:`JitterSpec`.
+
+    Grammar (all parts optional, comma-separated)::
+
+        <sigma>                      -- shorthand for compute=<sigma>
+        compute=<sigma>              -- folded-lognormal compute jitter
+        link=<sigma>                 -- folded-lognormal P2P payload inflation
+        straggler=<prob>[:<alpha>]   -- per-rank Pareto straggler model
+
+    Examples: ``0.05``, ``compute=0.05,link=0.02``,
+    ``compute=0.05,straggler=0.1:2.5``.  ``0`` parses to the null spec.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty jitter spec")
+    fields = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            try:
+                fields["compute_sigma"] = float(part)
+            except ValueError:
+                raise ValueError(
+                    f"jitter spec part {part!r} is neither a number nor key=value"
+                ) from None
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "compute":
+            fields["compute_sigma"] = float(value)
+        elif key == "link":
+            fields["link_sigma"] = float(value)
+        elif key == "straggler":
+            prob, _, alpha = value.partition(":")
+            fields["straggler_prob"] = float(prob)
+            if alpha:
+                fields["straggler_alpha"] = float(alpha)
+        else:
+            raise ValueError(
+                f"unknown jitter spec key {key!r}; expected compute, link or straggler"
+            )
+    return JitterSpec(**fields)
+
+
+def replica_rng(seed: int, replica: int) -> np.random.Generator:
+    """The generator of one Monte-Carlo replica.
+
+    Seeded with the ``(seed, replica)`` seed sequence, so replica ``r``'s
+    draws are bit-reproducible across processes and independent of the
+    replication count or evaluation order.
+    """
+    return np.random.default_rng([seed, replica])
+
+
+def perturb_stage_costs(
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    spec: JitterSpec,
+    rng: np.random.Generator,
+    vs_rank: Optional[Sequence[int]] = None,
+) -> Tuple[StageCosts, ...]:
+    """Draw one jittered replica of a per-virtual-stage cost vector.
+
+    A pure ``StageCosts -> StageCosts`` transform: the result is an ordinary
+    cost vector the fast evaluator (and the event-engine oracle) scores
+    unchanged.  With a null spec the *same* cost objects are returned, so a
+    zero-jitter replica is bit-identical to the deterministic evaluation by
+    construction, not merely numerically close.
+
+    Args:
+        costs: per-virtual-stage costs (a single :class:`StageCosts` is
+            treated as one stage; broadcast against a schedule first when
+            perturbing a multi-stage vector).
+        spec: the perturbation model.
+        rng: the replica's generator (:func:`replica_rng`).
+        vs_rank: placement map (virtual stage -> rank) used to apply one
+            straggler multiplier per *rank*; defaults to the identity
+            (stage ``i`` on rank ``i``).
+
+    Draw protocol (load-bearing for the statistical tests): the underlying
+    uniform/normal variates are drawn in a fixed order and a fixed count
+    that depends only on the stage/rank counts, never on the spec's values;
+    the spec's scales are applied to the fixed draws afterwards.  Two specs
+    differing only in scale therefore see pointwise-coupled perturbations,
+    making each draw's makespan monotone in every jitter scale.
+    """
+    if isinstance(costs, StageCosts):
+        per_stage: Sequence[StageCosts] = [costs]
+    else:
+        per_stage = list(costs)
+    num_stages = len(per_stage)
+    if vs_rank is None:
+        vs_rank = list(range(num_stages))
+    elif len(vs_rank) != num_stages:
+        raise ValueError(
+            f"placement map covers {len(vs_rank)} virtual stages, costs {num_stages}"
+        )
+    num_ranks = (max(vs_rank) + 1) if num_stages else 0
+
+    # Fixed draw order: per-rank straggler (uniform, tail uniform), then
+    # per-stage forward/backward normals, then per-stage link normals.
+    straggler_u = rng.random(num_ranks)
+    straggler_tail = rng.random(num_ranks)
+    compute_z = rng.standard_normal((num_stages, 2))
+    link_z = rng.standard_normal(num_stages)
+
+    if spec.is_null:
+        return tuple(per_stage)
+
+    rank_mult = [
+        (1.0 - tail) ** (-1.0 / spec.straggler_alpha)
+        if u < spec.straggler_prob else 1.0
+        for u, tail in zip(straggler_u, straggler_tail)
+    ]
+
+    perturbed = []
+    for index, stage in enumerate(per_stage):
+        straggle = rank_mult[vs_rank[index]]
+        forward_mult = math.exp(spec.compute_sigma * abs(compute_z[index, 0])) * straggle
+        backward_mult = math.exp(spec.compute_sigma * abs(compute_z[index, 1])) * straggle
+        link_mult = math.exp(spec.link_sigma * abs(link_z[index]))
+        perturbed.append(StageCosts(
+            forward_s=stage.forward_s * forward_mult,
+            backward_s=stage.backward_s * backward_mult,
+            p2p_bytes=stage.p2p_bytes * link_mult,
+            offload_bytes=stage.offload_bytes,
+            prefetch_bytes=stage.prefetch_bytes,
+            # Recompute rides the backward (grad-input) op in both engines.
+            recompute_s=stage.recompute_s * backward_mult,
+            activation_bytes=stage.activation_bytes,
+            # Scaling the grad-weight share by the same backward multiplier
+            # keeps it inside [0, backward_s] and preserves the B/W split
+            # ratio the zero-bubble wavefront was ordered for.
+            backward_weight_s=(
+                None if stage.backward_weight_s is None
+                else stage.backward_weight_s * backward_mult
+            ),
+            weight_grad_bytes=stage.weight_grad_bytes,
+        ))
+    return tuple(perturbed)
+
+
+@dataclass(frozen=True)
+class MakespanDistribution:
+    """Monte-Carlo makespan distribution of one schedule under jitter.
+
+    Samples are stored in draw order (replica ``r`` at index ``r``), so two
+    distributions from the same seed compare bit-identically with ``==``.
+    Percentiles use the deterministic nearest-rank definition on the sorted
+    samples -- no interpolation, no floating-point scheme differences
+    between platforms.
+    """
+
+    samples: Tuple[float, ...]
+    bubble_samples: Tuple[float, ...]
+    deterministic_total_s: float
+    lower_bound_s: float
+    seed: int
+    spec: JitterSpec
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("a MakespanDistribution needs at least one sample")
+        if len(self.samples) != len(self.bubble_samples):
+            raise ValueError("samples and bubble_samples must align")
+
+    @property
+    def replicas(self) -> int:
+        return len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the makespan samples (0 < q <= 100)."""
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must lie in (0, 100] (got {q})")
+        ordered = sorted(self.samples)
+        rank = max(int(math.ceil(q / 100.0 * len(ordered))), 1)
+        return ordered[rank - 1]
+
+    @property
+    def mean_s(self) -> float:
+        # fsum: the zero-jitter collapse must be exact -- the mean of K
+        # identical draws is that draw, bit for bit, for power-of-two K.
+        return math.fsum(self.samples) / len(self.samples)
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.samples)
+
+    @property
+    def max_s(self) -> float:
+        return max(self.samples)
+
+    @property
+    def cvar95_s(self) -> float:
+        """Expected makespan of the worst 5% of draws (tail mean at p95)."""
+        ordered = sorted(self.samples)
+        cut = max(int(math.ceil(0.95 * len(ordered))), 1) - 1
+        tail = ordered[cut:]
+        return math.fsum(tail) / len(tail)
+
+    @property
+    def bubble_mean(self) -> float:
+        return math.fsum(self.bubble_samples) / len(self.bubble_samples)
+
+    @property
+    def bubble_variance(self) -> float:
+        """Population variance of the per-draw bubble fraction."""
+        mean = self.bubble_mean
+        return math.fsum((b - mean) ** 2 for b in self.bubble_samples) / len(self.bubble_samples)
+
+    def score(self, objective: str) -> float:
+        """:func:`objective_score` of this distribution."""
+        return objective_score(self, objective)
+
+
+def objective_score(distribution: MakespanDistribution, objective: str) -> float:
+    """The scalar a risk-adjusted search minimises for one candidate."""
+    if objective == "mean":
+        return distribution.mean_s
+    if objective == "p50":
+        return distribution.p50_s
+    if objective == "p95":
+        return distribution.p95_s
+    if objective == "p99":
+        return distribution.p99_s
+    if objective == "cvar":
+        return distribution.cvar95_s
+    raise ValueError(
+        f"unknown risk objective {objective!r}; expected one of {RISK_OBJECTIVES}"
+    )
+
+
+def monte_carlo_timeline(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    spec: JitterSpec,
+    replicas: int = DEFAULT_REPLICAS,
+    seed: int = 0,
+    p2p_bandwidth_bytes_per_s: float = float("inf"),
+    p2p_latency_s: float = 0.0,
+    pcie_bandwidth_bytes_per_s: float = 16e9,
+    validate: bool = False,
+) -> MakespanDistribution:
+    """Evaluate a schedule under ``replicas`` seeded jitter draws.
+
+    Each replica perturbs the per-stage costs (:func:`perturb_stage_costs`,
+    straggler multipliers routed through the schedule's placement map) and
+    scores the *same* schedule with the critical-path fast evaluator -- the
+    op order is fixed by the deterministic costs, only the durations move,
+    mirroring how a real cluster executes the planned schedule under noise.
+
+    Determinism contract: the returned distribution is a pure function of
+    ``(schedule structure, costs, spec, replicas, seed, transfer params)``.
+    Replicas evaluate through the uncached evaluator, so Monte-Carlo never
+    pollutes the deterministic search's memo caches.
+
+    ``validate=True`` additionally runs every draw through the discrete-event
+    oracle and raises :class:`~repro.sim.fastpath.FastPathMismatchError` on
+    any divergence -- the ``fast == event`` invariant, enforced per draw.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    per_stage = _normalise_costs(schedule, costs)
+    vs_rank = schedule.virtual_stage_ranks
+    deterministic = critical_path_timeline(
+        schedule, per_stage,
+        p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+        p2p_latency_s=p2p_latency_s,
+        pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+    )
+    bound = pipeline_lower_bound(
+        schedule, per_stage,
+        p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+        p2p_latency_s=p2p_latency_s,
+    )
+    samples = []
+    bubbles = []
+    for replica in range(replicas):
+        drawn = perturb_stage_costs(
+            per_stage, spec, replica_rng(seed, replica), vs_rank=vs_rank,
+        )
+        timeline = critical_path_timeline(
+            schedule, drawn,
+            p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+            p2p_latency_s=p2p_latency_s,
+            pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+        )
+        if validate:
+            oracle = simulate_pipeline(
+                schedule, list(drawn),
+                p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+                p2p_latency_s=p2p_latency_s,
+                pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+            )
+            _check_against_oracle(timeline, oracle)
+        samples.append(timeline.total_s)
+        bubbles.append(timeline.bubble_fraction)
+    return MakespanDistribution(
+        samples=tuple(samples),
+        bubble_samples=tuple(bubbles),
+        deterministic_total_s=deterministic.total_s,
+        lower_bound_s=bound,
+        seed=seed,
+        spec=spec,
+    )
+
+
+# --------------------------------------------------------------------- elastic
+@dataclass(frozen=True)
+class ElasticOutcome:
+    """Result of the rank-failure scenario: fail, shrink, re-plan, finish.
+
+    Attributes:
+        failed_rank: the rank killed at ``failure_time_s``.
+        failure_time_s: simulated time of the failure.
+        restart_overhead_s: fixed re-shard/checkpoint-restore cost charged
+            between the failure and the re-planned run.
+        completed_micro_batches: micro-batches whose *every* op had finished
+            before the failure -- their gradient contributions survive.
+        replanned_micro_batches: micro-batches re-run on the shrunk pipeline
+            (in-flight work at the failure instant is lost).
+        replan_schedule: the schedule executed on ``p - 1`` ranks (the
+            original kind, degraded where the shrunk shape cannot satisfy
+            its structural constraints).
+        replan_timeline: the shrunk pipeline's timeline.
+        total_s: end-to-end makespan ``failure + restart + re-planned run``
+            (equals the deterministic makespan when the failure happens
+            after the iteration already finished).
+    """
+
+    failed_rank: int
+    failure_time_s: float
+    restart_overhead_s: float
+    completed_micro_batches: int
+    replanned_micro_batches: int
+    replan_schedule: Optional[PipelineSchedule]
+    replan_timeline: Optional[PipelineTimeline]
+    total_s: float
+
+
+def _mean_stage_costs(per_stage: Sequence[StageCosts], time_scale: float) -> StageCosts:
+    """Average per-stage costs with compute times scaled by ``time_scale``.
+
+    The re-planned pipeline redistributes the failed rank's layers evenly, so
+    each surviving stage carries ``p / (p - 1)`` of the average compute;
+    boundary payloads (P2P activations) are per-micro-batch tensors whose
+    size does not depend on the layer count, so bytes stay at the average.
+    """
+    n = len(per_stage)
+    weight = sum(
+        stage.split_backward_weight_s for stage in per_stage
+        if stage.backward_weight_s is not None
+    )
+    has_split = any(stage.backward_weight_s is not None for stage in per_stage)
+    backward = sum(stage.backward_s for stage in per_stage) / n
+    return StageCosts(
+        forward_s=sum(stage.forward_s for stage in per_stage) / n * time_scale,
+        backward_s=backward * time_scale,
+        p2p_bytes=sum(stage.p2p_bytes for stage in per_stage) / n,
+        offload_bytes=sum(stage.offload_bytes for stage in per_stage) / n,
+        prefetch_bytes=sum(stage.prefetch_bytes for stage in per_stage) / n,
+        recompute_s=sum(stage.recompute_s for stage in per_stage) / n * time_scale,
+        activation_bytes=sum(stage.activation_bytes for stage in per_stage) / n,
+        backward_weight_s=(weight / n * time_scale if has_split else None),
+        weight_grad_bytes=sum(stage.weight_grad_bytes for stage in per_stage) / n,
+    )
+
+
+def simulate_rank_failure(
+    schedule: PipelineSchedule,
+    costs: Union[StageCosts, Sequence[StageCosts]],
+    failed_rank: int,
+    failure_time_s: float,
+    restart_overhead_s: float = 0.0,
+    p2p_bandwidth_bytes_per_s: float = float("inf"),
+    p2p_latency_s: float = 0.0,
+    pcie_bandwidth_bytes_per_s: float = 16e9,
+) -> ElasticOutcome:
+    """Elastic scenario hook: kill rank ``r`` at time ``t``, re-plan on ``p - 1``.
+
+    First-order failure model, deliberately simple (it opens the workload
+    class; refinements belong to follow-up work):
+
+    * the iteration runs deterministically until ``failure_time_s``; a
+      micro-batch counts as completed only when *all* of its ops (every
+      virtual stage, grad-weight included) finished strictly by then --
+      its gradient contribution survives the failure;
+    * in-flight work is lost; the remaining micro-batches re-run from
+      scratch on a re-planned ``p - 1``-stage pipeline of the same schedule
+      kind (degraded where the shrunk shape cannot satisfy the kind's
+      structural constraints, exactly like the candidate sweeps degrade),
+      with each surviving stage charged ``p / (p - 1)`` of the average
+      per-stage compute (the failed rank's layers are redistributed);
+    * a fixed ``restart_overhead_s`` models the re-shard / restore gap.
+    """
+    p = schedule.num_stages
+    if p < 2:
+        raise ValueError("rank failure needs a pipeline of >= 2 stages to shrink")
+    if not 0 <= failed_rank < p:
+        raise ValueError(f"failed_rank must lie in [0, {p}) (got {failed_rank})")
+    if failure_time_s < 0 or not math.isfinite(failure_time_s):
+        raise ValueError("failure_time_s must be finite and non-negative")
+    if restart_overhead_s < 0:
+        raise ValueError("restart_overhead_s must be non-negative")
+    per_stage = _normalise_costs(schedule, costs)
+    timeline = critical_path_timeline(
+        schedule, per_stage,
+        p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+        p2p_latency_s=p2p_latency_s,
+        pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+        record_ops=True,
+    )
+    if failure_time_s >= timeline.total_s:
+        # The iteration finished before the failure: nothing to re-plan.
+        return ElasticOutcome(
+            failed_rank=failed_rank,
+            failure_time_s=failure_time_s,
+            restart_overhead_s=restart_overhead_s,
+            completed_micro_batches=schedule.num_micro_batches,
+            replanned_micro_batches=0,
+            replan_schedule=None,
+            replan_timeline=None,
+            total_s=timeline.total_s,
+        )
+
+    finish_by_mb: dict = {}
+    for record in timeline.records:
+        mb = record.op.micro_batch
+        if record.end_s > finish_by_mb.get(mb, 0.0):
+            finish_by_mb[mb] = record.end_s
+    completed = sum(1 for end in finish_by_mb.values() if end <= failure_time_s)
+    remaining = schedule.num_micro_batches - completed
+
+    shrunk = p - 1
+    kind = schedule.kind
+    chunks = schedule.num_chunks
+    if kind is ScheduleKind.INTERLEAVED and (
+        shrunk > 1 and remaining % shrunk != 0 or chunks < 2
+    ):
+        kind, chunks = ScheduleKind.ONE_F_ONE_B, 1
+    replan_schedule = build_schedule(kind, shrunk, max(remaining, 1), num_chunks=chunks)
+    replan_costs = [_mean_stage_costs(per_stage, p / shrunk)] * replan_schedule.num_virtual_stages
+    replan_timeline = critical_path_timeline(
+        replan_schedule, replan_costs,
+        p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+        p2p_latency_s=p2p_latency_s,
+        pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+    )
+    replan_total = replan_timeline.total_s if remaining > 0 else 0.0
+    return ElasticOutcome(
+        failed_rank=failed_rank,
+        failure_time_s=failure_time_s,
+        restart_overhead_s=restart_overhead_s,
+        completed_micro_batches=completed,
+        replanned_micro_batches=remaining,
+        replan_schedule=replan_schedule if remaining > 0 else None,
+        replan_timeline=replan_timeline if remaining > 0 else None,
+        total_s=failure_time_s + restart_overhead_s + replan_total,
+    )

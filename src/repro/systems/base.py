@@ -41,6 +41,7 @@ from repro.parallel.search import (
     SearchStats,
     StrategySearchSpace,
     cannot_beat,
+    deduplicated_degenerate_warnings,
     enumerate_strategies,
     find_best_strategy,
     prune_evaluation_order,
@@ -64,6 +65,14 @@ from repro.sim.pipeline import (
     stage_costs_from_iteration,
 )
 from repro.sim.schedules import PipelineSchedule, ScheduleKind
+from repro.sim.stochastic import (
+    DEFAULT_REPLICAS,
+    JitterSpec,
+    MakespanDistribution,
+    RISK_OBJECTIVES,
+    monte_carlo_timeline,
+    parse_jitter_spec,
+)
 from repro.swap.schedule import SwapSchedule, build_swap_schedule
 from repro.systems.metrics import compute_mfu, compute_tgs, format_wall_clock
 
@@ -135,6 +144,11 @@ class TrainingReport:
     #: compute plus serial overhead) could not beat the incumbent.
     strategies_evaluated: int = 0
     strategies_pruned: int = 0
+    #: Monte-Carlo makespan distribution of the winning strategy's pipeline
+    #: schedule -- populated only when the system runs with a non-null jitter
+    #: spec; ``iteration_time_s`` then scores the risk objective (p50/p99/
+    #: CVaR of this distribution plus the serial overhead), not the mean.
+    makespan_distribution: Optional[MakespanDistribution] = None
 
     @property
     def wall_clock(self) -> str:
@@ -156,6 +170,31 @@ class TrainingReport:
         raise ValueError(f"unknown metric {metric!r}")
 
 
+@dataclass(frozen=True)
+class SelectionStability:
+    """Outcome of :meth:`TrainingSystem.strategy_selection_stability`.
+
+    ``baseline`` is the deterministic (jitter-disabled) argmax;
+    ``selections`` holds the winner of one full risk-adjusted search per
+    Monte-Carlo seed.  ``stability`` is the fraction of seeds that agree
+    with the baseline -- 1.0 means the deterministic choice is robust to
+    the configured jitter, values near 0 mean it flips routinely.
+    """
+
+    baseline: Optional[ParallelismConfig]
+    selections: Tuple[Optional[ParallelismConfig], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "selections", tuple(self.selections))
+
+    @property
+    def stability(self) -> float:
+        if not self.selections:
+            return 1.0
+        agreeing = sum(1 for choice in self.selections if choice == self.baseline)
+        return agreeing / len(self.selections)
+
+
 @dataclass
 class StrategyEvaluation:
     """Internal result of evaluating one strategy for one workload."""
@@ -171,6 +210,7 @@ class StrategyEvaluation:
     schedule_kind: Optional[ScheduleKind] = None
     schedules_simulated: int = 0
     schedules_pruned: int = 0
+    distribution: Optional[MakespanDistribution] = None
 
 
 @dataclass
@@ -328,6 +368,10 @@ class TrainingSystem(ABC):
         validate_pipeline: bool = False,
         prune_schedule_sweep: bool = True,
         prune_strategy_search: bool = True,
+        jitter: Optional[Union[JitterSpec, str]] = None,
+        risk_objective: str = "mean",
+        monte_carlo_replicas: int = DEFAULT_REPLICAS,
+        monte_carlo_seed: int = 0,
     ) -> None:
         """Args:
             pipeline_schedule: how PP candidates are executed and scored --
@@ -355,6 +399,21 @@ class TrainingSystem(ABC):
                 stage executor or schedule sweep runs for them.  Like the
                 schedule-level bound this is conservative and never changes
                 the selected strategy, only the work spent finding it.
+            jitter: perturbation model for risk-adjusted scoring -- a
+                :class:`~repro.sim.stochastic.JitterSpec` or a spec string
+                (:func:`~repro.sim.stochastic.parse_jitter_spec`, e.g.
+                ``"compute=0.05,straggler=0.1:3"``).  ``None`` (or the null
+                spec) keeps every reported number bit-identical to the
+                deterministic search; a non-null spec replicates each PP
+                candidate's pipeline schedule ``monte_carlo_replicas`` times
+                under seeded perturbations and scores it with
+                ``risk_objective``.  Every jitter multiplier is >= 1, so
+                both pruning floors stay valid under any objective.
+            risk_objective: which makespan statistic competes --
+                ``"mean" | "p50" | "p95" | "p99" | "cvar"``.
+            monte_carlo_replicas: draws per candidate when jitter is active.
+            monte_carlo_seed: base seed of the replica generators; a fixed
+                seed makes the whole search reproducible bit for bit.
         """
         self.calibration = calibration
         self.precision = precision
@@ -370,6 +429,24 @@ class TrainingSystem(ABC):
         self.validate_pipeline = validate_pipeline
         self.prune_schedule_sweep = prune_schedule_sweep
         self.prune_strategy_search = prune_strategy_search
+        if isinstance(jitter, str):
+            jitter = parse_jitter_spec(jitter)
+        self.jitter = jitter
+        if risk_objective not in RISK_OBJECTIVES:
+            raise ValueError(
+                f"unknown risk_objective {risk_objective!r}; "
+                f"expected one of {RISK_OBJECTIVES}"
+            )
+        self.risk_objective = risk_objective
+        if monte_carlo_replicas < 1:
+            raise ValueError("monte_carlo_replicas must be >= 1")
+        self.monte_carlo_replicas = monte_carlo_replicas
+        self.monte_carlo_seed = monte_carlo_seed
+
+    @property
+    def _monte_carlo_active(self) -> bool:
+        """Whether PP candidates are scored by replication rather than one run."""
+        return self.jitter is not None and not self.jitter.is_null
 
     # ------------------------------------------------------------- subclass API
     @property
@@ -451,6 +528,14 @@ class TrainingSystem(ABC):
         notes = []
         if evaluation.pipeline is not None:
             notes.append(f"pipeline schedule: {evaluation.pipeline.schedule.kind.value}")
+        if evaluation.distribution is not None:
+            dist = evaluation.distribution
+            notes.append(
+                f"risk objective: {self.risk_objective} over {dist.replicas} "
+                f"replicas (seed {dist.seed}, jitter {dist.spec.describe()}); "
+                f"p50 {dist.p50_s:.2f}s / p95 {dist.p95_s:.2f}s / "
+                f"p99 {dist.p99_s:.2f}s"
+            )
         if pruned:
             notes.append(f"schedule sweep: {simulated} simulated, {pruned} pruned")
         if stats.strategies_pruned:
@@ -475,7 +560,46 @@ class TrainingSystem(ABC):
             schedules_pruned=pruned,
             strategies_evaluated=stats.strategies_evaluated,
             strategies_pruned=stats.strategies_pruned,
+            makespan_distribution=evaluation.distribution,
         )
+
+    def strategy_selection_stability(
+        self,
+        workload: Workload,
+        replicas: int = 8,
+        base_seed: int = 0,
+    ) -> "SelectionStability":
+        """How stable the selected strategy is across independent jitter seeds.
+
+        Runs one *deterministic* search (jitter temporarily disabled) to pin
+        the baseline argmax, then one full risk-adjusted search per replica
+        with the Monte-Carlo seed varied (``base_seed + replica``), and
+        reports the fraction of draws that keep the baseline winner.  A
+        low stability means the deterministic argmax sits on a knife's edge
+        the configured jitter routinely flips -- exactly the "wins by 1%
+        deterministically but collapses under 5% jitter" signal the
+        risk-adjusted objective exists to catch.
+
+        The whole sweep runs inside one
+        :func:`~repro.parallel.search.deduplicated_degenerate_warnings`
+        context, so a degenerate parallelism point warns once per stability
+        sweep -- not once per replica search.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        saved_jitter, saved_seed = self.jitter, self.monte_carlo_seed
+        selections: List[Optional[ParallelismConfig]] = []
+        try:
+            with deduplicated_degenerate_warnings():
+                self.jitter = None
+                baseline = self.run(workload).parallel
+                self.jitter = saved_jitter
+                for replica in range(replicas):
+                    self.monte_carlo_seed = base_seed + replica
+                    selections.append(self.run(workload).parallel)
+        finally:
+            self.jitter, self.monte_carlo_seed = saved_jitter, saved_seed
+        return SelectionStability(baseline=baseline, selections=selections)
 
     def max_sequence_length(
         self,
@@ -772,6 +896,7 @@ class TrainingSystem(ABC):
             timeline = execution.timeline
             reorganizations, per_iteration_serial = serial_overhead(memory)
             pipeline_timeline: Optional[PipelineTimeline] = None
+            distribution: Optional[MakespanDistribution] = None
             if pipeline_schedule is not None:
                 # Score the PP point with its simulated schedule (measured
                 # bubble, P2P transfers, heterogeneous stages) instead of the
@@ -785,7 +910,27 @@ class TrainingSystem(ABC):
                     validate=self.validate_pipeline,
                 )
                 compute_time = pipeline_timeline.total_s
+                if self._monte_carlo_active:
+                    # Risk-adjusted scoring: replicate the schedule under
+                    # seeded perturbations and let candidates compete on the
+                    # configured makespan statistic.  Every draw's makespan
+                    # is >= the deterministic one (multipliers >= 1), so the
+                    # schedule- and strategy-level pruning floors keep
+                    # under-estimating the reported time under any objective.
+                    distribution = monte_carlo_timeline(
+                        pipeline_schedule,
+                        stage_costs_for(shape),
+                        self.jitter,
+                        replicas=self.monte_carlo_replicas,
+                        seed=self.monte_carlo_seed,
+                        p2p_bandwidth_bytes_per_s=p2p_bandwidth,
+                        pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
+                        validate=self.validate_pipeline,
+                    )
+                    compute_time = distribution.score(self.risk_objective)
             else:
+                # Jitter models pipeline-execution noise; a PP=1 point has no
+                # schedule to perturb and keeps its deterministic estimate.
                 bubble = cost_model.pipeline_bubble_fraction()
                 compute_time = micro_iterations * timeline.total_s / max(1.0 - bubble, 1e-9)
             iteration_time = compute_time + per_iteration_serial
@@ -799,6 +944,7 @@ class TrainingSystem(ABC):
                 alpha=effective_alpha,
                 reorganizations=reorganizations,
                 schedule_kind=schedule_kind,
+                distribution=distribution,
             )
 
         auto = self.pipeline_schedule == "auto"

@@ -24,6 +24,7 @@ from repro.sim.pipeline import StageCosts, simulate_pipeline
 from repro.sim.schedules import (
     ScheduleKind, WAVE_RATIO_BUCKETS, WaveRatio, build_schedule,
 )
+from repro.sim.stochastic import JitterSpec, perturb_stage_costs, replica_rng
 
 
 @st.composite
@@ -154,6 +155,80 @@ class TestFastPathEquivalence:
             pcie_bandwidth_bytes_per_s=pcie, validate=True,
         )
         assert timeline.total_s >= 0.0
+
+
+@st.composite
+def jitter_specs(draw):
+    """Random perturbation models, biased toward having at least one source
+    of noise active (the null spec is covered by its own dedicated tests)."""
+    return JitterSpec(
+        compute_sigma=draw(st.sampled_from([0.0, 0.02, 0.1, 0.5])),
+        straggler_prob=draw(st.sampled_from([0.0, 0.1, 0.5, 1.0])),
+        straggler_alpha=draw(st.sampled_from([1.5, 3.0, 8.0])),
+        link_sigma=draw(st.sampled_from([0.0, 0.05, 0.3])),
+    )
+
+
+class TestStochasticComposesWithFastPath:
+    """The stochastic layer is a pure StageCosts -> StageCosts transform, so
+    the fast == event bit-identity must survive any jitter draw on any
+    schedule kind -- including cost-aware ZB-V wavefront orders, whose op
+    order was derived from the *deterministic* ratio and now executes under
+    perturbed durations, exactly like a real cluster runs a planned schedule
+    under noise."""
+
+    @given(simulation_cases(), jitter_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_perturbed_costs_stay_bit_identical_across_engines(self, case, spec, seed):
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
+        drawn = perturb_stage_costs(
+            costs, spec, replica_rng(seed, 0),
+            vs_rank=schedule.virtual_stage_ranks,
+        )
+        oracle = simulate_pipeline(
+            schedule, list(drawn),
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        fast = critical_path_timeline(
+            schedule, drawn,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        assert fast.total_s == oracle.total_s
+        assert fast.rank_compute_busy_s == oracle.rank_compute_busy_s
+        assert fast.bubble_fraction == oracle.bubble_fraction
+        assert fast.rank_peak_in_flight == oracle.rank_peak_in_flight
+
+    @given(simulation_cases(), jitter_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=120, deadline=None)
+    def test_draw_never_beats_deterministic_or_bound(self, case, spec, seed):
+        """Multipliers >= 1 make each draw's makespan >= the deterministic
+        makespan >= the analytic bound -- the floor chain that keeps every
+        pruning level valid under risk objectives."""
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
+        deterministic = critical_path_timeline(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        bound = pipeline_lower_bound(
+            schedule, costs,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+        )
+        drawn = perturb_stage_costs(
+            costs, spec, replica_rng(seed, 0),
+            vs_rank=schedule.virtual_stage_ranks,
+        )
+        perturbed = critical_path_timeline(
+            schedule, drawn,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        assert perturbed.total_s >= deterministic.total_s
+        assert perturbed.total_s >= bound
 
 
 class TestLowerBoundProperties:
@@ -353,3 +428,104 @@ class TestStrategyPruningNeverChangesArgmax:
         assert pruned.strategies_pruned > 0
         assert plain.strategies_pruned == 0
         assert plain.strategies_evaluated >= pruned.strategies_evaluated
+
+
+class TestRiskObjectivePruningNeverChangesArgmax:
+    """Jitter multipliers are >= 1, so every draw's makespan -- and therefore
+    every risk score (mean/p50/p95/p99/cvar of the draws) -- sits at or above
+    the deterministic makespan and its analytic lower bound.  Pruning against
+    the incumbent's risk score is then just as conservative as deterministic
+    pruning, and the selected candidate must be identical with and without
+    it; with zero jitter the risk-adjusted sweep must reproduce the
+    deterministic selection exactly."""
+
+    JITTER = JitterSpec(compute_sigma=0.08, straggler_prob=0.15, straggler_alpha=3.0)
+
+    def test_exhaustive_small_lattice_p99(self):
+        lattice = [
+            (p, m, forward, backward, share)
+            for p in (2, 3, 4)
+            for m in (2, 4, 8)
+            for forward, backward in ((1.0, 2.0), (0.5, 3.0), (2.0, 1.0))
+            for share in (None, 0.4)
+        ]
+        pruned_away = 0
+        for p, m, forward, backward, share in lattice:
+            parallel = ParallelismConfig(
+                pipeline_parallel=p, micro_batches=max(m, p),
+            )
+            stats = SearchStats()
+            pruned = best_pipeline_schedule(
+                parallel, forward, backward,
+                num_micro_batches=m, backward_weight_fraction=share,
+                prune=True, stats=stats,
+                objective="p99", jitter=self.JITTER, replicas=8, seed=5,
+            )
+            unpruned = best_pipeline_schedule(
+                parallel, forward, backward,
+                num_micro_batches=m, backward_weight_fraction=share,
+                prune=False,
+                objective="p99", jitter=self.JITTER, replicas=8, seed=5,
+            )
+            assert pruned[0] is unpruned[0], (p, m, forward, backward, share)
+            assert pruned[1].total_s == unpruned[1].total_s
+            pruned_away += stats.schedules_pruned
+        assert pruned_away > 0
+
+    def test_zero_jitter_mean_reproduces_deterministic_selection(self):
+        """objective='mean' with the null spec is bit-identical to today's
+        deterministic sweep -- same kind object, same timeline numbers."""
+        for p, m in ((2, 4), (4, 8), (4, 12)):
+            parallel = ParallelismConfig(pipeline_parallel=p, micro_batches=m)
+            deterministic = best_pipeline_schedule(
+                parallel, 1.0, 2.0, num_micro_batches=m,
+                backward_weight_fraction=0.4,
+            )
+            risk = best_pipeline_schedule(
+                parallel, 1.0, 2.0, num_micro_batches=m,
+                backward_weight_fraction=0.4,
+                objective="mean", jitter=JitterSpec(), replicas=8, seed=0,
+            )
+            assert risk[0] is deterministic[0]
+            assert risk[1].total_s == deterministic[1].total_s
+            assert risk[1].bubble_fraction == deterministic[1].bubble_fraction
+
+    def test_real_system_p99_search_is_invariant_under_pruning(self):
+        """MemoSystem under a p99 objective: both pruning levels stay
+        argmax-invariant when candidates compete on the jittered tail."""
+        from repro.config import tokens
+        from repro.systems.base import Workload
+        from repro.systems.memo import MemoSystem
+
+        workload = Workload("7B", tokens(64), 16, global_batch_samples=64)
+        kwargs = dict(
+            pipeline_schedule="auto", jitter=self.JITTER,
+            risk_objective="p99", monte_carlo_replicas=4, monte_carlo_seed=11,
+        )
+        pruned = MemoSystem(**kwargs).run(workload)
+        plain = MemoSystem(
+            **kwargs, prune_strategy_search=False, prune_schedule_sweep=False,
+        ).run(workload)
+        assert pruned.feasible and plain.feasible
+        assert pruned.parallel == plain.parallel
+        assert pruned.iteration_time_s == plain.iteration_time_s
+
+    def test_zero_jitter_system_report_is_bit_identical(self):
+        """The stochastic layer present-but-disabled changes nothing: the
+        whole TrainingReport matches the deterministic system's field for
+        field."""
+        from repro.config import tokens
+        from repro.systems.base import Workload
+        from repro.systems.memo import MemoSystem
+
+        workload = Workload("7B", tokens(64), 16, global_batch_samples=64)
+        deterministic = MemoSystem(pipeline_schedule="auto").run(workload)
+        disabled = MemoSystem(
+            pipeline_schedule="auto", jitter="0", risk_objective="mean",
+        ).run(workload)
+        assert disabled.parallel == deterministic.parallel
+        assert disabled.iteration_time_s == deterministic.iteration_time_s
+        assert disabled.mfu == deterministic.mfu
+        assert disabled.tgs == deterministic.tgs
+        assert disabled.notes == deterministic.notes
+        assert disabled.makespan_distribution is None
