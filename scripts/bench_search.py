@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the ``pipeline_schedule="auto"`` strategy search: fast vs event.
 
-Runs the same reference workload through two search configurations:
+Runs the same reference workload through four search configurations:
 
 * **legacy** -- the discrete-event engine with schedule-level *and*
   strategy-level pruning disabled (the search exactly as it existed before
@@ -13,7 +13,11 @@ Runs the same reference workload through two search configurations:
 * **stochastic-disabled** -- the fast configuration with the stochastic
   layer constructed but inert (``jitter="0"``); guards that carrying the
   Monte-Carlo machinery changes neither the selected strategy nor the
-  iteration time nor a single schedule-cache hit/miss counter.
+  iteration time nor a single schedule-cache hit/miss counter;
+* **failures-disabled** -- the fast configuration with the failure layer
+  constructed but inert (``failures="0"`` under a ``ttrain_p99`` objective,
+  which collapses to deterministic scoring when the process is null); the
+  same bit-for-bit guard as the stochastic arm.
 
 and writes ``BENCH_search.json`` with the wall-clocks, the schedule- and
 strategy-level work counters (simulated / pruned / evaluated) and the
@@ -108,6 +112,13 @@ def main(argv=None) -> int:
     # same iteration time, and the exact same cache traffic as the fast arm.
     disabled_seconds, disabled = run_search(workload, args.repeats, jitter="0")
     disabled_caches = fastpath_cache_info()
+    # Fourth arm: the failure layer present but disabled (null process) under
+    # a time-to-train objective.  A null spec makes every ``ttrain_*``
+    # objective collapse to the deterministic estimate, so the arm must match
+    # the fast arm bit for bit -- strategy, iteration time, cache traffic.
+    failures_seconds, failures_off = run_search(
+        workload, args.repeats, failures="0", risk_objective="ttrain_p99")
+    failures_caches = fastpath_cache_info()
 
     speedup = legacy_seconds / fast_seconds if fast_seconds > 0 else float("inf")
     unchanged = (
@@ -127,15 +138,27 @@ def main(argv=None) -> int:
         and disabled.iteration_time_s == fast.iteration_time_s
         and disabled_cache_counts == cache_counts
     )
+    failures_cache_counts = {
+        name: {"hits": info.hits, "misses": info.misses}
+        for name, info in failures_caches.items()
+    }
+    failures_inert = (
+        failures_off.parallel == fast.parallel
+        and failures_off.iteration_time_s == fast.iteration_time_s
+        and failures_off.time_to_train is None
+        and failures_cache_counts == cache_counts
+    )
     payload = {
         "mode": "smoke" if args.smoke else "reference",
         "workload": spec,
         "legacy_event_engine": arm_payload(legacy_seconds, legacy),
         "fast_path": arm_payload(fast_seconds, fast),
         "stochastic_disabled": arm_payload(disabled_seconds, disabled),
+        "failures_disabled": arm_payload(failures_seconds, failures_off),
         "speedup": round(speedup, 2),
         "selected_strategy_unchanged": unchanged,
         "stochastic_layer_inert_when_disabled": stochastic_inert,
+        "failure_layer_inert_when_disabled": failures_inert,
         "fastpath_caches": cache_counts,
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
@@ -154,6 +177,8 @@ def main(argv=None) -> int:
     print(f"  speedup {speedup:.1f}x, strategy unchanged: {unchanged}")
     print(f"  stochastic layer disabled arm: {disabled_seconds:.3f}s, "
           f"inert: {stochastic_inert}")
+    print(f"  failure layer disabled arm: {failures_seconds:.3f}s, "
+          f"inert: {failures_inert}")
     print(f"  wrote {args.output}")
 
     if not unchanged:
@@ -163,6 +188,12 @@ def main(argv=None) -> int:
         print("FAIL: the disabled stochastic layer changed the search "
               "(strategy, iteration time, or schedule-cache hit/miss "
               "counters differ from the fast arm)", file=sys.stderr)
+        return 1
+    if not failures_inert:
+        print("FAIL: the disabled failure layer changed the search "
+              "(strategy, iteration time, time-to-train report, or "
+              "schedule-cache hit/miss counters differ from the fast arm)",
+              file=sys.stderr)
         return 1
     if fast_seconds > legacy_seconds:
         print("FAIL: fast path slower than the event engine", file=sys.stderr)

@@ -36,6 +36,16 @@ from repro.sim.pipeline import (
     stage_costs_from_iteration,
     stage_peak_memory,
 )
+from repro.sim.failures import (
+    DEFAULT_RECOVERY,
+    DEFAULT_TARGET_ITERATIONS,
+    FailureSpec,
+    TTRAIN_OBJECTIVES,
+    parse_failure_spec,
+    parse_recovery_spec,
+    simulate_time_to_train,
+    ttrain_objective_base,
+)
 from repro.sim.schedules import ScheduleKind
 from repro.sim.stochastic import (
     RISK_OBJECTIVES,
@@ -72,6 +82,36 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--model", default="7B", choices=["7B", "13B", "30B", "65B"])
     estimate.add_argument("--gpus", type=int, default=8)
     estimate.add_argument("--seqlen-k", type=int, default=256)
+    estimate.add_argument("--jitter", default=None, metavar="SPEC",
+                          help="seeded perturbation spec; scores each strategy by "
+                               "--objective over a Monte-Carlo makespan distribution")
+    estimate.add_argument("--failures", default=None, metavar="SPEC",
+                          help="failure-process spec (see sim-pipeline --failures); "
+                               "attaches a checkpoint-restart time-to-train "
+                               "distribution to every report")
+    estimate.add_argument("--mtbf", type=float, default=None, metavar="SECONDS",
+                          help="shorthand for --failures mtbf=<s>")
+    estimate.add_argument("--recovery", default=None, metavar="SPEC",
+                          help="checkpoint-restart recovery model "
+                               "(see sim-pipeline --recovery)")
+    estimate.add_argument("--objective", default="mean",
+                          choices=list(RISK_OBJECTIVES) + list(TTRAIN_OBJECTIVES),
+                          help="risk objective used when --jitter and/or --failures "
+                               "are active (ttrain_* requires --failures/--mtbf)")
+    estimate.add_argument("--replicas", type=int, default=16,
+                          help="Monte-Carlo draws per candidate")
+    estimate.add_argument("--seed", type=int, default=0,
+                          help="base seed of the per-replica generators")
+    estimate.add_argument("--target-iterations", type=int,
+                          default=DEFAULT_TARGET_ITERATIONS,
+                          help="iterations per training run for time-to-train costing")
+    estimate.add_argument("--ci-halfwidth", type=float, default=None, metavar="SECONDS",
+                          help="sequential-stopping CI half-width in per-iteration "
+                               "seconds; --replicas stays the hard cap")
+    estimate.add_argument("--stability-replicas", type=int, default=0,
+                          help="re-run the strategy search under this many extra "
+                               "seeds and report how often the deterministic winner "
+                               "survives")
 
     plan = subparsers.add_parser("plan", help="run the MEMO pipeline (profiler/planner/alpha)")
     plan.add_argument("--model", default="7B", choices=["7B", "13B", "30B", "65B"])
@@ -145,9 +185,35 @@ def build_parser() -> argparse.ArgumentParser:
                               help="base seed of the per-replica generators; a fixed "
                                    "seed reproduces the distribution bit for bit")
     sim_pipeline.add_argument("--objective", default="mean",
-                              choices=list(RISK_OBJECTIVES),
-                              help="makespan statistic ranking the schedules in the "
-                                   "robustness table (cvar = mean of the worst 5%%)")
+                              choices=list(RISK_OBJECTIVES) + list(TTRAIN_OBJECTIVES),
+                              help="statistic ranking the schedules: a makespan "
+                                   "objective for the robustness table (cvar = mean "
+                                   "of the worst 5%%), or a ttrain_* objective over "
+                                   "the failure-adjusted time-to-train distribution "
+                                   "(requires --failures or --mtbf)")
+    sim_pipeline.add_argument("--failures", default=None, metavar="SPEC",
+                              help="failure-process spec for time-to-train costing: "
+                                   "'mtbf=<s>[,process=weibull[:shape]]"
+                                   "[,correlated=<prob>[:<node>]]"
+                                   "[,preempt=<every>[:<notice>]]'; '0' disables")
+    sim_pipeline.add_argument("--mtbf", type=float, default=None, metavar="SECONDS",
+                              help="shorthand for --failures mtbf=<s>: per-rank "
+                                   "Poisson failures with this mean time between "
+                                   "failures")
+    sim_pipeline.add_argument("--recovery", default=None, metavar="SPEC",
+                              help="checkpoint-restart recovery model: "
+                                   "'write=<s>,restart=<s>[,interval=<s>][,elastic]'; "
+                                   "interval defaults to the Young-Daly optimum")
+    sim_pipeline.add_argument("--target-iterations", type=int,
+                              default=DEFAULT_TARGET_ITERATIONS,
+                              help="training-run length (iterations) the "
+                                   "time-to-train distribution is drawn over")
+    sim_pipeline.add_argument("--ci-halfwidth", type=float, default=None,
+                              metavar="SECONDS",
+                              help="variance-aware budgeting: stop drawing replicas "
+                                   "once the 95%% CI half-width of the ranking "
+                                   "objective (in per-iteration seconds) is at or "
+                                   "below this; --replicas stays the hard cap")
 
     table3 = subparsers.add_parser("table3", help="regenerate Table 3 (or a subset)")
     table3.add_argument("--models", default="7B",
@@ -169,18 +235,108 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_failure_spec(args) -> "tuple[Optional[FailureSpec], Optional[str]]":
+    """Combine ``--failures`` / ``--mtbf`` into one spec (or an error message)."""
+    if args.failures is None and args.mtbf is None:
+        return None, None
+    if args.failures is not None and args.mtbf is not None:
+        return None, "--failures and --mtbf are mutually exclusive"
+    if args.mtbf is not None:
+        if not args.mtbf > 0:
+            return None, f"--mtbf must be a positive number of seconds (got {args.mtbf})"
+        return FailureSpec(mtbf_s=args.mtbf), None
+    try:
+        return parse_failure_spec(args.failures), None
+    except ValueError as error:
+        return None, f"--failures: {error}"
+
+
 def _command_estimate(args) -> int:
+    failures, failure_error = _resolve_failure_spec(args)
+    if failure_error is not None:
+        print(f"error: {failure_error}", file=sys.stderr)
+        return 2
+    recovery = None
+    if args.recovery is not None:
+        try:
+            recovery = parse_recovery_spec(args.recovery)
+        except ValueError as error:
+            print(f"error: --recovery: {error}", file=sys.stderr)
+            return 2
+    jitter = None
+    if args.jitter is not None:
+        try:
+            jitter = parse_jitter_spec(args.jitter)
+        except ValueError as error:
+            print(f"error: --jitter: {error}", file=sys.stderr)
+            return 2
+    failures_active = failures is not None and not failures.is_null
+    if args.objective in TTRAIN_OBJECTIVES and not failures_active:
+        print(f"error: --objective {args.objective} needs an active "
+              "--failures/--mtbf spec", file=sys.stderr)
+        return 2
+    for name, floor in (("replicas", 1), ("target_iterations", 1),
+                        ("stability_replicas", 0)):
+        if getattr(args, name) < floor:
+            print(f"error: --{name.replace('_', '-')} must be >= {floor} "
+                  f"(got {getattr(args, name)})", file=sys.stderr)
+            return 2
+    if args.ci_halfwidth is not None and args.ci_halfwidth < 0:
+        print(f"error: --ci-halfwidth must be non-negative (got {args.ci_halfwidth})",
+              file=sys.stderr)
+        return 2
+    system_kwargs = dict(
+        risk_objective=args.objective,
+        monte_carlo_replicas=args.replicas,
+        monte_carlo_seed=args.seed,
+        target_iterations=args.target_iterations,
+        monte_carlo_ci_halfwidth=args.ci_halfwidth,
+        stability_replicas=args.stability_replicas,
+    )
+    if jitter is not None:
+        system_kwargs["jitter"] = jitter
+    if failures is not None:
+        system_kwargs["failures"] = failures
+    if recovery is not None:
+        system_kwargs["recovery"] = recovery
+
+    ttrain_objective = (args.objective if args.objective in TTRAIN_OBJECTIVES
+                        else "ttrain_" + args.objective)
     workload = Workload(args.model, tokens(args.seqlen_k), args.gpus)
     print(f"Workload: {args.model} GPT, {args.seqlen_k}K tokens, {args.gpus} GPUs, "
-          f"global batch {workload.global_batch_samples} sequences\n")
-    header = f"{'system':<14} {'MFU':>8} {'TGS':>10} {'wall clock':>12}  strategy"
+          f"global batch {workload.global_batch_samples} sequences")
+    if failures_active:
+        shown_recovery = recovery if recovery is not None else DEFAULT_RECOVERY
+        print(f"Failure process {failures.describe()}; recovery "
+              f"{shown_recovery.describe()}; time-to-train objective "
+              f"{ttrain_objective} over {args.target_iterations} iterations")
+    print()
+    if failures_active:
+        header = (f"{'system':<14} {'MFU':>8} {'TGS':>10} {'wall clock':>12} "
+                  f"{'ttrain':>10} {'slowdown':>9}  strategy")
+    else:
+        header = f"{'system':<14} {'MFU':>8} {'TGS':>10} {'wall clock':>12}  strategy"
     print(header)
     print("-" * len(header))
-    for system in (DeepSpeedSystem(), MegatronSystem(), MemoSystem()):
+    for system in (DeepSpeedSystem(**system_kwargs), MegatronSystem(**system_kwargs),
+                   MemoSystem(**system_kwargs)):
         report = system.run(workload)
         if report.feasible:
-            print(f"{report.system:<14} {report.mfu * 100:>7.2f}% {report.tgs:>10.1f} "
-                  f"{report.wall_clock:>12}  {report.parallel.describe()}")
+            if report.time_to_train is not None:
+                ttd = report.time_to_train
+                print(f"{report.system:<14} {report.mfu * 100:>7.2f}% "
+                      f"{report.tgs:>10.1f} {report.wall_clock:>12} "
+                      f"{ttd.statistic(ttrain_objective_base(ttrain_objective)):>9.0f}s "
+                      f"{ttd.expected_slowdown:>8.3f}x  {report.parallel.describe()}")
+            else:
+                print(f"{report.system:<14} {report.mfu * 100:>7.2f}% "
+                      f"{report.tgs:>10.1f} "
+                      f"{report.wall_clock:>12}  {report.parallel.describe()}")
+            if report.selection_stability is not None:
+                stability = report.selection_stability
+                print(f"{'':<14}   selection stability: {stability.stability:.0%} of "
+                      f"{len(stability.selections)} seeds keep the "
+                      f"deterministic winner")
         else:
             print(f"{report.system:<14} {report.wall_clock:>8}")
     return 0
@@ -244,10 +400,37 @@ def _command_sim_pipeline(args) -> int:
         except ValueError as error:
             print(f"error: --jitter: {error}", file=sys.stderr)
             return 2
-        if args.replicas < 1:
-            print(f"error: --replicas must be a positive integer (got {args.replicas})",
-                  file=sys.stderr)
+    failures, failure_error = _resolve_failure_spec(args)
+    if failure_error is not None:
+        print(f"error: {failure_error}", file=sys.stderr)
+        return 2
+    recovery = DEFAULT_RECOVERY
+    if args.recovery is not None:
+        try:
+            recovery = parse_recovery_spec(args.recovery)
+        except ValueError as error:
+            print(f"error: --recovery: {error}", file=sys.stderr)
             return 2
+    failures_active = failures is not None and not failures.is_null
+    if args.objective in TTRAIN_OBJECTIVES and not failures_active:
+        print(f"error: --objective {args.objective} ranks the failure-adjusted "
+              "time-to-train distribution and needs an active --failures/--mtbf "
+              "spec", file=sys.stderr)
+        return 2
+    if (jitter is not None or failures_active) and args.replicas < 1:
+        print(f"error: --replicas must be a positive integer (got {args.replicas})",
+              file=sys.stderr)
+        return 2
+    if args.target_iterations < 1:
+        print(f"error: --target-iterations must be a positive integer "
+              f"(got {args.target_iterations})", file=sys.stderr)
+        return 2
+    if args.ci_halfwidth is not None and args.ci_halfwidth < 0:
+        print(f"error: --ci-halfwidth must be non-negative (got {args.ci_halfwidth})",
+              file=sys.stderr)
+        return 2
+    base_objective = (ttrain_objective_base(args.objective)
+                      if args.objective in TTRAIN_OBJECTIVES else args.objective)
     parallel = ParallelismConfig(
         tensor_parallel=args.tp,
         context_parallel=args.cp,
@@ -394,6 +577,7 @@ def _command_sim_pipeline(args) -> int:
 
     p2p_bandwidth = p2p_bytes / p2p_time if p2p_time > 0 else float("inf")
     distributions = []  # (label, MakespanDistribution) rows of the robustness table
+    ttrains = []  # (label, TimeToTrainDistribution) rows of the failure table
     for name in names:
         schedule, reason = resolve_named(name)
         if schedule is None:
@@ -424,13 +608,27 @@ def _command_sim_pipeline(args) -> int:
               f"{timeline.analytic_bubble_fraction:>9.3f} "
               f"{stages[0].total_bytes / GiB:>9.2f} GiB  "
               f"{timeline.rank_peak_in_flight}")
+        distribution = None
         if jitter is not None:
-            distributions.append((label, monte_carlo_timeline(
+            distribution = monte_carlo_timeline(
                 schedule, costs, jitter,
                 replicas=args.replicas, seed=args.seed,
                 p2p_bandwidth_bytes_per_s=p2p_bandwidth,
                 pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
                 validate=args.validate,
+                ci_halfwidth=args.ci_halfwidth, objective=base_objective,
+            )
+            distributions.append((label, distribution))
+        if failures_active:
+            iteration_samples = (distribution.samples if distribution is not None
+                                 else (timeline.total_s,))
+            ttrains.append((label, simulate_time_to_train(
+                iteration_samples, args.target_iterations, failures, recovery,
+                num_ranks=args.gpus, replicas=args.replicas, seed=args.seed,
+                gpus_per_node=workload.cluster().node.gpus_per_node,
+                ci_halfwidth=args.ci_halfwidth,
+                objective=(args.objective if args.objective in TTRAIN_OBJECTIVES
+                           else "ttrain_" + args.objective),
             )))
 
     if distributions:
@@ -446,9 +644,33 @@ def _command_sim_pipeline(args) -> int:
                   f"{dist.mean_s:>8.2f}s {dist.p50_s:>8.2f}s "
                   f"{dist.p95_s:>8.2f}s {dist.p99_s:>8.2f}s "
                   f"{dist.cvar95_s:>8.2f}s {dist.bubble_variance:>11.5f}")
-        winner = min(distributions, key=lambda row: row[1].score(args.objective))
-        print(f"best by {args.objective}: {winner[0]} "
-              f"({winner[1].score(args.objective):.2f}s)")
+        if args.objective in RISK_OBJECTIVES:
+            winner = min(distributions, key=lambda row: row[1].score(args.objective))
+            print(f"best by {args.objective}: {winner[0]} "
+                  f"({winner[1].score(args.objective):.2f}s)")
+
+    if ttrains:
+        ttrain_objective = (args.objective if args.objective in TTRAIN_OBJECTIVES
+                            else "ttrain_" + args.objective)
+        interval = recovery.interval_for(failures, args.gpus)
+        interval_text = "inf" if math.isinf(interval) else f"{interval:.0f}s"
+        print(f"\nTime-to-train under failures {failures.describe()} "
+              f"(recovery {recovery.describe()}, checkpoint interval {interval_text}, "
+              f"{args.target_iterations} iterations, seed {args.seed}):")
+        header = (f"{'schedule':<13} {'ideal':>10} {'mean':>10} {'p50':>10} "
+                  f"{'p99':>10} {'cvar':>10} {'interrupts':>11} {'slowdown':>9} "
+                  f"{'draws':>6}")
+        print(header)
+        print("-" * len(header))
+        for label, ttd in ttrains:
+            print(f"{label:<13} {ttd.ideal_s:>9.1f}s {ttd.mean_s:>9.1f}s "
+                  f"{ttd.p50_s:>9.1f}s {ttd.p99_s:>9.1f}s {ttd.cvar95_s:>9.1f}s "
+                  f"{ttd.mean_failures:>11.1f} {ttd.expected_slowdown:>8.3f}x "
+                  f"{len(ttd.samples):>6}")
+        winner = min(ttrains, key=lambda row: row[1].score(ttrain_objective))
+        print(f"best by {ttrain_objective}: {winner[0]} "
+              f"({winner[1].statistic(ttrain_objective_base(ttrain_objective)):.1f}s "
+              f"over the run)")
     return 0
 
 

@@ -65,6 +65,15 @@ from repro.sim.fastpath import (
     pipeline_lower_bound_for_shape,
     wave_ratio_from_costs,
 )
+from repro.sim.failures import (
+    DEFAULT_RECOVERY,
+    DEFAULT_TARGET_ITERATIONS,
+    FailureSpec,
+    RecoveryModel,
+    TTRAIN_OBJECTIVES,
+    simulate_time_to_train,
+    ttrain_objective_base,
+)
 from repro.sim.pipeline import PipelineTimeline, StageCosts
 from repro.sim.schedules import ScheduleKind, V_WAVE_CHUNKS, WaveRatio
 from repro.sim.stochastic import (
@@ -502,6 +511,12 @@ def best_pipeline_schedule(
     jitter: Optional[JitterSpec] = None,
     replicas: int = DEFAULT_REPLICAS,
     seed: int = 0,
+    ci_halfwidth: Optional[float] = None,
+    failures: Optional[FailureSpec] = None,
+    recovery: Optional[RecoveryModel] = None,
+    target_iterations: int = DEFAULT_TARGET_ITERATIONS,
+    failure_ranks: Optional[int] = None,
+    gpus_per_node: Optional[int] = None,
 ) -> Tuple[ScheduleKind, PipelineTimeline]:
     """Evaluate every schedule candidate for a PP point and keep the fastest.
 
@@ -531,13 +546,35 @@ def best_pipeline_schedule(
     not a replacement schedule); with a null/absent jitter spec every
     objective degenerates to the deterministic makespan and the selection is
     bit-identical to the deterministic sweep.
+
+    Failure-adjusted selection: a ``ttrain_*`` objective scores each
+    candidate by the *effective per-iteration time* of a checkpoint-restart
+    walk (:func:`repro.sim.failures.simulate_time_to_train`) over
+    ``target_iterations`` iterations under the ``failures`` process and the
+    ``recovery`` model, composing with jitter (the walk's per-replica
+    iteration times are the jittered makespans when a jitter spec is
+    active).  The walk's samples are >= the ideal time, so the effective
+    iteration time is >= the deterministic makespan and the analytic bound
+    stays a conservative floor -- pruning remains argmax-invariant.  A null
+    ``failures`` spec degrades each ``ttrain_*`` objective to its base
+    statistic (and, with jitter also null, to the deterministic makespan
+    bit for bit).
+
+    Variance-aware budgeting: ``ci_halfwidth`` forwards to
+    :func:`repro.sim.stochastic.monte_carlo_timeline`'s sequential stopping
+    -- replication per candidate stops once the objective estimator's 95% CI
+    half-width is under the bound, with ``replicas`` as the hard cap.
     """
     if not candidates:
         raise ValueError("candidates must not be empty")
-    if objective not in RISK_OBJECTIVES:
+    ttrain = objective in TTRAIN_OBJECTIVES
+    if not ttrain and objective not in RISK_OBJECTIVES:
         raise ValueError(
-            f"unknown risk objective {objective!r}; expected one of {RISK_OBJECTIVES}"
+            f"unknown risk objective {objective!r}; expected one of "
+            f"{RISK_OBJECTIVES + TTRAIN_OBJECTIVES}"
         )
+    base_objective = ttrain_objective_base(objective) if ttrain else objective
+    failures_active = ttrain and failures is not None and not failures.is_null
     mc_active = jitter is not None and not jitter.is_null
     bandwidth = (1.0 / p2p_time_s) if p2p_time_s > 0 else float("inf")
     entries = []  # (bound, position, kind, resolved shape, costs, wave ratio)
@@ -589,12 +626,27 @@ def best_pipeline_schedule(
             engine=engine, validate=validate,
         )
         if mc_active:
-            score = monte_carlo_timeline(
+            distribution = monte_carlo_timeline(
                 schedule, costs, jitter, replicas=replicas, seed=seed,
                 p2p_bandwidth_bytes_per_s=bandwidth, validate=validate,
-            ).score(objective)
+                ci_halfwidth=ci_halfwidth, objective=base_objective,
+            )
+            iteration_samples: Sequence[float] = distribution.samples
+            score = distribution.score(base_objective)
         else:
+            iteration_samples = (timeline.total_s,)
             score = timeline.total_s
+        if failures_active:
+            score = simulate_time_to_train(
+                iteration_samples, target_iterations, failures,
+                recovery if recovery is not None else DEFAULT_RECOVERY,
+                num_ranks=(
+                    failure_ranks if failure_ranks is not None
+                    else parallel.total_gpus
+                ),
+                replicas=replicas, seed=seed, gpus_per_node=gpus_per_node,
+                ci_halfwidth=ci_halfwidth, objective=objective,
+            ).score(objective)
         if stats is not None:
             stats.schedules_simulated += 1
         if best is None or score < best_score or (

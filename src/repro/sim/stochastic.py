@@ -79,6 +79,13 @@ RISK_OBJECTIVES: Tuple[str, ...] = ("mean", "p50", "p95", "p99", "cvar")
 #: Default Monte-Carlo replication factor of the risk-adjusted search paths.
 DEFAULT_REPLICAS = 16
 
+#: Fewest replicas a sequential-stopping run evaluates before consulting the
+#: CI half-width: variance estimates from fewer draws are too noisy to stop on.
+MIN_SEQUENTIAL_REPLICAS = 8
+
+#: Two-sided 95% normal quantile used by the CI half-width estimators.
+_Z_95 = 1.959963984540054
+
 #: Default Pareto tail index of the straggler model.  ``alpha = 3`` keeps the
 #: mean multiplier finite (``alpha / (alpha - 1) = 1.5``) while producing the
 #: occasional 2-4x straggler that real clusters exhibit; smaller values
@@ -110,15 +117,20 @@ class JitterSpec:
             inter-stage P2P payload (``p2p_bytes``), modelling jittery or
             congested links; transfer latency and PCIe traffic are left to
             their deterministic parameters.
+        swap_sigma: scale of the folded-lognormal inflation of the per-stage
+            swap traffic (``offload_bytes`` D2H and ``prefetch_bytes`` H2D
+            each draw their own multiplier), modelling contended PCIe /
+            host-memory bandwidth under MEMO-style activation offload.
     """
 
     compute_sigma: float = 0.0
     straggler_prob: float = 0.0
     straggler_alpha: float = DEFAULT_STRAGGLER_ALPHA
     link_sigma: float = 0.0
+    swap_sigma: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("compute_sigma", "link_sigma"):
+        for name in ("compute_sigma", "link_sigma", "swap_sigma"):
             value = getattr(self, name)
             if not math.isfinite(value) or value < 0:
                 raise ValueError(f"{name} must be finite and non-negative (got {value})")
@@ -138,6 +150,7 @@ class JitterSpec:
             self.compute_sigma == 0.0
             and self.straggler_prob == 0.0
             and self.link_sigma == 0.0
+            and self.swap_sigma == 0.0
         )
 
     def describe(self) -> str:
@@ -149,6 +162,8 @@ class JitterSpec:
             parts.append(f"compute={self.compute_sigma:g}")
         if self.link_sigma:
             parts.append(f"link={self.link_sigma:g}")
+        if self.swap_sigma:
+            parts.append(f"swap={self.swap_sigma:g}")
         if self.straggler_prob:
             parts.append(f"straggler={self.straggler_prob:g}:{self.straggler_alpha:g}")
         return ",".join(parts)
@@ -167,9 +182,10 @@ def parse_jitter_spec(text: str) -> JitterSpec:
         <sigma>                      -- shorthand for compute=<sigma>
         compute=<sigma>              -- folded-lognormal compute jitter
         link=<sigma>                 -- folded-lognormal P2P payload inflation
+        swap=<sigma>                 -- folded-lognormal D2H/H2D swap inflation
         straggler=<prob>[:<alpha>]   -- per-rank Pareto straggler model
 
-    Examples: ``0.05``, ``compute=0.05,link=0.02``,
+    Examples: ``0.05``, ``compute=0.05,link=0.02``, ``swap=0.1``,
     ``compute=0.05,straggler=0.1:2.5``.  ``0`` parses to the null spec.
     """
     text = text.strip()
@@ -195,6 +211,8 @@ def parse_jitter_spec(text: str) -> JitterSpec:
             fields["compute_sigma"] = float(value)
         elif key == "link":
             fields["link_sigma"] = float(value)
+        elif key == "swap":
+            fields["swap_sigma"] = float(value)
         elif key == "straggler":
             prob, _, alpha = value.partition(":")
             fields["straggler_prob"] = float(prob)
@@ -202,7 +220,8 @@ def parse_jitter_spec(text: str) -> JitterSpec:
                 fields["straggler_alpha"] = float(alpha)
         else:
             raise ValueError(
-                f"unknown jitter spec key {key!r}; expected compute, link or straggler"
+                f"unknown jitter spec key {key!r}; expected compute, link, "
+                "swap or straggler"
             )
     return JitterSpec(**fields)
 
@@ -262,11 +281,17 @@ def perturb_stage_costs(
     num_ranks = (max(vs_rank) + 1) if num_stages else 0
 
     # Fixed draw order: per-rank straggler (uniform, tail uniform), then
-    # per-stage forward/backward normals, then per-stage link normals.
+    # per-stage forward/backward normals, then per-stage link normals, then
+    # per-stage offload/prefetch normals.  The swap draws come *last* so the
+    # variates feeding the pre-existing models are bit-identical to what
+    # they were before the swap model existed (a spec with ``swap=0`` is a
+    # bit-for-bit no-op on the older multipliers, not merely distributionally
+    # equivalent).
     straggler_u = rng.random(num_ranks)
     straggler_tail = rng.random(num_ranks)
     compute_z = rng.standard_normal((num_stages, 2))
     link_z = rng.standard_normal(num_stages)
+    swap_z = rng.standard_normal((num_stages, 2))
 
     if spec.is_null:
         return tuple(per_stage)
@@ -283,12 +308,14 @@ def perturb_stage_costs(
         forward_mult = math.exp(spec.compute_sigma * abs(compute_z[index, 0])) * straggle
         backward_mult = math.exp(spec.compute_sigma * abs(compute_z[index, 1])) * straggle
         link_mult = math.exp(spec.link_sigma * abs(link_z[index]))
+        offload_mult = math.exp(spec.swap_sigma * abs(swap_z[index, 0]))
+        prefetch_mult = math.exp(spec.swap_sigma * abs(swap_z[index, 1]))
         perturbed.append(StageCosts(
             forward_s=stage.forward_s * forward_mult,
             backward_s=stage.backward_s * backward_mult,
             p2p_bytes=stage.p2p_bytes * link_mult,
-            offload_bytes=stage.offload_bytes,
-            prefetch_bytes=stage.prefetch_bytes,
+            offload_bytes=stage.offload_bytes * offload_mult,
+            prefetch_bytes=stage.prefetch_bytes * prefetch_mult,
             # Recompute rides the backward (grad-input) op in both engines.
             recompute_s=stage.recompute_s * backward_mult,
             activation_bytes=stage.activation_bytes,
@@ -321,6 +348,9 @@ class MakespanDistribution:
     lower_bound_s: float
     seed: int
     spec: JitterSpec
+    #: The CI half-width bound a sequential-stopping run targeted, ``None``
+    #: for a fixed-replica run (the default path).
+    target_ci_halfwidth: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.samples:
@@ -388,6 +418,62 @@ class MakespanDistribution:
         """:func:`objective_score` of this distribution."""
         return objective_score(self, objective)
 
+    def ci_halfwidth_s(self, objective: str = "mean") -> float:
+        """Achieved 95% CI half-width of one objective's estimator."""
+        return distribution_ci_halfwidth(self.samples, objective)
+
+
+def distribution_ci_halfwidth(samples: Sequence[float], objective: str = "mean") -> float:
+    """Deterministic 95% CI half-width estimate of one risk objective.
+
+    The sequential-stopping criterion of :func:`monte_carlo_timeline` (and of
+    the time-to-train walk in :mod:`repro.sim.failures`): replication stops
+    once this drops under the requested bound.  Estimators, all closed-form
+    and platform-deterministic (no SciPy):
+
+    * ``mean`` -- the CLT interval ``z * s / sqrt(n)`` with the unbiased
+      sample standard deviation;
+    * ``p50 | p95 | p99`` -- the distribution-free order-statistic interval:
+      the rank of the ``q``-quantile is binomial with standard deviation
+      ``sqrt(n q (1 - q))``, so half the spread between the order statistics
+      ``z`` rank-standard-deviations either side of the nearest-rank index
+      bounds the quantile estimate's uncertainty;
+    * ``cvar`` -- the CLT interval of the tail mean over the worst-5% draws.
+
+    Accepts the ``ttrain_*`` objective names too (the statistic over
+    time-to-train samples is the same shape).  Returns ``inf`` when the
+    sample count cannot support the estimate (fewer than two samples, or an
+    empty variance tail), so a sequential run keeps drawing.
+    """
+    if objective.startswith("ttrain_"):
+        objective = objective[len("ttrain_"):]
+    if objective not in RISK_OBJECTIVES:
+        raise ValueError(
+            f"unknown risk objective {objective!r}; expected one of {RISK_OBJECTIVES}"
+        )
+    n = len(samples)
+    if n < 2:
+        return math.inf
+    ordered = sorted(samples)
+    if objective == "mean":
+        mean = math.fsum(ordered) / n
+        var = math.fsum((x - mean) ** 2 for x in ordered) / (n - 1)
+        return _Z_95 * math.sqrt(var / n)
+    if objective == "cvar":
+        cut = max(int(math.ceil(0.95 * n)), 1) - 1
+        tail = ordered[cut:]
+        if len(tail) < 2:
+            return math.inf
+        mean = math.fsum(tail) / len(tail)
+        var = math.fsum((x - mean) ** 2 for x in tail) / (len(tail) - 1)
+        return _Z_95 * math.sqrt(var / len(tail))
+    q = {"p50": 0.5, "p95": 0.95, "p99": 0.99}[objective]
+    rank = max(int(math.ceil(q * n)), 1) - 1
+    spread = _Z_95 * math.sqrt(n * q * (1.0 - q))
+    lo = max(int(math.floor(rank - spread)), 0)
+    hi = min(int(math.ceil(rank + spread)), n - 1)
+    return (ordered[hi] - ordered[lo]) / 2.0
+
 
 def objective_score(distribution: MakespanDistribution, objective: str) -> float:
     """The scalar a risk-adjusted search minimises for one candidate."""
@@ -416,6 +502,9 @@ def monte_carlo_timeline(
     p2p_latency_s: float = 0.0,
     pcie_bandwidth_bytes_per_s: float = 16e9,
     validate: bool = False,
+    ci_halfwidth: Optional[float] = None,
+    objective: str = "mean",
+    min_replicas: int = MIN_SEQUENTIAL_REPLICAS,
 ) -> MakespanDistribution:
     """Evaluate a schedule under ``replicas`` seeded jitter draws.
 
@@ -426,9 +515,20 @@ def monte_carlo_timeline(
     mirroring how a real cluster executes the planned schedule under noise.
 
     Determinism contract: the returned distribution is a pure function of
-    ``(schedule structure, costs, spec, replicas, seed, transfer params)``.
-    Replicas evaluate through the uncached evaluator, so Monte-Carlo never
-    pollutes the deterministic search's memo caches.
+    ``(schedule structure, costs, spec, replicas, seed, transfer params,
+    ci_halfwidth, objective, min_replicas)``.  Replicas evaluate through the
+    uncached evaluator, so Monte-Carlo never pollutes the deterministic
+    search's memo caches.
+
+    Variance-aware budgeting: with ``ci_halfwidth`` set, replication stops
+    as soon as at least ``min_replicas`` draws are in *and* the objective
+    estimator's 95% CI half-width (:func:`distribution_ci_halfwidth`) is
+    under the bound; ``replicas`` remains the hard cap.  Because replica
+    ``r``'s draws never depend on the replication count, an adaptive run's
+    samples are exactly a prefix of the fixed-cap run's -- stopping early
+    changes how many draws are averaged, never which draws.  With
+    ``ci_halfwidth=None`` (the default) the fixed-replica behaviour is
+    bit-identical to before the knob existed.
 
     ``validate=True`` additionally runs every draw through the discrete-event
     oracle and raises :class:`~repro.sim.fastpath.FastPathMismatchError` on
@@ -436,6 +536,10 @@ def monte_carlo_timeline(
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
+    if min_replicas < 2:
+        raise ValueError("min_replicas must be >= 2")
+    if ci_halfwidth is not None and (math.isnan(ci_halfwidth) or ci_halfwidth < 0):
+        raise ValueError(f"ci_halfwidth must be non-negative (got {ci_halfwidth})")
     per_stage = _normalise_costs(schedule, costs)
     vs_rank = schedule.virtual_stage_ranks
     deterministic = critical_path_timeline(
@@ -471,6 +575,13 @@ def monte_carlo_timeline(
             _check_against_oracle(timeline, oracle)
         samples.append(timeline.total_s)
         bubbles.append(timeline.bubble_fraction)
+        if (
+            ci_halfwidth is not None
+            and len(samples) >= min_replicas
+            and len(samples) < replicas
+            and distribution_ci_halfwidth(samples, objective) <= ci_halfwidth
+        ):
+            break
     return MakespanDistribution(
         samples=tuple(samples),
         bubble_samples=tuple(bubbles),
@@ -478,6 +589,7 @@ def monte_carlo_timeline(
         lower_bound_s=bound,
         seed=seed,
         spec=spec,
+        target_ci_halfwidth=ci_halfwidth,
     )
 
 
@@ -502,6 +614,14 @@ class ElasticOutcome:
         total_s: end-to-end makespan ``failure + restart + re-planned run``
             (equals the deterministic makespan when the failure happens
             after the iteration already finished).
+        replan_kind: schedule kind actually executed on the shrunk pipeline
+            (``None`` when nothing was re-planned).  Differs from the
+            original kind when the shrunk shape cannot satisfy the kind's
+            structural constraints -- e.g. interleaved falls back to 1F1B
+            when the remaining micro-batches no longer divide ``p - 1``.
+        degraded: True when the re-plan had to change the schedule kind or
+            chunk count (the explicit flag for what was previously only
+            observable by comparing ``replan_schedule.kind`` by hand).
     """
 
     failed_rank: int
@@ -512,6 +632,8 @@ class ElasticOutcome:
     replan_schedule: Optional[PipelineSchedule]
     replan_timeline: Optional[PipelineTimeline]
     total_s: float
+    replan_kind: Optional[ScheduleKind] = None
+    degraded: bool = False
 
 
 def _mean_stage_costs(per_stage: Sequence[StageCosts], time_scale: float) -> StageCosts:
@@ -576,8 +698,8 @@ def simulate_rank_failure(
         raise ValueError(f"failed_rank must lie in [0, {p}) (got {failed_rank})")
     if failure_time_s < 0 or not math.isfinite(failure_time_s):
         raise ValueError("failure_time_s must be finite and non-negative")
-    if restart_overhead_s < 0:
-        raise ValueError("restart_overhead_s must be non-negative")
+    if restart_overhead_s < 0 or not math.isfinite(restart_overhead_s):
+        raise ValueError("restart_overhead_s must be finite and non-negative")
     per_stage = _normalise_costs(schedule, costs)
     timeline = critical_path_timeline(
         schedule, per_stage,
@@ -614,6 +736,7 @@ def simulate_rank_failure(
         shrunk > 1 and remaining % shrunk != 0 or chunks < 2
     ):
         kind, chunks = ScheduleKind.ONE_F_ONE_B, 1
+    degraded = kind is not schedule.kind or chunks != schedule.num_chunks
     replan_schedule = build_schedule(kind, shrunk, max(remaining, 1), num_chunks=chunks)
     replan_costs = [_mean_stage_costs(per_stage, p / shrunk)] * replan_schedule.num_virtual_stages
     replan_timeline = critical_path_timeline(
@@ -632,4 +755,6 @@ def simulate_rank_failure(
         replan_schedule=replan_schedule if remaining > 0 else None,
         replan_timeline=replan_timeline if remaining > 0 else None,
         total_s=failure_time_s + restart_overhead_s + replan_total,
+        replan_kind=kind if remaining > 0 else None,
+        degraded=degraded if remaining > 0 else False,
     )

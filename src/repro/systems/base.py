@@ -64,6 +64,18 @@ from repro.sim.pipeline import (
     heterogeneous_stage_costs,
     stage_costs_from_iteration,
 )
+from repro.sim.failures import (
+    DEFAULT_RECOVERY,
+    DEFAULT_TARGET_ITERATIONS,
+    FailureSpec,
+    RecoveryModel,
+    TTRAIN_OBJECTIVES,
+    TimeToTrainDistribution,
+    parse_failure_spec,
+    parse_recovery_spec,
+    simulate_time_to_train,
+    ttrain_objective_base,
+)
 from repro.sim.schedules import PipelineSchedule, ScheduleKind
 from repro.sim.stochastic import (
     DEFAULT_REPLICAS,
@@ -149,6 +161,15 @@ class TrainingReport:
     #: spec; ``iteration_time_s`` then scores the risk objective (p50/p99/
     #: CVaR of this distribution plus the serial overhead), not the mean.
     makespan_distribution: Optional[MakespanDistribution] = None
+    #: Time-to-train distribution of the winning strategy under the system's
+    #: failure process and recovery model -- populated only when the system
+    #: runs with a non-null failure spec.  Under a ``ttrain_*`` risk
+    #: objective, ``iteration_time_s`` is this distribution's effective
+    #: per-iteration time for that objective.
+    time_to_train: Optional[TimeToTrainDistribution] = None
+    #: Cross-seed stability of the selected strategy -- populated when the
+    #: system was constructed with ``stability_replicas > 0``.
+    selection_stability: Optional["SelectionStability"] = None
 
     @property
     def wall_clock(self) -> str:
@@ -211,6 +232,7 @@ class StrategyEvaluation:
     schedules_simulated: int = 0
     schedules_pruned: int = 0
     distribution: Optional[MakespanDistribution] = None
+    time_to_train: Optional[TimeToTrainDistribution] = None
 
 
 @dataclass
@@ -372,6 +394,11 @@ class TrainingSystem(ABC):
         risk_objective: str = "mean",
         monte_carlo_replicas: int = DEFAULT_REPLICAS,
         monte_carlo_seed: int = 0,
+        failures: Optional[Union[FailureSpec, str]] = None,
+        recovery: Optional[Union[RecoveryModel, str]] = None,
+        target_iterations: int = DEFAULT_TARGET_ITERATIONS,
+        monte_carlo_ci_halfwidth: Optional[float] = None,
+        stability_replicas: int = 0,
     ) -> None:
         """Args:
             pipeline_schedule: how PP candidates are executed and scored --
@@ -410,10 +437,41 @@ class TrainingSystem(ABC):
                 ``risk_objective``.  Every jitter multiplier is >= 1, so
                 both pruning floors stay valid under any objective.
             risk_objective: which makespan statistic competes --
-                ``"mean" | "p50" | "p95" | "p99" | "cvar"``.
+                ``"mean" | "p50" | "p95" | "p99" | "cvar"``, or a
+                failure-adjusted ``"ttrain_mean" | "ttrain_p50" | "ttrain_p95"
+                | "ttrain_p99" | "ttrain_cvar"`` objective scoring each
+                candidate by the effective per-iteration time of a
+                checkpoint-restart walk under the ``failures`` process
+                (:func:`repro.sim.failures.simulate_time_to_train`); with a
+                null/absent failure spec every ``ttrain_*`` objective
+                degrades to its base statistic.
             monte_carlo_replicas: draws per candidate when jitter is active.
             monte_carlo_seed: base seed of the replica generators; a fixed
                 seed makes the whole search reproducible bit for bit.
+            failures: failure/preemption arrival process -- a
+                :class:`~repro.sim.failures.FailureSpec` or a spec string
+                (:func:`~repro.sim.failures.parse_failure_spec`, e.g.
+                ``"mtbf=43200,correlated=0.3:8,preempt=21600:120"``).
+                ``None`` (or the null spec ``"0"``) keeps every reported
+                number bit-identical to the failure-free run; a non-null
+                spec attaches the winner's time-to-train distribution to the
+                report and, under a ``ttrain_*`` objective, scores every
+                candidate by it.
+            recovery: checkpoint-restart costing -- a
+                :class:`~repro.sim.failures.RecoveryModel` or a spec string
+                (:func:`~repro.sim.failures.parse_recovery_spec`, e.g.
+                ``"write=30,restart=300,elastic"``); defaults to
+                :data:`~repro.sim.failures.DEFAULT_RECOVERY`.
+            target_iterations: job length (iterations) of the time-to-train
+                walk.
+            monte_carlo_ci_halfwidth: variance-aware replica budgeting --
+                when set, Monte-Carlo replication per candidate stops as soon
+                as the risk objective's 95% CI half-width (in iteration
+                seconds) is under this bound, with ``monte_carlo_replicas``
+                as the hard cap; ``None`` keeps the fixed-replica behaviour.
+            stability_replicas: when positive, :meth:`run` additionally
+                sweeps :meth:`strategy_selection_stability` over this many
+                Monte-Carlo seeds and attaches the report.
         """
         self.calibration = calibration
         self.precision = precision
@@ -432,21 +490,54 @@ class TrainingSystem(ABC):
         if isinstance(jitter, str):
             jitter = parse_jitter_spec(jitter)
         self.jitter = jitter
-        if risk_objective not in RISK_OBJECTIVES:
+        if risk_objective not in RISK_OBJECTIVES and risk_objective not in TTRAIN_OBJECTIVES:
             raise ValueError(
                 f"unknown risk_objective {risk_objective!r}; "
-                f"expected one of {RISK_OBJECTIVES}"
+                f"expected one of {RISK_OBJECTIVES + TTRAIN_OBJECTIVES}"
             )
         self.risk_objective = risk_objective
         if monte_carlo_replicas < 1:
             raise ValueError("monte_carlo_replicas must be >= 1")
         self.monte_carlo_replicas = monte_carlo_replicas
         self.monte_carlo_seed = monte_carlo_seed
+        if isinstance(failures, str):
+            failures = parse_failure_spec(failures)
+        self.failures = failures
+        if isinstance(recovery, str):
+            recovery = parse_recovery_spec(recovery)
+        self.recovery = recovery if recovery is not None else DEFAULT_RECOVERY
+        if target_iterations < 1:
+            raise ValueError("target_iterations must be >= 1")
+        self.target_iterations = target_iterations
+        if monte_carlo_ci_halfwidth is not None and monte_carlo_ci_halfwidth < 0:
+            raise ValueError("monte_carlo_ci_halfwidth must be non-negative")
+        self.monte_carlo_ci_halfwidth = monte_carlo_ci_halfwidth
+        if stability_replicas < 0:
+            raise ValueError("stability_replicas must be non-negative")
+        self.stability_replicas = stability_replicas
+        self._in_stability_sweep = False
 
     @property
     def _monte_carlo_active(self) -> bool:
         """Whether PP candidates are scored by replication rather than one run."""
         return self.jitter is not None and not self.jitter.is_null
+
+    @property
+    def _failures_active(self) -> bool:
+        """Whether the failure process contributes events at all."""
+        return self.failures is not None and not self.failures.is_null
+
+    @property
+    def _base_objective(self) -> str:
+        """The makespan statistic underlying :attr:`risk_objective`."""
+        if self.risk_objective in TTRAIN_OBJECTIVES:
+            return ttrain_objective_base(self.risk_objective)
+        return self.risk_objective
+
+    @property
+    def _ttrain_scoring(self) -> bool:
+        """Whether candidates compete on failure-adjusted time-to-train."""
+        return self._failures_active and self.risk_objective in TTRAIN_OBJECTIVES
 
     # ------------------------------------------------------------- subclass API
     @property
@@ -536,12 +627,35 @@ class TrainingSystem(ABC):
                 f"p50 {dist.p50_s:.2f}s / p95 {dist.p95_s:.2f}s / "
                 f"p99 {dist.p99_s:.2f}s"
             )
+        if evaluation.time_to_train is not None:
+            ttd = evaluation.time_to_train
+            interval = ttd.checkpoint_interval_s
+            notes.append(
+                f"failure process: {self.failures.describe()}; recovery: "
+                f"{self.recovery.describe()} (checkpoint interval "
+                f"{'inf' if interval == float('inf') else f'{interval:.0f}s'}); "
+                f"time-to-train over {ttd.target_iterations} iterations: "
+                f"mean {ttd.mean_s:.1f}s / p99 {ttd.p99_s:.1f}s, "
+                f"{ttd.mean_failures:.1f} interruptions/run, "
+                f"slowdown x{ttd.expected_slowdown:.3f}"
+            )
         if pruned:
             notes.append(f"schedule sweep: {simulated} simulated, {pruned} pruned")
         if stats.strategies_pruned:
             notes.append(
                 f"strategy search: {stats.strategies_evaluated} evaluated, "
                 f"{stats.strategies_pruned} pruned by the analytic floor"
+            )
+        stability: Optional[SelectionStability] = None
+        if self.stability_replicas > 0 and not self._in_stability_sweep:
+            stability = self.strategy_selection_stability(
+                workload,
+                replicas=self.stability_replicas,
+                base_seed=self.monte_carlo_seed,
+            )
+            notes.append(
+                f"selection stability: {stability.stability:.0%} of "
+                f"{len(stability.selections)} seeds keep the deterministic winner"
             )
         return TrainingReport(
             system=self.name,
@@ -561,6 +675,8 @@ class TrainingSystem(ABC):
             strategies_evaluated=stats.strategies_evaluated,
             strategies_pruned=stats.strategies_pruned,
             makespan_distribution=evaluation.distribution,
+            time_to_train=evaluation.time_to_train,
+            selection_stability=stability,
         )
 
     def strategy_selection_stability(
@@ -588,17 +704,24 @@ class TrainingSystem(ABC):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         saved_jitter, saved_seed = self.jitter, self.monte_carlo_seed
+        saved_failures, saved_sweep = self.failures, self._in_stability_sweep
         selections: List[Optional[ParallelismConfig]] = []
         try:
+            # Guard against recursion: the per-seed runs below must not
+            # trigger the ``stability_replicas`` sweep of :meth:`run` again.
+            self._in_stability_sweep = True
             with deduplicated_degenerate_warnings():
                 self.jitter = None
+                self.failures = None
                 baseline = self.run(workload).parallel
                 self.jitter = saved_jitter
+                self.failures = saved_failures
                 for replica in range(replicas):
                     self.monte_carlo_seed = base_seed + replica
                     selections.append(self.run(workload).parallel)
         finally:
             self.jitter, self.monte_carlo_seed = saved_jitter, saved_seed
+            self.failures, self._in_stability_sweep = saved_failures, saved_sweep
         return SelectionStability(baseline=baseline, selections=selections)
 
     def max_sequence_length(
@@ -926,14 +1049,48 @@ class TrainingSystem(ABC):
                         p2p_bandwidth_bytes_per_s=p2p_bandwidth,
                         pcie_bandwidth_bytes_per_s=execution.pcie_bandwidth_bytes_per_s,
                         validate=self.validate_pipeline,
+                        ci_halfwidth=self.monte_carlo_ci_halfwidth,
+                        objective=self._base_objective,
                     )
-                    compute_time = distribution.score(self.risk_objective)
+                    compute_time = distribution.score(self._base_objective)
             else:
                 # Jitter models pipeline-execution noise; a PP=1 point has no
                 # schedule to perturb and keeps its deterministic estimate.
                 bubble = cost_model.pipeline_bubble_fraction()
                 compute_time = micro_iterations * timeline.total_s / max(1.0 - bubble, 1e-9)
             iteration_time = compute_time + per_iteration_serial
+            time_to_train: Optional[TimeToTrainDistribution] = None
+            if self._failures_active:
+                # Walk the checkpoint-restart process over the candidate's
+                # iteration time (per-replica jittered makespans when jitter
+                # is active, the deterministic estimate otherwise -- serial
+                # overhead included either way, it is paid every iteration).
+                iteration_samples = (
+                    tuple(s + per_iteration_serial for s in distribution.samples)
+                    if distribution is not None
+                    else (iteration_time,)
+                )
+                time_to_train = simulate_time_to_train(
+                    iteration_samples,
+                    self.target_iterations,
+                    self.failures,
+                    self.recovery,
+                    num_ranks=workload.num_gpus,
+                    replicas=self.monte_carlo_replicas,
+                    seed=self.monte_carlo_seed,
+                    gpus_per_node=cluster.node.gpus_per_node,
+                    ci_halfwidth=self.monte_carlo_ci_halfwidth,
+                    objective=(
+                        self.risk_objective if self._ttrain_scoring
+                        else "ttrain_" + self.risk_objective
+                    ),
+                )
+                if self._ttrain_scoring:
+                    # Failure-adjusted selection: the effective per-iteration
+                    # time.  Every walk sample is >= the ideal time, so this
+                    # is >= the failure-free iteration time and both pruning
+                    # floors stay conservative.
+                    iteration_time = time_to_train.score(self.risk_objective)
             return StrategyEvaluation(
                 feasible=True,
                 iteration_time_s=iteration_time,
@@ -945,6 +1102,7 @@ class TrainingSystem(ABC):
                 reorganizations=reorganizations,
                 schedule_kind=schedule_kind,
                 distribution=distribution,
+                time_to_train=time_to_train,
             )
 
         auto = self.pipeline_schedule == "auto"

@@ -1,0 +1,610 @@
+"""Tests of the failure-process simulation layer (``repro.sim.failures``).
+
+The layer's contracts mirror the stochastic layer's and are enforced
+exactly, not approximately:
+
+* **seeded determinism** -- the same ``(spec, seed, replica)`` reproduces a
+  failure trace and a time-to-train distribution bit for bit, including in a
+  fresh interpreter;
+* **null-process collapse** -- :data:`NULL_FAILURES` draws no variate and
+  every sample equals ``target_iterations * iteration_time`` exactly, so a
+  training system with ``failures="0"`` reports field-for-field the same
+  numbers as the deterministic one;
+* **sample floor** -- failures and checkpoints only add: every sample sits
+  at or above the ideal time, which keeps every analytic pruning floor a
+  valid lower bound under the ``ttrain_*`` objectives;
+* **argmax invariance** -- bound pruning and sequential stopping never
+  change the schedule a search selects on an exhaustive lattice;
+* **Young/Daly** -- the closed-form checkpoint interval is (near) optimal
+  against the simulated walk on an interval grid.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.config import tokens
+from repro.parallel.search import SearchStats, best_pipeline_schedule
+from repro.parallel.strategy import ParallelismConfig
+from repro.sim.failures import (
+    DEFAULT_RECOVERY,
+    MAX_SLOWDOWN,
+    NULL_FAILURES,
+    TTRAIN_OBJECTIVES,
+    FailureSpec,
+    RecoveryModel,
+    TimeToTrainDistribution,
+    draw_failure_trace,
+    optimal_checkpoint_interval,
+    parse_failure_spec,
+    parse_recovery_spec,
+    simulate_rolling_failures,
+    simulate_time_to_train,
+    ttrain_objective_base,
+)
+from repro.sim.pipeline import StageCosts
+from repro.sim.schedules import ScheduleKind, build_schedule
+from repro.sim.stochastic import JitterSpec
+from repro.systems.base import Workload
+from repro.systems.memo import MemoSystem
+
+COSTS = StageCosts(forward_s=1.0, backward_s=2.0, p2p_bytes=1e6, backward_weight_s=0.8)
+SPEC = FailureSpec(mtbf_s=5000.0, correlated_prob=0.3, preempt_every_s=20000.0,
+                   preempt_notice_s=60.0)
+RECOVERY = RecoveryModel(checkpoint_write_s=20.0, restart_overhead_s=100.0)
+
+
+class TestFailureSpec:
+    def test_null_spec(self):
+        assert NULL_FAILURES.is_null
+        assert FailureSpec(mtbf_s=1000.0).is_null is False
+        assert FailureSpec(preempt_every_s=1000.0).is_null is False
+        # Correlation alone activates nothing: there are no arrivals to
+        # escalate.
+        assert FailureSpec(correlated_prob=0.5).is_null
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mtbf_s": 0.0},
+        {"mtbf_s": -1.0},
+        {"mtbf_s": float("nan")},
+        {"process": "uniform"},
+        {"weibull_shape": 0.0},
+        {"weibull_shape": float("inf")},
+        {"correlated_prob": -0.1},
+        {"correlated_prob": 1.5},
+        {"correlated_prob": float("nan")},
+        {"gpus_per_node": 0},
+        {"preempt_every_s": 0.0},
+        {"preempt_every_s": float("nan")},
+        {"preempt_notice_s": -1.0},
+        {"preempt_notice_s": float("inf")},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FailureSpec(**kwargs)
+
+    def test_parse_grammar(self):
+        assert parse_failure_spec("0") == NULL_FAILURES
+        assert parse_failure_spec("mtbf=43200") == FailureSpec(mtbf_s=43200.0)
+        assert parse_failure_spec("mtbf=43200,process=weibull") == FailureSpec(
+            mtbf_s=43200.0, process="weibull",
+        )
+        assert parse_failure_spec("mtbf=43200,process=weibull:0.5") == FailureSpec(
+            mtbf_s=43200.0, process="weibull", weibull_shape=0.5,
+        )
+        assert parse_failure_spec("mtbf=1000,correlated=0.3:8") == FailureSpec(
+            mtbf_s=1000.0, correlated_prob=0.3, gpus_per_node=8,
+        )
+        assert parse_failure_spec("preempt=3600:120") == FailureSpec(
+            preempt_every_s=3600.0, preempt_notice_s=120.0,
+        )
+
+    @pytest.mark.parametrize("text", [
+        "", "bogus=1", "mtbf", "mtbf=x", "process=weibull:x", "mtbf=1000;x=2",
+    ])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_failure_spec(text)
+
+    def test_describe_roundtrips(self):
+        for spec in (NULL_FAILURES, SPEC, FailureSpec(mtbf_s=1000.0),
+                     FailureSpec(mtbf_s=1e4, process="weibull", weibull_shape=0.5),
+                     FailureSpec(mtbf_s=1e4, correlated_prob=0.2, gpus_per_node=4),
+                     FailureSpec(preempt_every_s=3600.0, preempt_notice_s=30.0)):
+            assert parse_failure_spec(spec.describe()) == spec
+
+    def test_system_mtbf_combines_rates(self):
+        spec = FailureSpec(mtbf_s=8000.0)
+        assert spec.system_mtbf_s(1) == 8000.0
+        assert spec.system_mtbf_s(8) == pytest.approx(1000.0)
+        both = FailureSpec(mtbf_s=8000.0, preempt_every_s=2000.0)
+        assert both.system_mtbf_s(8) == pytest.approx(1.0 / (8 / 8000.0 + 1 / 2000.0))
+        assert NULL_FAILURES.system_mtbf_s(64) == math.inf
+        with pytest.raises(ValueError):
+            spec.system_mtbf_s(0)
+
+
+class TestFailureTrace:
+    def test_null_spec_draws_nothing(self):
+        assert draw_failure_trace(NULL_FAILURES, 8, 1e9, seed=0) == ()
+
+    def test_deterministic_and_time_ordered(self):
+        first = draw_failure_trace(SPEC, 8, 50000.0, seed=3, replica=1)
+        second = draw_failure_trace(SPEC, 8, 50000.0, seed=3, replica=1)
+        assert first == second
+        times = [event.time_s for event in first]
+        assert times == sorted(times)
+        assert any(event.kind == "failure" for event in first)
+        assert any(event.kind == "preemption" for event in first)
+
+    def test_different_seeds_and_replicas_differ(self):
+        base = draw_failure_trace(SPEC, 8, 50000.0, seed=0, replica=0)
+        assert draw_failure_trace(SPEC, 8, 50000.0, seed=1, replica=0) != base
+        assert draw_failure_trace(SPEC, 8, 50000.0, seed=0, replica=1) != base
+
+    def test_rank_streams_independent_of_rank_count(self):
+        """Rank r's arrivals do not depend on how many other ranks exist."""
+        spec = FailureSpec(mtbf_s=2000.0)
+        small = draw_failure_trace(spec, 2, 20000.0, seed=7)
+        large = draw_failure_trace(spec, 6, 20000.0, seed=7)
+        small_times = {event.time_s for event in small}
+        large_rank01 = {event.time_s for event in large
+                        if all(rank < 2 for rank in event.ranks)}
+        assert small_times == large_rank01
+
+    def test_correlated_failures_take_the_whole_node(self):
+        spec = FailureSpec(mtbf_s=2000.0, correlated_prob=1.0)
+        trace = draw_failure_trace(spec, 8, 20000.0, seed=0, gpus_per_node=4)
+        assert trace
+        for event in trace:
+            assert event.ranks in ((0, 1, 2, 3), (4, 5, 6, 7))
+
+    def test_node_tail_is_clamped_to_rank_count(self):
+        spec = FailureSpec(mtbf_s=2000.0, correlated_prob=1.0)
+        trace = draw_failure_trace(spec, 6, 20000.0, seed=0, gpus_per_node=4)
+        for event in trace:
+            assert event.ranks in ((0, 1, 2, 3), (4, 5))
+
+    def test_preemption_grid(self):
+        spec = FailureSpec(preempt_every_s=100.0, preempt_notice_s=5.0)
+        trace = draw_failure_trace(spec, 4, 350.0, seed=0)
+        assert [event.time_s for event in trace] == [100.0, 200.0, 300.0]
+        for event in trace:
+            assert event.kind == "preemption"
+            assert event.ranks == (0, 1, 2, 3)
+            assert event.notice_s == 5.0
+
+    def test_weibull_mean_matches_mtbf(self):
+        """The Weibull scale keeps the mean inter-arrival at mtbf for every
+        shape (law of large numbers over one long stream)."""
+        spec = FailureSpec(mtbf_s=100.0, process="weibull", weibull_shape=0.7)
+        trace = draw_failure_trace(spec, 1, 2e5, seed=0)
+        assert len(trace) == pytest.approx(2e5 / 100.0, rel=0.15)
+
+    def test_bit_identical_across_processes(self):
+        local = draw_failure_trace(SPEC, 4, 30000.0, seed=11, replica=2)
+        script = (
+            "import json\n"
+            "from repro.sim.failures import FailureSpec, draw_failure_trace\n"
+            "spec = FailureSpec(mtbf_s=5000.0, correlated_prob=0.3,"
+            " preempt_every_s=20000.0, preempt_notice_s=60.0)\n"
+            "trace = draw_failure_trace(spec, 4, 30000.0, seed=11, replica=2)\n"
+            "print(json.dumps([[e.time_s.hex(), list(e.ranks), e.kind]"
+            " for e in trace]))\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True,
+        )
+        remote = [(float.fromhex(time_hex), tuple(ranks), kind)
+                  for time_hex, ranks, kind in json.loads(result.stdout)]
+        assert remote == [(e.time_s, e.ranks, e.kind) for e in local]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            draw_failure_trace(SPEC, 0, 1000.0)
+        with pytest.raises(ValueError):
+            draw_failure_trace(SPEC, 4, -1.0)
+
+
+class TestRecoveryModel:
+    @pytest.mark.parametrize("kwargs", [
+        {"checkpoint_write_s": -1.0},
+        {"checkpoint_write_s": float("inf")},
+        {"restart_overhead_s": -1.0},
+        {"restart_overhead_s": float("nan")},
+        {"checkpoint_interval_s": 0.0},
+        {"min_rank_fraction": 0.0},
+        {"min_rank_fraction": 1.5},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RecoveryModel(**kwargs)
+
+    def test_from_model_bytes(self):
+        model = RecoveryModel.from_model_bytes(300e9, write_bandwidth_bytes_per_s=10e9)
+        assert model.checkpoint_write_s == pytest.approx(30.0)
+        with pytest.raises(ValueError):
+            RecoveryModel.from_model_bytes(-1.0)
+        with pytest.raises(ValueError):
+            RecoveryModel.from_model_bytes(1e9, write_bandwidth_bytes_per_s=0.0)
+
+    def test_parse_grammar_and_describe_roundtrip(self):
+        model = parse_recovery_spec("write=40,restart=300,interval=1800,elastic")
+        assert model == RecoveryModel(
+            checkpoint_write_s=40.0, restart_overhead_s=300.0,
+            checkpoint_interval_s=1800.0, elastic=True,
+        )
+        for spec in (DEFAULT_RECOVERY, model,
+                     RecoveryModel(checkpoint_write_s=5.0, elastic=True)):
+            assert parse_recovery_spec(spec.describe()) == spec
+        with pytest.raises(ValueError):
+            parse_recovery_spec("")
+        with pytest.raises(ValueError):
+            parse_recovery_spec("bogus=1")
+        with pytest.raises(ValueError):
+            parse_recovery_spec("write")
+
+    def test_interval_for_prefers_explicit_interval(self):
+        fixed = RecoveryModel(checkpoint_interval_s=777.0)
+        assert fixed.interval_for(SPEC, 32) == 777.0
+        auto = RecoveryModel(checkpoint_write_s=30.0)
+        assert auto.interval_for(SPEC, 32) == optimal_checkpoint_interval(
+            30.0, SPEC.system_mtbf_s(32),
+        )
+
+
+class TestYoungDaly:
+    def test_closed_form(self):
+        assert optimal_checkpoint_interval(30.0, math.inf) == math.inf
+        assert optimal_checkpoint_interval(0.0, 1000.0) == 0.0
+        assert optimal_checkpoint_interval(30.0, 43200.0) == pytest.approx(
+            math.sqrt(2.0 * 30.0 * 43200.0),
+        )
+        # Floor: never checkpoint more often than the write itself costs.
+        assert optimal_checkpoint_interval(1000.0, 10.0) == 1000.0
+        with pytest.raises(ValueError):
+            optimal_checkpoint_interval(-1.0, 1000.0)
+        with pytest.raises(ValueError):
+            optimal_checkpoint_interval(1.0, 0.0)
+
+    def test_simulation_agrees_on_an_interval_grid(self):
+        """The Young/Daly interval is within a few percent of the best fixed
+        interval on a grid spanning 1/4x .. 4x of it -- the closed form and
+        the walk describe the same process."""
+        spec = FailureSpec(mtbf_s=3000.0)
+        num_ranks = 4
+        write = 15.0
+        tau = optimal_checkpoint_interval(write, spec.system_mtbf_s(num_ranks))
+        means = {}
+        for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
+            recovery = RecoveryModel(
+                checkpoint_write_s=write, restart_overhead_s=60.0,
+                checkpoint_interval_s=tau * scale,
+            )
+            dist = simulate_time_to_train(
+                2.0, 2000, spec, recovery, num_ranks=num_ranks,
+                replicas=64, seed=0,
+            )
+            means[scale] = dist.mean_s
+        assert means[1.0] <= 1.05 * min(means.values())
+        # The grid must separate: the extremes are measurably worse.
+        assert max(means.values()) > 1.02 * means[1.0]
+
+
+class TestTimeToTrain:
+    def test_null_process_collapses_exactly(self):
+        dist = simulate_time_to_train(1.5, 100, NULL_FAILURES, RECOVERY,
+                                      num_ranks=8, replicas=16, seed=9)
+        assert dist.samples == (150.0,) * 16
+        assert dist.failure_counts == (0,) * 16
+        assert dist.mean_s == 150.0 == dist.p99_s == dist.cvar95_s
+        assert dist.expected_slowdown == 1.0
+        for objective in TTRAIN_OBJECTIVES:
+            assert dist.score(objective) == 1.5
+
+    def test_every_sample_at_or_above_ideal(self):
+        """Failures and checkpoints only add -- the floor that keeps pruning
+        valid under every ttrain_* objective."""
+        for spec in (SPEC,
+                     FailureSpec(mtbf_s=800.0),
+                     FailureSpec(mtbf_s=2000.0, process="weibull"),
+                     FailureSpec(preempt_every_s=150.0, preempt_notice_s=5.0)):
+            dist = simulate_time_to_train(2.0, 200, spec, RECOVERY,
+                                          num_ranks=4, replicas=16, seed=1)
+            assert dist.ideal_s == 400.0
+            for sample in dist.samples:
+                assert sample >= dist.ideal_s
+            assert any(count > 0 for count in dist.failure_counts)
+            for objective in TTRAIN_OBJECTIVES:
+                assert dist.score(objective) >= 2.0
+
+    def test_seeded_determinism(self):
+        first = simulate_time_to_train(2.0, 200, SPEC, RECOVERY,
+                                       num_ranks=4, replicas=8, seed=5)
+        second = simulate_time_to_train(2.0, 200, SPEC, RECOVERY,
+                                        num_ranks=4, replicas=8, seed=5)
+        assert first == second
+        other = simulate_time_to_train(2.0, 200, SPEC, RECOVERY,
+                                       num_ranks=4, replicas=8, seed=6)
+        assert first.samples != other.samples
+
+    def test_per_replica_iteration_times(self):
+        """A sequence composes with the jitter layer: replica r walks with
+        iteration_time[r % len], exactly -- visible under the null process."""
+        dist = simulate_time_to_train((1.0, 2.0, 3.0), 10, NULL_FAILURES,
+                                      RECOVERY, replicas=6)
+        assert dist.samples == (10.0, 20.0, 30.0, 10.0, 20.0, 30.0)
+
+    def test_pathological_config_hits_the_cap(self):
+        """MTBF far below the restart cycle: the walk reports the capped
+        sample instead of spinning forever."""
+        spec = FailureSpec(mtbf_s=1.0)
+        recovery = RecoveryModel(checkpoint_write_s=10.0, restart_overhead_s=1e5)
+        dist = simulate_time_to_train(1.0, 10, spec, recovery,
+                                      num_ranks=8, replicas=2, seed=0)
+        assert dist.samples == (10.0 * MAX_SLOWDOWN,) * 2
+
+    def test_long_notice_preemption_is_cheaper_than_no_notice(self):
+        """A notice window >= the write cost makes progress durable at the
+        preemption instant; with zero notice the same instants lose work.
+        Same arrival grid, pointwise comparison per replica."""
+        base = dict(preempt_every_s=300.0)
+        kind = simulate_time_to_train(
+            2.0, 600, FailureSpec(preempt_notice_s=60.0, **base),
+            RecoveryModel(checkpoint_write_s=20.0, restart_overhead_s=50.0,
+                          checkpoint_interval_s=1e9),
+            replicas=4, seed=0,
+        )
+        harsh = simulate_time_to_train(
+            2.0, 600, FailureSpec(preempt_notice_s=0.0, **base),
+            RecoveryModel(checkpoint_write_s=20.0, restart_overhead_s=50.0,
+                          checkpoint_interval_s=1e9),
+            replicas=4, seed=0,
+        )
+        assert all(a < b for a, b in zip(kind.samples, harsh.samples))
+
+    def test_elastic_continuation_beats_full_restart_under_attrition(self):
+        """With frequent failures and a huge restart overhead dwarfing the
+        degraded-throughput cost, the elastic model must finish faster."""
+        spec = FailureSpec(mtbf_s=4000.0)
+        base = dict(checkpoint_write_s=10.0, restart_overhead_s=2000.0)
+        elastic = simulate_time_to_train(
+            2.0, 400, spec, RecoveryModel(elastic=True, **base),
+            num_ranks=8, replicas=16, seed=2,
+        )
+        rigid = simulate_time_to_train(
+            2.0, 400, spec, RecoveryModel(elastic=False, **base),
+            num_ranks=8, replicas=16, seed=2,
+        )
+        assert elastic.mean_s < rigid.mean_s
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_time_to_train(1.0, 0, SPEC)
+        with pytest.raises(ValueError):
+            simulate_time_to_train(1.0, 10, SPEC, replicas=0)
+        with pytest.raises(ValueError):
+            simulate_time_to_train(1.0, 10, SPEC, num_ranks=0)
+        with pytest.raises(ValueError):
+            simulate_time_to_train((), 10, SPEC)
+        with pytest.raises(ValueError):
+            simulate_time_to_train(0.0, 10, SPEC)
+        with pytest.raises(ValueError):
+            simulate_time_to_train(float("inf"), 10, SPEC)
+        with pytest.raises(ValueError):
+            simulate_time_to_train(1.0, 10, SPEC, ci_halfwidth=-0.5)
+        with pytest.raises(ValueError):
+            simulate_time_to_train(1.0, 10, SPEC, min_replicas=1)
+        with pytest.raises(ValueError):
+            TimeToTrainDistribution(
+                samples=(), failure_counts=(), ideal_s=1.0, target_iterations=1,
+                checkpoint_interval_s=1.0, seed=0, spec=SPEC, recovery=RECOVERY,
+            )
+
+    def test_bit_identical_across_processes(self):
+        local = simulate_time_to_train(2.0, 200, SPEC, RECOVERY,
+                                       num_ranks=4, replicas=6, seed=21)
+        script = (
+            "import json\n"
+            "from repro.sim.failures import (FailureSpec, RecoveryModel,"
+            " simulate_time_to_train)\n"
+            "spec = FailureSpec(mtbf_s=5000.0, correlated_prob=0.3,"
+            " preempt_every_s=20000.0, preempt_notice_s=60.0)\n"
+            "recovery = RecoveryModel(checkpoint_write_s=20.0,"
+            " restart_overhead_s=100.0)\n"
+            "dist = simulate_time_to_train(2.0, 200, spec, recovery,"
+            " num_ranks=4, replicas=6, seed=21)\n"
+            "print(json.dumps([sample.hex() for sample in dist.samples]))\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True,
+        )
+        remote = [float.fromhex(sample) for sample in json.loads(result.stdout)]
+        assert remote == list(local.samples)
+
+
+class TestSequentialStopping:
+    def test_adaptive_samples_are_a_prefix_of_the_fixed_run(self):
+        """Replica r's arrival streams do not depend on the replication
+        count, so stopping early yields exactly a prefix."""
+        fixed = simulate_time_to_train(2.0, 200, SPEC, RECOVERY,
+                                       num_ranks=4, replicas=64, seed=0)
+        adaptive = simulate_time_to_train(2.0, 200, SPEC, RECOVERY,
+                                          num_ranks=4, replicas=64, seed=0,
+                                          ci_halfwidth=0.5)
+        assert adaptive.replicas < fixed.replicas
+        assert adaptive.samples == fixed.samples[:adaptive.replicas]
+
+    def test_loose_bound_stops_at_min_replicas(self):
+        dist = simulate_time_to_train(2.0, 200, SPEC, RECOVERY,
+                                      num_ranks=4, replicas=64, seed=0,
+                                      ci_halfwidth=1e9, min_replicas=8)
+        assert dist.replicas == 8
+
+    def test_tight_bound_runs_to_the_cap(self):
+        dist = simulate_time_to_train(2.0, 200, SPEC, RECOVERY,
+                                      num_ranks=4, replicas=12, seed=0,
+                                      ci_halfwidth=0.0)
+        assert dist.replicas == 12
+
+    def test_null_process_stops_at_min_replicas(self):
+        """Zero-variance samples estimate any statistic exactly, so the
+        sequential test fires as soon as it may."""
+        dist = simulate_time_to_train(2.0, 100, NULL_FAILURES, RECOVERY,
+                                      replicas=64, ci_halfwidth=0.01,
+                                      min_replicas=8)
+        assert dist.replicas == 8
+        assert dist.samples == (200.0,) * 8
+
+
+class TestTtrainArgmaxInvariance:
+    """The failure layer composes with the search exactly like the jitter
+    layer: every time-to-train sample >= the ideal >= the deterministic
+    makespan floor, so bound pruning -- and variance-aware sequential
+    stopping -- never change the selected schedule."""
+
+    FAILURES = FailureSpec(mtbf_s=40000.0, correlated_prob=0.2)
+    JITTER = JitterSpec(compute_sigma=0.08, straggler_prob=0.15, straggler_alpha=3.0)
+    RECOVERY = RecoveryModel(checkpoint_write_s=10.0, restart_overhead_s=120.0)
+
+    @staticmethod
+    def _lattice():
+        return [
+            (p, m, forward, backward, share)
+            for p in (2, 3, 4)
+            for m in (2, 4, 8)
+            for forward, backward in ((1.0, 2.0), (0.5, 3.0), (2.0, 1.0))
+            for share in (None, 0.4)
+        ]
+
+    def test_pruning_never_changes_argmax_on_the_lattice(self):
+        pruned_away = 0
+        for p, m, forward, backward, share in self._lattice():
+            parallel = ParallelismConfig(pipeline_parallel=p, micro_batches=max(m, p))
+            kwargs = dict(
+                num_micro_batches=m, backward_weight_fraction=share,
+                objective="ttrain_p99", jitter=self.JITTER, replicas=8, seed=5,
+                failures=self.FAILURES, recovery=self.RECOVERY,
+                failure_ranks=p, target_iterations=50,
+            )
+            stats = SearchStats()
+            pruned = best_pipeline_schedule(
+                parallel, forward, backward, prune=True, stats=stats, **kwargs,
+            )
+            unpruned = best_pipeline_schedule(
+                parallel, forward, backward, prune=False, **kwargs,
+            )
+            assert pruned[0] is unpruned[0], (p, m, forward, backward, share)
+            assert pruned[1].total_s == unpruned[1].total_s
+            pruned_away += stats.schedules_pruned
+        assert pruned_away > 0
+
+    def test_sequential_stopping_never_changes_the_selection(self):
+        """Variance-aware budgeting (the ci_halfwidth knob) picks the same
+        schedule as the fixed-replica run on the whole lattice -- the
+        adaptive samples are a prefix, and the bound (0.01 per-iteration
+        seconds) sits below half the score gap of every candidate pair, the
+        condition under which sequential stopping cannot flip an argmax."""
+        for p, m, forward, backward, share in self._lattice():
+            parallel = ParallelismConfig(pipeline_parallel=p, micro_batches=max(m, p))
+            kwargs = dict(
+                num_micro_batches=m, backward_weight_fraction=share,
+                objective="ttrain_p99", jitter=self.JITTER, replicas=24, seed=5,
+                failures=self.FAILURES, recovery=self.RECOVERY,
+                failure_ranks=p, target_iterations=50,
+            )
+            fixed = best_pipeline_schedule(parallel, forward, backward, **kwargs)
+            adaptive = best_pipeline_schedule(
+                parallel, forward, backward, ci_halfwidth=0.01, **kwargs,
+            )
+            assert adaptive[0] is fixed[0], (p, m, forward, backward, share)
+
+    def test_ttrain_objective_requires_known_name(self):
+        parallel = ParallelismConfig(pipeline_parallel=2, micro_batches=4)
+        with pytest.raises(ValueError):
+            best_pipeline_schedule(parallel, 1.0, 2.0, objective="ttrain_p42",
+                                   failures=self.FAILURES)
+        with pytest.raises(ValueError):
+            ttrain_objective_base("p99")
+
+
+class TestRollingFailures:
+    def test_two_failures_shrink_twice(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        outcome = simulate_rolling_failures(
+            schedule, COSTS, [(1, 10.0), (0, 40.0)], restart_overhead_s=2.0,
+        )
+        assert len(outcome.stages) == 2
+        assert outcome.final_num_stages == 2
+        # Conservation: banked micro-batches plus the final re-planned run
+        # cover the original batch exactly once.
+        assert outcome.completed_micro_batches == 8
+        banked = sum(stage.completed_micro_batches for stage in outcome.stages)
+        assert outcome.stages[-1].replanned_micro_batches == 8 - banked
+        assert outcome.total_s > 40.0
+
+    def test_failure_after_completion_ends_the_job(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 4)
+        outcome = simulate_rolling_failures(
+            schedule, COSTS, [(0, 1e6)], restart_overhead_s=2.0,
+        )
+        assert len(outcome.stages) == 1
+        assert outcome.stages[0].replan_schedule is None
+        assert outcome.completed_micro_batches == 4
+        assert outcome.final_num_stages == 4
+
+    def test_rejects_non_increasing_times(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        with pytest.raises(ValueError):
+            simulate_rolling_failures(schedule, COSTS, [(0, 10.0), (1, 10.0)])
+        with pytest.raises(ValueError):
+            simulate_rolling_failures(schedule, COSTS, [])
+
+
+class TestSystemNullFailureIdentity:
+    def test_null_failure_spec_report_is_bit_identical(self):
+        """The failure layer present-but-disabled changes nothing: the whole
+        TrainingReport matches the deterministic system's field for field,
+        and no time-to-train distribution is attached."""
+        workload = Workload("7B", tokens(64), 16, global_batch_samples=64)
+        deterministic = MemoSystem(pipeline_schedule="auto").run(workload)
+        disabled = MemoSystem(
+            pipeline_schedule="auto", failures="0",
+            recovery="write=30,restart=120", risk_objective="ttrain_p99",
+        ).run(workload)
+        assert disabled.parallel == deterministic.parallel
+        assert disabled.iteration_time_s == deterministic.iteration_time_s
+        assert disabled.mfu == deterministic.mfu
+        assert disabled.tgs == deterministic.tgs
+        assert disabled.notes == deterministic.notes
+        assert disabled.time_to_train is None
+        assert disabled.makespan_distribution is None
+
+    def test_active_failures_attach_a_distribution_and_slow_the_iteration(self):
+        workload = Workload("7B", tokens(64), 16, global_batch_samples=64)
+        base = MemoSystem(pipeline_schedule="auto").run(workload)
+        report = MemoSystem(
+            pipeline_schedule="auto", failures="mtbf=43200,correlated=0.3",
+            recovery="write=30,restart=120", risk_objective="ttrain_p99",
+            monte_carlo_replicas=8,
+        ).run(workload)
+        assert report.feasible
+        assert report.time_to_train is not None
+        assert report.time_to_train.expected_slowdown >= 1.0
+        assert report.iteration_time_s >= base.iteration_time_s
+        assert any("failure process" in note for note in report.notes)

@@ -166,6 +166,7 @@ def jitter_specs(draw):
         straggler_prob=draw(st.sampled_from([0.0, 0.1, 0.5, 1.0])),
         straggler_alpha=draw(st.sampled_from([1.5, 3.0, 8.0])),
         link_sigma=draw(st.sampled_from([0.0, 0.05, 0.3])),
+        swap_sigma=draw(st.sampled_from([0.0, 0.1, 0.4])),
     )
 
 

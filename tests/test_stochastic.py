@@ -20,6 +20,7 @@ than approximately:
 from __future__ import annotations
 
 import json
+import math
 import os
 import subprocess
 import sys
@@ -39,10 +40,13 @@ from repro.sim.fastpath import (
 from repro.sim.pipeline import StageCosts
 from repro.sim.schedules import ScheduleKind, build_schedule
 from repro.sim.stochastic import (
+    MIN_SEQUENTIAL_REPLICAS,
     NULL_JITTER,
     RISK_OBJECTIVES,
     JitterSpec,
     MakespanDistribution,
+    _Z_95,
+    distribution_ci_halfwidth,
     monte_carlo_timeline,
     objective_score,
     parse_jitter_spec,
@@ -466,3 +470,242 @@ class TestWarningDedupUnderReplication:
         assert len(degenerate) == 1
         assert len(stability.selections) == 3
         assert 0.0 <= stability.stability <= 1.0
+
+
+class TestSwapJitter:
+    """The swap= axis jitters offload/prefetch payloads the way compute=
+    jitters durations -- multipliers >= 1, drawn *after* every pre-existing
+    variate so old draws stay bit-identical."""
+
+    def test_parse_and_describe_roundtrip(self):
+        assert parse_jitter_spec("swap=0.1") == JitterSpec(swap_sigma=0.1)
+        combined = JitterSpec(compute_sigma=0.05, swap_sigma=0.2, link_sigma=0.02)
+        assert parse_jitter_spec(combined.describe()) == combined
+        assert JitterSpec(swap_sigma=0.1).is_null is False
+
+    @pytest.mark.parametrize("kwargs", [
+        {"swap_sigma": -0.1},
+        {"swap_sigma": float("nan")},
+        {"swap_sigma": float("inf")},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            JitterSpec(**kwargs)
+
+    def test_scales_only_the_swap_payloads(self):
+        base = StageCosts(forward_s=1.0, backward_s=2.0, p2p_bytes=5.0,
+                          offload_bytes=3.0, prefetch_bytes=2.0,
+                          activation_bytes=7.0, backward_weight_s=0.5)
+        for replica in range(30):
+            out, = perturb_stage_costs(base, JitterSpec(swap_sigma=0.3),
+                                       replica_rng(17, replica))
+            assert out.offload_bytes >= base.offload_bytes
+            assert out.prefetch_bytes >= base.prefetch_bytes
+            assert out.forward_s == base.forward_s
+            assert out.backward_s == base.backward_s
+            assert out.p2p_bytes == base.p2p_bytes
+            assert out.activation_bytes == base.activation_bytes
+
+    def test_swap_draws_leave_preexisting_variates_bit_identical(self):
+        """Adding swap jitter to a spec must not shift the compute/straggler/
+        link draws: the swap variates are consumed last."""
+        base = StageCosts(forward_s=1.0, backward_s=2.0, p2p_bytes=5.0,
+                          offload_bytes=3.0, prefetch_bytes=2.0,
+                          backward_weight_s=0.5)
+        without = JitterSpec(compute_sigma=0.05, straggler_prob=0.1,
+                             straggler_alpha=3.0, link_sigma=0.02)
+        with_swap = JitterSpec(compute_sigma=0.05, straggler_prob=0.1,
+                               straggler_alpha=3.0, link_sigma=0.02,
+                               swap_sigma=0.4)
+        for replica in range(20):
+            plain, = perturb_stage_costs(base, without, replica_rng(3, replica))
+            swapped, = perturb_stage_costs(base, with_swap, replica_rng(3, replica))
+            assert swapped.forward_s == plain.forward_s
+            assert swapped.backward_s == plain.backward_s
+            assert swapped.backward_weight_s == plain.backward_weight_s
+            assert swapped.p2p_bytes == plain.p2p_bytes
+            assert swapped.offload_bytes >= plain.offload_bytes
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_per_seed_monotonicity(self, seed):
+        """Larger swap sigma yields pointwise larger payloads on a fixed
+        (seed, replica) grid -- the fixed variate order couples the draws."""
+        base = StageCosts(forward_s=1.0, backward_s=2.0, offload_bytes=3.0,
+                          prefetch_bytes=2.0)
+        for replica in range(8):
+            drawn = [
+                perturb_stage_costs(base, JitterSpec(swap_sigma=sigma),
+                                    replica_rng(seed, replica))[0]
+                for sigma in (0.05, 0.2, 0.6)
+            ]
+            for lo, hi in zip(drawn, drawn[1:]):
+                assert lo.offload_bytes <= hi.offload_bytes
+                assert lo.prefetch_bytes <= hi.prefetch_bytes
+
+
+class TestDistributionCiHalfwidth:
+    def test_mean_matches_the_clt_formula(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        expected = _Z_95 * math.sqrt(
+            sum((s - 2.5) ** 2 for s in samples) / 3.0 / 4.0
+        )
+        assert distribution_ci_halfwidth(samples, "mean") == pytest.approx(expected)
+
+    def test_zero_variance_collapses_to_zero(self):
+        samples = [5.0] * 16
+        for objective in ("mean", "p50", "p95", "p99"):
+            assert distribution_ci_halfwidth(samples, objective) == 0.0
+
+    def test_unestimable_cases_return_inf(self):
+        assert distribution_ci_halfwidth([1.0], "mean") == math.inf
+        # cvar needs at least two tail samples: a length-4 tail holds one.
+        assert distribution_ci_halfwidth([1.0, 2.0, 3.0, 4.0], "cvar") == math.inf
+
+    def test_ttrain_prefix_is_accepted(self):
+        samples = [float(v) for v in range(1, 33)]
+        for base in ("mean", "p50", "p99"):
+            assert distribution_ci_halfwidth(samples, "ttrain_" + base) == \
+                distribution_ci_halfwidth(samples, base)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_ci_halfwidth([1.0, 2.0], "p42")
+
+
+class TestMonteCarloSequentialStopping:
+    def test_loose_bound_stops_at_min_replicas_and_is_a_prefix(self):
+        schedule = _zb_v()
+        fixed = monte_carlo_timeline(schedule, COSTS, SPEC, replicas=32, seed=7)
+        adaptive = monte_carlo_timeline(schedule, COSTS, SPEC, replicas=32, seed=7,
+                                        ci_halfwidth=1e9)
+        assert adaptive.replicas == MIN_SEQUENTIAL_REPLICAS
+        assert adaptive.samples == fixed.samples[:adaptive.replicas]
+        assert adaptive.target_ci_halfwidth == 1e9
+
+    def test_tight_bound_runs_to_the_cap(self):
+        schedule = _zb_v()
+        dist = monte_carlo_timeline(schedule, COSTS, SPEC, replicas=12, seed=7,
+                                    ci_halfwidth=0.0)
+        assert dist.replicas == 12
+
+    def test_ci_halfwidth_s_matches_the_free_function(self):
+        schedule = _zb_v()
+        dist = monte_carlo_timeline(schedule, COSTS, SPEC, replicas=16, seed=3)
+        for objective in ("mean", "p99"):
+            assert dist.ci_halfwidth_s(objective) == \
+                distribution_ci_halfwidth(dist.samples, objective)
+
+    def test_validation(self):
+        schedule = _zb_v()
+        with pytest.raises(ValueError):
+            monte_carlo_timeline(schedule, COSTS, SPEC, replicas=8,
+                                 ci_halfwidth=-1.0)
+        with pytest.raises(ValueError):
+            monte_carlo_timeline(schedule, COSTS, SPEC, replicas=8,
+                                 ci_halfwidth=1.0, min_replicas=1)
+
+
+class TestElasticOutcomeMetadata:
+    def test_interleaved_shrink_is_flagged_degraded(self):
+        schedule = build_schedule(ScheduleKind.INTERLEAVED, 4, 8, num_chunks=2)
+        outcome = simulate_rank_failure(schedule, COSTS, failed_rank=0,
+                                        failure_time_s=0.0)
+        assert outcome.replan_kind is ScheduleKind.ONE_F_ONE_B
+        assert outcome.degraded is True
+
+    def test_same_kind_shrink_is_not_degraded(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        outcome = simulate_rank_failure(schedule, COSTS, failed_rank=1,
+                                        failure_time_s=0.0)
+        assert outcome.replan_kind is ScheduleKind.ONE_F_ONE_B
+        assert outcome.degraded is False
+
+    def test_completed_run_reports_no_replan_kind(self):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        timeline = critical_path_timeline(schedule, [COSTS] * 4)
+        outcome = simulate_rank_failure(schedule, COSTS, failed_rank=0,
+                                        failure_time_s=timeline.total_s + 1.0)
+        assert outcome.replan_kind is None
+        assert outcome.degraded is False
+
+    @pytest.mark.parametrize("restart", [float("inf"), float("nan")])
+    def test_non_finite_restart_rejected(self, restart):
+        schedule = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        with pytest.raises(ValueError):
+            simulate_rank_failure(schedule, COSTS, failed_rank=0,
+                                  failure_time_s=1.0,
+                                  restart_overhead_s=restart)
+
+
+class TestSelectionStability:
+    def test_flip_accounting_with_seed_sensitive_scores(self):
+        """A genuine argmax flip: a system whose risk-adjusted winner
+        depends on the Monte-Carlo seed must report exactly the flipped
+        seeds, not a blanket 100%."""
+        from types import SimpleNamespace
+
+        baseline_choice = ParallelismConfig(tensor_parallel=1, micro_batches=1)
+        flipped_choice = ParallelismConfig(tensor_parallel=2, micro_batches=1)
+
+        class SeedSensitiveSystem(MemoSystem):
+            def run(self, workload):
+                if self.jitter is None and self.failures is None:
+                    return SimpleNamespace(parallel=baseline_choice)
+                choice = (baseline_choice if self.monte_carlo_seed % 2 == 0
+                          else flipped_choice)
+                return SimpleNamespace(parallel=choice)
+
+        system = SeedSensitiveSystem(jitter="0.05", risk_objective="p99")
+        workload = Workload("7B", tokens(64), 16)
+        stability = system.strategy_selection_stability(
+            workload, replicas=4, base_seed=0,
+        )
+        assert stability.baseline == baseline_choice
+        assert stability.selections == (
+            baseline_choice, flipped_choice, baseline_choice, flipped_choice,
+        )
+        assert stability.stability == 0.5
+        # The sweep restores the system's own seed and jitter afterwards.
+        assert system.monte_carlo_seed == 0
+        assert system.jitter is not None
+
+    def test_cross_seed_sweep_is_bit_identical_across_processes(self):
+        """The whole stability sweep -- baseline plus per-seed searches --
+        reproduces the same selections in a fresh interpreter."""
+        workload = Workload("7B", tokens(64), 8, global_batch_samples=32)
+        system = MemoSystem(
+            pipeline_schedule="auto", jitter="0.08", risk_objective="p99",
+            monte_carlo_replicas=2,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegenerateScheduleWarning)
+            local = system.strategy_selection_stability(
+                workload, replicas=2, base_seed=3,
+            )
+        script = (
+            "import json, warnings\n"
+            "from repro.config import tokens\n"
+            "from repro.parallel.strategy import DegenerateScheduleWarning\n"
+            "from repro.systems.base import Workload\n"
+            "from repro.systems.memo import MemoSystem\n"
+            "workload = Workload('7B', tokens(64), 8, global_batch_samples=32)\n"
+            "system = MemoSystem(pipeline_schedule='auto', jitter='0.08',"
+            " risk_objective='p99', monte_carlo_replicas=2)\n"
+            "with warnings.catch_warnings():\n"
+            "    warnings.simplefilter('ignore', DegenerateScheduleWarning)\n"
+            "    stability = system.strategy_selection_stability("
+            "workload, replicas=2, base_seed=3)\n"
+            "print(json.dumps([stability.baseline.describe()]"
+            " + [choice.describe() for choice in stability.selections]))\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True,
+        )
+        remote = json.loads(result.stdout)
+        assert remote == [local.baseline.describe()] + [
+            choice.describe() for choice in local.selections
+        ]
