@@ -393,8 +393,12 @@ def optimal_checkpoint_interval(checkpoint_write_s: float, system_mtbf_s: float)
     overhead when ``delta << M``.  Verified against
     :func:`simulate_time_to_train` on an interval grid in
     ``tests/test_failures.py``.  Returns ``inf`` (never checkpoint) when the
-    MTBF is infinite, and the write cost itself as a floor (checkpointing
-    more often than the write cost can never help).
+    MTBF is infinite, the write cost itself as a floor (checkpointing more
+    often than the write cost can never help), and ``0`` when the write is
+    free -- the continuous-checkpointing limit, which
+    :func:`simulate_time_to_train` models analytically (progress is durable
+    up to each interruption instant, so a failure never loses work and only
+    the recovery itself is paid).
     """
     if math.isnan(checkpoint_write_s) or checkpoint_write_s < 0:
         raise ValueError(
@@ -560,8 +564,10 @@ class TimeToTrainDistribution:
 
     ``samples`` are total wall-clock seconds to complete ``target_iterations``
     iterations under the failure process and recovery model; ``ideal_s`` is
-    the failure-free time (``target_iterations`` deterministic iterations),
-    a floor for every sample.  Percentiles use the same deterministic
+    the failure-free time of the *fastest* per-replica iteration time
+    (``target_iterations`` of it), a true floor for every sample even when a
+    jitter-composed per-replica sequence is walked.  Percentiles use the same
+    deterministic
     nearest-rank definition as
     :class:`repro.sim.stochastic.MakespanDistribution`.
     """
@@ -723,13 +729,19 @@ def simulate_time_to_train(
 
     * useful work accrues at full speed between interruptions; every
       ``interval`` seconds of useful work the job pauses
-      ``checkpoint_write_s`` to make the progress durable;
+      ``checkpoint_write_s`` to make the progress durable.  A free write
+      (interval ``0`` from :func:`optimal_checkpoint_interval`) is the
+      continuous-checkpointing limit: progress is durable up to every
+      interruption instant and a failure never loses work;
     * a **failure** loses the work since the last durable checkpoint and
       costs ``restart_overhead_s``; under an elastic recovery model the job
       instead continues on the surviving ranks *without* the restart gap, at
       throughput degraded by ``num_ranks / surviving``, until an inelastic
       event (a preemption, or attrition through ``min_rank_fraction``)
-      restarts it at full strength (rolling failures keep shrinking it);
+      restarts it at full strength (rolling failures keep shrinking it;
+      repeat arrivals from ranks already removed are ignored, and a
+      correlated set overlapping earlier casualties removes only its newly
+      failed ranks);
     * a **preemption** with a notice window long enough to write a
       checkpoint loses nothing (the checkpoint completes inside the notice);
       a shorter notice loses the uncheckpointed work like a failure.  Either
@@ -780,7 +792,9 @@ def simulate_time_to_train(
         if not math.isfinite(value) or value <= 0:
             raise ValueError(f"iteration times must be finite and positive (got {value})")
     node_size = gpus_per_node if gpus_per_node is not None else (spec.gpus_per_node or 8)
-    ideal_s = target_iterations * per_replica[0]
+    # The floor must hold for *every* replica, so a jitter-composed sequence
+    # anchors the ideal at its fastest iteration time.
+    ideal_s = target_iterations * min(per_replica)
     interval = recovery.interval_for(spec, num_ranks)
 
     def _stop_early(samples: Sequence[float]) -> bool:
@@ -813,6 +827,12 @@ def simulate_time_to_train(
 
     write = recovery.checkpoint_write_s
     restart = recovery.restart_overhead_s
+    # interval == 0 only arises from the Young/Daly form with a free write
+    # (an explicit checkpoint_interval_s must be positive): the walk models
+    # that limit as *continuous* checkpointing -- progress is durable up to
+    # every interruption instant, nothing is ever replayed, only the
+    # recovery itself is paid -- instead of stepping zero-length segments.
+    continuous = interval == 0.0
     min_ranks = max(int(math.ceil(recovery.min_rank_fraction * num_ranks)), 1)
     samples: List[float] = []
     counts: List[int] = []
@@ -825,6 +845,7 @@ def simulate_time_to_train(
         durable = 0.0        # useful-work seconds checkpointed (or finished)
         segment_start = 0.0  # wall time the current work segment began
         surviving = num_ranks
+        dead: set = set()    # ranks removed during elastic continuation
         interruptions = 0
         event = trace.next_event()
         while durable < target_work and clock < cap:
@@ -832,40 +853,54 @@ def simulate_time_to_train(
             # Wall time until the job finishes or the next checkpoint
             # completes, whichever is first, measured from segment_start.
             remaining = target_work - durable
-            if remaining <= interval or math.isinf(interval):
+            if continuous or remaining <= interval or math.isinf(interval):
                 segment_end = segment_start + remaining * slowdown
                 segment_durable = remaining
             else:
                 segment_end = segment_start + interval * slowdown + write
                 segment_durable = interval
             while event.time_s < segment_end:
-                interruptions += 1
                 lost_event = event
                 event = trace.next_event()
+                newly_dead = [
+                    r for r in lost_event.ranks if r < num_ranks and r not in dead
+                ]
+                if lost_event.kind == "failure" and not newly_dead:
+                    # Every rank in the event already failed during this
+                    # elastic continuation: the dead cannot fail again, the
+                    # job continues undisturbed.
+                    continue
+                interruptions += 1
                 # Work accrued in this segment since segment_start (work
                 # precedes the checkpoint write, so it accrues at 1/slowdown
                 # up to the segment's durable amount).
                 busy = max(lost_event.time_s - segment_start, 0.0)
                 worked = min(busy / slowdown, segment_durable)
-                if lost_event.kind == "preemption" and lost_event.notice_s >= write:
-                    # Proactive checkpoint inside the notice window: the
-                    # progress at the preemption instant is durable.
+                if continuous or (
+                    lost_event.kind == "preemption" and lost_event.notice_s >= write
+                ):
+                    # Proactive checkpoint inside the notice window (or free
+                    # continuous checkpointing): the progress at the
+                    # interruption instant is durable.
                     durable = min(durable + worked, target_work)
                 # Failures (and short-notice preemptions) lose the segment.
                 if (
                     recovery.elastic
                     and lost_event.kind == "failure"
-                    and surviving - len(lost_event.ranks) >= min_ranks
+                    and surviving - len(newly_dead) >= min_ranks
                 ):
                     # Elastic continuation: the surviving ranks restore the
                     # last checkpoint and keep going at degraded throughput
                     # without waiting out the restart overhead (there is no
-                    # replacement to wait for).
-                    surviving -= len([r for r in lost_event.ranks if r < num_ranks])
-                    surviving = max(surviving, min_ranks)
+                    # replacement to wait for).  Only ranks not already dead
+                    # shrink the job -- a correlated set overlapping earlier
+                    # casualties must not double-count attrition.
+                    dead.update(newly_dead)
+                    surviving = num_ranks - len(dead)
                     clock = lost_event.time_s
                 else:
                     surviving = num_ranks
+                    dead.clear()
                     clock = lost_event.time_s + restart
                 slowdown = num_ranks / surviving
                 segment_start = clock
@@ -874,7 +909,7 @@ def simulate_time_to_train(
                 while event.time_s < segment_start:
                     event = trace.next_event()
                 remaining = target_work - durable
-                if remaining <= interval or math.isinf(interval):
+                if continuous or remaining <= interval or math.isinf(interval):
                     segment_end = segment_start + remaining * slowdown
                     segment_durable = remaining
                 else:

@@ -38,6 +38,7 @@ from repro.sim.failures import (
     MAX_SLOWDOWN,
     NULL_FAILURES,
     TTRAIN_OBJECTIVES,
+    FailureEvent,
     FailureSpec,
     RecoveryModel,
     TimeToTrainDistribution,
@@ -346,6 +347,24 @@ class TestTimeToTrain:
                                       RECOVERY, replicas=6)
         assert dist.samples == (10.0, 20.0, 30.0, 10.0, 20.0, 30.0)
 
+    def test_ideal_is_a_floor_for_varying_per_replica_times(self):
+        """A jitter-composed per-replica sequence anchors the ideal at its
+        *fastest* iteration time, so the floor holds for every sample
+        (regression: replica 0's possibly slower time used to set it,
+        letting faster replicas undercut it and expected_slowdown drop
+        below 1)."""
+        dist = simulate_time_to_train((3.0, 1.0), 10, NULL_FAILURES, RECOVERY,
+                                      replicas=4)
+        assert dist.ideal_s == 10.0
+        assert dist.samples == (30.0, 10.0, 30.0, 10.0)
+        assert dist.expected_slowdown >= 1.0
+        noisy = simulate_time_to_train((3.0, 1.0, 2.0), 50, SPEC, RECOVERY,
+                                       num_ranks=4, replicas=9, seed=4)
+        assert noisy.ideal_s == 50.0
+        for sample in noisy.samples:
+            assert sample >= noisy.ideal_s
+        assert noisy.expected_slowdown >= 1.0
+
     def test_pathological_config_hits_the_cap(self):
         """MTBF far below the restart cycle: the walk reports the capped
         sample instead of spinning forever."""
@@ -354,6 +373,21 @@ class TestTimeToTrain:
         dist = simulate_time_to_train(1.0, 10, spec, recovery,
                                       num_ranks=8, replicas=2, seed=0)
         assert dist.samples == (10.0 * MAX_SLOWDOWN,) * 2
+
+    def test_free_checkpoint_write_terminates_and_loses_no_work(self):
+        """A free write (``--recovery write=0`` on the CLI) puts the
+        Young/Daly interval at 0 -- the continuous-checkpointing limit.
+        The walk must terminate (regression: zero-length segments once
+        looped forever, the cap bounds clock, not iterations) and a failure
+        must cost exactly the restart overhead, never lost work."""
+        spec = FailureSpec(mtbf_s=1000.0)
+        recovery = parse_recovery_spec("write=0,restart=100")
+        dist = simulate_time_to_train(1.0, 500, spec, recovery,
+                                      num_ranks=4, replicas=8, seed=3)
+        assert dist.checkpoint_interval_s == 0.0
+        assert any(count > 0 for count in dist.failure_counts)
+        for sample, count in zip(dist.samples, dist.failure_counts):
+            assert sample == pytest.approx(dist.ideal_s + count * 100.0)
 
     def test_long_notice_preemption_is_cheaper_than_no_notice(self):
         """A notice window >= the write cost makes progress durable at the
@@ -388,6 +422,42 @@ class TestTimeToTrain:
             num_ranks=8, replicas=16, seed=2,
         )
         assert elastic.mean_s < rigid.mean_s
+
+    def test_elastic_ignores_repeat_failures_of_dead_ranks(self, monkeypatch):
+        """During elastic continuation an already-dead rank keeps emitting
+        arrivals (its stream is lazy); those must not shrink the job again.
+        Scripted trace: a pair dies, an overlapping pair removes only its
+        one new rank, and a fully-dead repeat is ignored outright."""
+        import repro.sim.failures as failures_mod
+
+        scripted = [
+            FailureEvent(10.0, (0, 1), "failure", 0.0),
+            FailureEvent(20.0, (1, 2), "failure", 0.0),
+            FailureEvent(30.0, (0,), "failure", 0.0),
+        ]
+
+        class _ScriptedTrace:
+            def __init__(self, *args, **kwargs):
+                self._events = list(scripted)
+
+            def next_event(self):
+                if self._events:
+                    return self._events.pop(0)
+                return FailureEvent(math.inf, (0,), "failure", 0.0)
+
+        monkeypatch.setattr(failures_mod, "_LazyTrace", _ScriptedTrace)
+        recovery = RecoveryModel(checkpoint_write_s=5.0, restart_overhead_s=100.0,
+                                 checkpoint_interval_s=1e9, elastic=True,
+                                 min_rank_fraction=0.25)
+        dist = failures_mod.simulate_time_to_train(
+            1.0, 100, FailureSpec(mtbf_s=1e12), recovery,
+            num_ranks=8, replicas=1, seed=0,
+        )
+        # 0..10 at 8 ranks (work lost), 10..20 at 6 ranks (work lost), then
+        # 100 units of work at 5 survivors: 20 + 100 * 8/5.  The third event
+        # removes nobody and is not even counted as an interruption.
+        assert dist.failure_counts == (2,)
+        assert dist.samples[0] == pytest.approx(20.0 + 100.0 * 8.0 / 5.0)
 
     def test_rejects_bad_inputs(self):
         with pytest.raises(ValueError):
