@@ -79,7 +79,13 @@ def test_smoke_search_fastpath_speedup(benchmark):
     print(f"speedup {legacy_s / fast_s:.1f}x; selected: {fast.parallel.describe()} "
           f"({selected_schedule})")
     print(f"timeline cache: {caches['timelines'].hits} hits, "
-          f"{caches['timelines'].misses} misses")
+          f"{caches['timelines'].misses} misses; program cache: "
+          f"{caches['programs'].hits} hits, {caches['programs'].misses} misses")
+    # The deterministic search never compiles batch programs: only the
+    # Monte-Carlo layers route through the program cache, so a non-zero
+    # counter here would mean stochastic machinery leaked into the
+    # jitter-free path.
+    assert caches["programs"].hits == 0 and caches["programs"].misses == 0
 
     # Acceptance: unchanged selected strategy, unchanged numbers.
     assert fast.feasible and legacy.feasible

@@ -19,14 +19,27 @@ Runs the same reference workload through four search configurations:
   which collapses to deterministic scoring when the process is null); the
   same bit-for-bit guard as the stochastic arm.
 
-and writes ``BENCH_search.json`` with the wall-clocks, the schedule- and
-strategy-level work counters (simulated / pruned / evaluated) and the
-selected strategy of each arm.  Exits non-zero when the fast path is slower
-than the event engine, when the two arms disagree on the selected strategy or
-its iteration time, when the reference search prunes no strategies, or when
-the schedule-cache hit rate collapses (hits below misses would mean the
-wave-ratio key component fragmented the cache) -- the fast path must be a
-pure speedup, never a behaviour change.
+A fifth arm benchmarks the **Monte-Carlo replica throughput** of the
+stochastic layer on a fixed representative pipeline schedule (ZB-V, 4 stages,
+64 micro-batches -- the search winner itself runs PP=1 and has no pipeline
+schedule to replicate): the same ``monte_carlo_timeline`` call with the
+batched sweep over the compiled :class:`ScheduleProgram` forced off
+(``batch=False``, one scalar critical-path sweep per replica) and forced on
+(``batch=True``, all replicas in one vectorized sweep).  The two
+distributions must be bit-identical; the arm reports replicas/sec for both
+paths.  This arm runs *last* so its program-cache traffic never perturbs the
+deterministic arms' counter guards.
+
+Writes ``BENCH_search.json`` with the wall-clocks, the schedule- and
+strategy-level work counters (simulated / pruned / evaluated), the
+schedule/timeline/program cache counters and the selected strategy of each
+arm.  Exits non-zero when the fast path is slower than the event engine, when
+the two arms disagree on the selected strategy or its iteration time, when
+the reference search prunes no strategies, when the schedule-cache hit rate
+collapses (hits below misses would mean the wave-ratio key component
+fragmented the cache), when the batched stochastic path is not at least 3x
+the scalar one, or when the batched and scalar distributions diverge by a
+single bit -- the fast path must be a pure speedup, never a behaviour change.
 
 Usage::
 
@@ -43,7 +56,14 @@ import time
 from pathlib import Path
 
 from repro.config import tokens
-from repro.sim.fastpath import clear_fastpath_caches, fastpath_cache_info
+from repro.sim.fastpath import (
+    cached_build_schedule,
+    clear_fastpath_caches,
+    fastpath_cache_info,
+)
+from repro.sim.pipeline import StageCosts
+from repro.sim.schedules import ScheduleKind
+from repro.sim.stochastic import JitterSpec, monte_carlo_timeline
 from repro.systems.base import TrainingReport, Workload
 from repro.systems.megatron import MegatronSystem
 
@@ -52,6 +72,58 @@ from repro.systems.megatron import MegatronSystem
 #: search cost, which is the regime the fast path exists for.
 REFERENCE = {"model": "7B", "seqlen_k": 256, "gpus": 32, "global_batch": 1024}
 SMOKE = {"model": "7B", "seqlen_k": 256, "gpus": 16, "global_batch": 128}
+
+#: The Monte-Carlo arm's fixed schedule and noise model.  The reference
+#: search's winner runs PP=1 (no pipeline schedule, nothing to replicate), so
+#: the arm measures the replica throughput every PP>1 candidate pays during a
+#: risk-adjusted search: a ZB-V pipeline with a deep micro-batch stream, all
+#: transfer streams active, under a realistic mixed jitter spec.
+MC_REPLICAS = 64
+MC_STAGES = 4
+MC_MICRO_BATCHES = 64
+
+
+def run_monte_carlo_arm(repeats: int) -> dict:
+    """Best-of-N replica throughput of the stochastic layer, scalar vs batched."""
+    clear_fastpath_caches()
+    schedule = cached_build_schedule(
+        ScheduleKind.ZB_V, MC_STAGES, MC_MICRO_BATCHES, 2, None,
+    )
+    costs = StageCosts(
+        forward_s=0.012, backward_s=0.024, recompute_s=0.004,
+        p2p_bytes=64e6, offload_bytes=128e6, prefetch_bytes=128e6,
+        backward_weight_s=0.012,
+    )
+    spec = JitterSpec(
+        compute_sigma=0.08, straggler_prob=0.05, link_sigma=0.05,
+        swap_sigma=0.05,
+    )
+    kwargs = dict(
+        replicas=MC_REPLICAS, seed=0,
+        p2p_bandwidth_bytes_per_s=25e9, p2p_latency_s=5e-6,
+        pcie_bandwidth_bytes_per_s=16e9,
+    )
+    scalar_seconds = batched_seconds = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        scalar = monte_carlo_timeline(schedule, costs, spec, batch=False, **kwargs)
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        batched = monte_carlo_timeline(schedule, costs, spec, batch=True, **kwargs)
+        batched_seconds = min(batched_seconds, time.perf_counter() - started)
+    programs = fastpath_cache_info()["programs"]
+    speedup = scalar_seconds / batched_seconds if batched_seconds > 0 else float("inf")
+    return {
+        "schedule": f"zb_v p={MC_STAGES} m={MC_MICRO_BATCHES}",
+        "replicas": MC_REPLICAS,
+        "scalar_seconds": round(scalar_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "scalar_replicas_per_s": round(MC_REPLICAS / scalar_seconds, 1),
+        "batched_replicas_per_s": round(MC_REPLICAS / batched_seconds, 1),
+        "speedup": round(speedup, 2),
+        "bit_identical": scalar == batched,
+        "program_cache": {"hits": programs.hits, "misses": programs.misses},
+    }
 
 
 def run_search(workload: Workload, repeats: int, **system_kwargs):
@@ -119,6 +191,9 @@ def main(argv=None) -> int:
     failures_seconds, failures_off = run_search(
         workload, args.repeats, failures="0", risk_objective="ttrain_p99")
     failures_caches = fastpath_cache_info()
+    # Fifth arm last: its program-cache traffic must not leak into the
+    # deterministic arms' bit-for-bit counter guards above.
+    monte_carlo = run_monte_carlo_arm(args.repeats)
 
     speedup = legacy_seconds / fast_seconds if fast_seconds > 0 else float("inf")
     unchanged = (
@@ -155,6 +230,7 @@ def main(argv=None) -> int:
         "fast_path": arm_payload(fast_seconds, fast),
         "stochastic_disabled": arm_payload(disabled_seconds, disabled),
         "failures_disabled": arm_payload(failures_seconds, failures_off),
+        "monte_carlo": monte_carlo,
         "speedup": round(speedup, 2),
         "selected_strategy_unchanged": unchanged,
         "stochastic_layer_inert_when_disabled": stochastic_inert,
@@ -179,6 +255,18 @@ def main(argv=None) -> int:
           f"inert: {stochastic_inert}")
     print(f"  failure layer disabled arm: {failures_seconds:.3f}s, "
           f"inert: {failures_inert}")
+    print(f"  caches: schedules {cache_counts['schedules']['hits']}/"
+          f"{cache_counts['schedules']['misses']}, timelines "
+          f"{cache_counts['timelines']['hits']}/"
+          f"{cache_counts['timelines']['misses']}, programs "
+          f"{cache_counts['programs']['hits']}/"
+          f"{cache_counts['programs']['misses']} (hits/misses)")
+    print(f"  monte-carlo ({monte_carlo['schedule']}, "
+          f"{monte_carlo['replicas']} replicas): scalar "
+          f"{monte_carlo['scalar_replicas_per_s']}/s, batched "
+          f"{monte_carlo['batched_replicas_per_s']}/s, speedup "
+          f"{monte_carlo['speedup']}x, bit-identical: "
+          f"{monte_carlo['bit_identical']}")
     print(f"  wrote {args.output}")
 
     if not unchanged:
@@ -207,6 +295,14 @@ def main(argv=None) -> int:
               f"(hits {schedules.hits} < misses {schedules.misses}) -- the "
               "wave-ratio key component is fragmenting the cache",
               file=sys.stderr)
+        return 1
+    if not monte_carlo["bit_identical"]:
+        print("FAIL: batched Monte-Carlo distribution diverged from the "
+              "scalar per-replica loop", file=sys.stderr)
+        return 1
+    if monte_carlo["speedup"] < 3.0:
+        print("FAIL: batched stochastic path is below 3x the scalar one "
+              f"(got {monte_carlo['speedup']}x)", file=sys.stderr)
         return 1
     return 0
 

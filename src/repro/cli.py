@@ -60,6 +60,7 @@ from repro.experiments.table3 import TABLE3_SEQUENCE_LENGTHS_K, TABLE3_WORKLOADS
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
 from repro.systems.base import Workload
+from repro.systems.metrics import format_wall_clock
 from repro.systems.deepspeed import DeepSpeedSystem
 from repro.systems.megatron import MegatronSystem
 from repro.systems.memo import MemoSystem
@@ -112,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="re-run the strategy search under this many extra "
                                "seeds and report how often the deterministic winner "
                                "survives")
+    estimate.add_argument("--pareto", action="store_true",
+                          help="print each system's Pareto frontier over "
+                               "(iteration time, peak GPU memory, host-offload "
+                               "traffic); the fastest point is the selected "
+                               "strategy")
 
     plan = subparsers.add_parser("plan", help="run the MEMO pipeline (profiler/planner/alpha)")
     plan.add_argument("--model", default="7B", choices=["7B", "13B", "30B", "65B"])
@@ -337,6 +343,18 @@ def _command_estimate(args) -> int:
                 print(f"{'':<14}   selection stability: {stability.stability:.0%} of "
                       f"{len(stability.selections)} seeds keep the "
                       f"deterministic winner")
+            if args.pareto and report.pareto_frontier is not None:
+                frontier = report.pareto_frontier
+                print(f"{'':<14}   pareto frontier "
+                      f"({len(frontier)} non-dominated strategies):")
+                print(f"{'':<14}   {'wall clock':>12} {'GPU mem':>9} "
+                      f"{'host traffic':>12}  strategy")
+                for point in frontier:
+                    marker = "*" if point.is_winner else " "
+                    print(f"{'':<14}   {format_wall_clock(point.iteration_time_s):>12} "
+                          f"{point.peak_memory_bytes / GiB:>8.1f}G "
+                          f"{point.host_offload_bytes / GiB:>11.1f}G "
+                          f"{marker} {point.parallel.describe()}")
         else:
             print(f"{report.system:<14} {report.wall_clock:>8}")
     return 0

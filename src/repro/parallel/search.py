@@ -175,13 +175,141 @@ class SearchStats:
     schedules_pruned: int = 0
     strategies_evaluated: int = 0
     strategies_pruned: int = 0
+    pareto_frontier: Optional["ParetoFrontier"] = None
 
     def add(self, other: "SearchStats") -> None:
-        """Accumulate another sweep's counters into this one."""
+        """Accumulate another sweep's counters into this one.
+
+        Counters accumulate; the frontier does not -- it describes one
+        search's candidate set, so the merged stats keep the first non-empty
+        frontier seen (replicated searches all produce the same one).
+        """
         self.schedules_simulated += other.schedules_simulated
         self.schedules_pruned += other.schedules_pruned
         self.strategies_evaluated += other.strategies_evaluated
         self.strategies_pruned += other.strategies_pruned
+        if self.pareto_frontier is None:
+            self.pareto_frontier = other.pareto_frontier
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One feasible strategy's coordinates in the trade-off space.
+
+    The three minimised axes are iteration time, peak per-GPU device memory
+    and per-GPU host-offload traffic -- the quantities a fleet planner
+    trades against each other when the fastest plan does not fit a target
+    fleet's memory or host-link budget.
+    """
+
+    parallel: ParallelismConfig
+    iteration_time_s: float
+    peak_memory_bytes: float
+    host_offload_bytes: float
+    schedule_kind: Optional[ScheduleKind] = None
+    is_winner: bool = False
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weak domination: no-worse on every axis, strictly better on one."""
+        if (
+            self.iteration_time_s > other.iteration_time_s
+            or self.peak_memory_bytes > other.peak_memory_bytes
+            or self.host_offload_bytes > other.host_offload_bytes
+        ):
+            return False
+        return (
+            self.iteration_time_s < other.iteration_time_s
+            or self.peak_memory_bytes < other.peak_memory_bytes
+            or self.host_offload_bytes < other.host_offload_bytes
+        )
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """Non-dominated feasible strategies, ordered fastest first.
+
+    ``points[0]`` (the time-optimal corner) is always the search's argmax
+    winner: the winner is exempt from domination so the frontier can never
+    contradict the selected strategy, even when another candidate ties its
+    iteration time with strictly less memory (the argmax breaks such ties
+    by candidate order, which is a pruning-invariance guarantee this module
+    must not disturb).  All other points are mutually non-dominated and
+    not dominated by any candidate.
+    """
+
+    points: Tuple[ParetoPoint, ...]
+
+    @property
+    def time_optimal(self) -> Optional[ParetoPoint]:
+        """The fastest point -- by construction the search's argmax winner."""
+        return self.points[0] if self.points else None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[ParetoPoint]:
+        return iter(self.points)
+
+
+def pareto_frontier(
+    points: Sequence[ParetoPoint],
+    winner: Optional[ParallelismConfig] = None,
+) -> ParetoFrontier:
+    """Filter feasible candidate points down to the non-dominated frontier.
+
+    ``winner`` marks the search's argmax strategy: its point is kept
+    unconditionally (and flagged ``is_winner``) so the frontier's
+    time-optimal corner always equals the selected strategy.  Remaining
+    points survive only if no other candidate dominates them; candidates
+    with byte-for-byte identical coordinates collapse to one representative
+    (the winner if it is among them, else the earliest in input order --
+    the same tie-break :func:`find_best_strategy` uses).  Ordering is
+    ``(iteration time, winner first, input order)``, which is deterministic
+    and puts the winner at index 0 -- it has the minimal feasible time by
+    construction, and the tie-break favours it over an equal-time point.
+    """
+    tagged = [
+        ParetoPoint(
+            parallel=point.parallel,
+            iteration_time_s=point.iteration_time_s,
+            peak_memory_bytes=point.peak_memory_bytes,
+            host_offload_bytes=point.host_offload_bytes,
+            schedule_kind=point.schedule_kind,
+            is_winner=(winner is not None and point.parallel == winner),
+        )
+        for point in points
+    ]
+
+    def coords(point: ParetoPoint) -> Tuple[float, float, float]:
+        return (
+            point.iteration_time_s,
+            point.peak_memory_bytes,
+            point.host_offload_bytes,
+        )
+
+    surviving = []
+    for index, point in enumerate(tagged):
+        if not point.is_winner:
+            if any(other.dominates(point) for other in tagged if other is not point):
+                continue
+            duplicated = any(
+                coords(other) == coords(point)
+                and (other.is_winner or (not point.is_winner and earlier < index))
+                for earlier, other in enumerate(tagged)
+                if other is not point
+            )
+            if duplicated:
+                continue
+        surviving.append(point)
+    order = {id(point): index for index, point in enumerate(tagged)}
+    surviving.sort(
+        key=lambda point: (
+            point.iteration_time_s,
+            not point.is_winner,
+            order[id(point)],
+        )
+    )
+    return ParetoFrontier(points=tuple(surviving))
 
 
 #: Nesting depth of :func:`deduplicated_degenerate_warnings` -- the

@@ -754,7 +754,14 @@ def simulate_time_to_train(
     or a per-replica sequence (e.g. jittered makespans plus serial overhead:
     replica ``r`` walks with iteration time ``iteration_time_s[r %% len]``),
     composing the failure process with the jitter layer without coupling
-    their random streams.
+    their random streams.  The jitter-composed sequence the training systems
+    hand in comes from *one* batched sweep over the candidate's compiled
+    :class:`~repro.sim.fastpath.ScheduleProgram`
+    (:func:`repro.sim.stochastic.monte_carlo_timeline` stacks all replicas
+    into :func:`~repro.sim.fastpath.critical_path_timeline_batch` calls);
+    the walk itself stays per replica -- its arrival streams are
+    data-dependent (each interruption reshapes the rest of the walk), so
+    there is no fixed instruction trace to batch.
 
     Variance-aware budgeting: with ``ci_halfwidth`` set, the walk stops
     adding replicas once at least ``min_replicas`` are in and the

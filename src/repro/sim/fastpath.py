@@ -32,7 +32,8 @@ Why the sweep is exact and not a relaxation:
   reaches the head of its rank's queue, is ``max(T_submit(prev), forward_end)``
   in closed form (the engine pokes a rank at exactly those two times).
 
-On top of the evaluator sit two layers used by the strategy search:
+On top of the evaluator sit three layers used by the strategy search and
+the Monte-Carlo machinery:
 
 * **memoization** -- :func:`cached_build_schedule` caches validated
   :class:`~repro.sim.schedules.PipelineSchedule` objects by their
@@ -49,13 +50,25 @@ On top of the evaluator sit two layers used by the strategy search:
   of pipeline-fill + the rank's total work + gradient-drain for fused
   schedules, and the single-micro-batch traversal path), used by the
   candidate loops to skip simulating schedules that provably cannot beat the
-  incumbent.
+  incumbent;
+* **batch execution** -- the sweep's control flow is purely structural
+  (every branch is decided by event-fired booleans or the placement map,
+  never a cost value), so :func:`compile_schedule_program` lowers a
+  schedule once into a cost-free :class:`ScheduleProgram` instruction
+  stream (cached per structure key) and
+  :func:`critical_path_timeline_batch` replays it over a whole batch of
+  per-stage cost vectors with elementwise numpy recurrences, bit-identical
+  per row to :func:`critical_path_timeline` -- the engine behind
+  Monte-Carlo replica batching in :mod:`repro.sim.stochastic`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.sim.pipeline import (
     PipelineOpRecord,
@@ -397,6 +410,415 @@ def critical_path_timeline(
     )
 
 
+# ------------------------------------------------------------ batch fast path
+#
+# The scalar sweep above interleaves two concerns: *which* recurrence step runs
+# next (the worklist order, the break points where a dependency has not fired
+# yet, the visit at which a backward's prefetch is issued) and *what* floats
+# that step combines.  The first concern is pure structure -- every branch that
+# steers the control flow tests event-fired state (``is None``) or placement
+# (``dst_rank != rank``), never a cost value -- so it can be resolved once per
+# schedule and replayed for any number of cost vectors.  That is what a
+# :class:`ScheduleProgram` is: the scalar worklist algorithm traced into a
+# linear instruction stream, and :func:`critical_path_timeline_batch` replays
+# the stream with one ``(B,)``-shaped float64 vector per value.  Each replayed
+# instruction mirrors the scalar arithmetic term for term (``np.maximum`` is
+# IEEE ``max`` elementwise, ``+`` is the same addition, masked byte branches
+# use ``np.where`` so a zero-byte row takes exactly the scalar's skipped-branch
+# value), which keeps every row of the batch bit-identical to a scalar
+# :func:`critical_path_timeline` call on that row's costs -- the fast == event
+# invariant survives per draw, not merely in aggregate.
+
+#: Batch-instruction opcodes (trace positions, not schedule ops: a backward's
+#: prefetch issue is its own instruction because the scalar issues it at an
+#: *earlier* visit than the backward's execution when the gradient lags).
+_OP_FORWARD = 0
+_OP_WEIGHT = 1
+_OP_BACKWARD = 2
+_OP_BACKWARD_INPUT = 3
+_OP_PREFETCH = 4
+
+
+@dataclass(frozen=True)
+class ScheduleProgram:
+    """A :class:`~repro.sim.schedules.PipelineSchedule` lowered for batching.
+
+    ``instructions`` is the scalar sweep's visit order flattened into a linear
+    stream: ``(opcode, rank, virtual_stage, key, send_key, cross, is_last)``
+    tuples, where ``key = virtual_stage * m + micro_batch`` indexes the
+    dependency tables, ``send_key`` is the downstream (forward) or upstream
+    (gradient) table slot fed by the op (``-1`` for none) and ``cross`` marks
+    a hand-off that leaves the rank (the only case a P2P hop can be charged).
+    The program is pure structure -- cost-free, so one compile serves every
+    cost vector -- and immutable; :func:`compile_schedule_program` memoizes it
+    by the same ``(kind, p, m, v, wave ratio)`` key as the schedule cache.
+    """
+
+    schedule: PipelineSchedule
+    instructions: Tuple[Tuple[int, int, int, int, int, bool, bool], ...]
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+
+def _compile_program(schedule: PipelineSchedule) -> ScheduleProgram:
+    """Trace the scalar worklist sweep into a linear instruction stream.
+
+    Runs exactly the control flow of :func:`critical_path_timeline` -- same
+    worklist discipline, same break conditions, same first-head-visit prefetch
+    issue -- but tracks only *whether* each dependency event has fired, never
+    a time.  Every branch the scalar takes is decided by that boolean state or
+    by placement, so the trace is valid for every cost vector.
+    """
+    p = schedule.num_stages
+    m = schedule.num_micro_batches
+    last_stage = schedule.num_virtual_stages - 1
+    vs_rank = schedule.virtual_stage_ranks
+    size = schedule.num_virtual_stages * m
+    forward_ready = [True] * m + [False] * (size - m)
+    forward_done = [False] * size
+    grad_ready = [False] * size
+    prefetch_issued = [False] * size
+    pointer = [0] * p
+    instructions: List[Tuple[int, int, int, int, int, bool, bool]] = []
+
+    kind_forward = OpKind.FORWARD
+    kind_weight = OpKind.BACKWARD_WEIGHT
+    worklist = list(range(p))
+    while worklist:
+        rank = worklist.pop()
+        ops = schedule.rank_ops[rank]
+        num_ops = len(ops)
+        index = pointer[rank]
+        while index < num_ops:
+            op = ops[index]
+            kind, _, _, micro_batch, virtual_stage = op
+            key = virtual_stage * m + micro_batch
+            if kind is kind_forward:
+                if not forward_ready[key]:
+                    break
+                forward_done[key] = True
+                send_key = -1
+                cross = False
+                if virtual_stage < last_stage:
+                    send_key = key + m
+                    if vs_rank[virtual_stage + 1] != rank:
+                        cross = True
+                        worklist.append(vs_rank[virtual_stage + 1])
+                    forward_ready[send_key] = True
+                instructions.append(
+                    (_OP_FORWARD, rank, virtual_stage, key, send_key, cross, False)
+                )
+            elif kind is kind_weight:
+                instructions.append(
+                    (_OP_WEIGHT, rank, virtual_stage, -1, -1, False, False)
+                )
+            else:  # BACKWARD or BACKWARD_INPUT
+                if not forward_done[key]:
+                    break
+                if not prefetch_issued[key]:
+                    # The scalar issues the prefetch the first time the
+                    # backward heads its rank's queue with the forward done,
+                    # even when the gradient then stalls the visit -- so the
+                    # issue is a trace position of its own.
+                    prefetch_issued[key] = True
+                    instructions.append(
+                        (_OP_PREFETCH, rank, virtual_stage, key, -1, False, False)
+                    )
+                is_last = virtual_stage == last_stage
+                if not is_last and not grad_ready[key]:
+                    break
+                send_key = -1
+                cross = False
+                if virtual_stage > 0:
+                    send_key = key - m
+                    if vs_rank[virtual_stage - 1] != rank:
+                        cross = True
+                        worklist.append(vs_rank[virtual_stage - 1])
+                    grad_ready[send_key] = True
+                opcode = (
+                    _OP_BACKWARD_INPUT if kind is OpKind.BACKWARD_INPUT
+                    else _OP_BACKWARD
+                )
+                instructions.append(
+                    (opcode, rank, virtual_stage, key, send_key, cross, is_last)
+                )
+            index += 1
+        pointer[rank] = index
+
+    stuck = [
+        (rank, schedule.rank_ops[rank][pointer[rank]])
+        for rank in range(p)
+        if pointer[rank] < len(schedule.rank_ops[rank])
+    ]
+    if stuck:
+        summary = ", ".join(f"rank {rank}: {op}" for rank, op in stuck)
+        raise RuntimeError(f"pipeline schedule deadlocked at {summary}")
+    return ScheduleProgram(schedule=schedule, instructions=tuple(instructions))
+
+
+@lru_cache(maxsize=2048)
+def _cached_schedule_program(
+    kind: ScheduleKind,
+    num_stages: int,
+    num_micro_batches: int,
+    num_chunks: int,
+    wave_ratio: Optional[WaveRatio],
+) -> ScheduleProgram:
+    schedule = cached_build_schedule(
+        kind, num_stages, num_micro_batches, num_chunks, wave_ratio,
+    )
+    return _compile_program(schedule)
+
+
+def compile_schedule_program(schedule: PipelineSchedule) -> ScheduleProgram:
+    """The (memoized) :class:`ScheduleProgram` of a schedule.
+
+    Canonical current-generation schedules route through an ``lru_cache``
+    keyed on the same ``(kind, p, m, v, wave ratio)`` structure key as
+    :func:`cached_build_schedule` -- the program is cost-free, so all cost
+    batches of a structure share one compile.  Hand-built schedules, and
+    canonical instances surviving a cache clear (their generation stamp is
+    retired), are compiled directly: a stale or custom op list must never
+    alias a cache entry, mirroring :func:`evaluate_schedule`'s routing rule.
+    """
+    if (
+        getattr(schedule, "_canonical", False)
+        and getattr(schedule, "_canonical_generation", 0) == _CACHE_GENERATION
+    ):
+        ratio = schedule.wave_ratio
+        return _cached_schedule_program(
+            schedule.kind, schedule.num_stages, schedule.num_micro_batches,
+            schedule.num_chunks,
+            None if ratio == UNIT_WAVE_RATIO else ratio,
+        )
+    return _compile_program(schedule)
+
+
+@dataclass(frozen=True)
+class BatchTimeline:
+    """Per-row timing results of one :func:`critical_path_timeline_batch` call.
+
+    Row ``b`` holds exactly the floats a scalar
+    :func:`critical_path_timeline` call on cost vector ``b`` reports --
+    bit-identical, which is what lets the Monte-Carlo layers consume prefixes
+    of a batch interchangeably with scalar draws.  Only the fields the
+    replicated consumers read are materialised (makespan, busy times, bubble);
+    peak memory is cost-structure data the scalar path already owns.
+    """
+
+    schedule: PipelineSchedule
+    total_s: np.ndarray              # (B,)
+    rank_compute_busy_s: np.ndarray  # (p, B)
+    rank_d2h_busy_s: np.ndarray      # (p, B)
+    rank_h2d_busy_s: np.ndarray      # (p, B)
+    bubble_fraction: np.ndarray      # (B,)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.total_s.shape[0])
+
+
+def critical_path_timeline_batch(
+    program: ScheduleProgram,
+    cost_batch: Sequence[Sequence[StageCosts]],
+    p2p_bandwidth_bytes_per_s: float = float("inf"),
+    p2p_latency_s: float = 0.0,
+    pcie_bandwidth_bytes_per_s: float = 16e9,
+) -> BatchTimeline:
+    """Propagate a batch of cost vectors through one compiled schedule DAG.
+
+    ``cost_batch`` holds ``B`` per-virtual-stage cost vectors sharing the
+    program's schedule structure (each vector is broadcast/validated exactly
+    like the scalar path's ``costs`` argument); transfer parameters are
+    shared across the batch, matching how the Monte-Carlo layers perturb
+    durations and byte counts but never the fabric.  Returns a
+    :class:`BatchTimeline` whose row ``b`` is bit-identical to
+    ``critical_path_timeline(program.schedule, cost_batch[b], ...)``.
+
+    Why each row stays exact: the replay performs the scalar recurrence's
+    ``max``/``+`` operations in the same order with ``np.maximum``/``+`` on
+    float64 vectors (elementwise IEEE operations, identical to the scalar
+    ones); cost-dependent byte branches (offload, prefetch, P2P payloads) are
+    handled per row with masks whose untaken side reproduces the scalar's
+    skipped-branch value (``x + 0.0 == x`` for the non-negative times here,
+    and an unissued prefetch is ``-inf``, the identity of ``max``).
+    """
+    schedule = program.schedule
+    if p2p_bandwidth_bytes_per_s <= 0:
+        raise ValueError("p2p_bandwidth_bytes_per_s must be positive")
+    if p2p_latency_s < 0:
+        raise ValueError("p2p_latency_s must be non-negative")
+    if pcie_bandwidth_bytes_per_s <= 0:
+        raise ValueError("pcie_bandwidth_bytes_per_s must be positive")
+    rows = [_normalise_costs(schedule, costs) for costs in cost_batch]
+    if not rows:
+        raise ValueError("cost_batch must hold at least one cost vector")
+    batch = len(rows)
+    p = schedule.num_stages
+    m = schedule.num_micro_batches
+    num_virtual = schedule.num_virtual_stages
+
+    # Per-virtual-stage cost planes, shape (num_virtual, B).  Durations are
+    # pre-summed with the scalar path's exact expressions (computed per
+    # element in python, so the same float additions).
+    forward_dur = np.empty((num_virtual, batch))
+    fused_dur = np.empty((num_virtual, batch))
+    input_dur = np.empty((num_virtual, batch))
+    weight_dur = np.empty((num_virtual, batch))
+    offload_bytes = np.empty((num_virtual, batch))
+    prefetch_bytes = np.empty((num_virtual, batch))
+    p2p_bytes = np.empty((num_virtual, batch))
+    for b, per_stage in enumerate(rows):
+        for vs, stage in enumerate(per_stage):
+            forward_dur[vs, b] = stage.forward_s
+            fused_dur[vs, b] = stage.recompute_s + stage.backward_s
+            input_dur[vs, b] = stage.recompute_s + stage.split_backward_input_s
+            weight_dur[vs, b] = stage.split_backward_weight_s
+            offload_bytes[vs, b] = stage.offload_bytes
+            prefetch_bytes[vs, b] = stage.prefetch_bytes
+            p2p_bytes[vs, b] = stage.p2p_bytes
+    durations = (forward_dur, weight_dur, fused_dur, input_dur)
+
+    # Cost-dependent branch state, resolved per stage plane: the scalar's
+    # ``bytes > 0`` branches become masks, and planes that are zero across
+    # the whole batch skip their stream bookkeeping entirely (taking exactly
+    # the scalar's untaken branch on every row).
+    offload_mask = offload_bytes > 0.0
+    offload_any = offload_mask.any(axis=1)
+    offload_transfer = offload_bytes / pcie_bandwidth_bytes_per_s
+    prefetch_mask = prefetch_bytes > 0.0
+    prefetch_any = prefetch_mask.any(axis=1)
+    prefetch_transfer = prefetch_bytes / pcie_bandwidth_bytes_per_s
+    track_now = bool(prefetch_any.any())
+    hop_mask = p2p_bytes > 0.0
+    hop_any = hop_mask.any(axis=1)
+    # ``arrival = end + (latency + bytes / bandwidth)`` for a charged hop;
+    # a zero-byte row's hop is 0.0, and ``end + 0.0 == end`` exactly for the
+    # non-negative times involved, so one unconditional add per send suffices.
+    hop = np.where(hop_mask, p2p_latency_s + p2p_bytes / p2p_bandwidth_bytes_per_s, 0.0)
+
+    zeros_row = np.zeros(batch)
+    neg_inf = np.full(batch, -np.inf)
+    avail: List[np.ndarray] = [zeros_row] * p
+    busy = np.zeros((p, batch))
+    busy_rows = [busy[rank] for rank in range(p)]
+    d2h_avail: List[np.ndarray] = [zeros_row] * p
+    d2h_busy = np.zeros((p, batch))
+    h2d_avail: List[np.ndarray] = [zeros_row] * p
+    h2d_busy = np.zeros((p, batch))
+    now: List[np.ndarray] = [zeros_row] * p
+    size = num_virtual * m
+    # Dependency tables hold row references; the trace guarantees every read
+    # slot was written (or is an initial-ready forward), so no ``None`` state
+    # survives to execution -- except ``prefetch_end``, whose ``None`` means
+    # "no row of the batch ever issues here".
+    forward_ready: List[Optional[np.ndarray]] = [zeros_row] * m + [None] * (size - m)
+    forward_done: List[Optional[np.ndarray]] = [None] * size
+    grad_ready: List[Optional[np.ndarray]] = [None] * size
+    prefetch_end: List[Optional[np.ndarray]] = [None] * size
+
+    maximum = np.maximum
+    where = np.where
+    for opcode, rank, vs, key, send_key, cross, is_last in program.instructions:
+        if opcode == _OP_FORWARD:
+            ready = forward_ready[key]
+            duration = forward_dur[vs]
+            end = maximum(ready, avail[rank])
+            end += duration
+            avail[rank] = end
+            busy_rows[rank] += duration
+            if track_now:
+                now[rank] = maximum(now[rank], ready)
+            forward_done[key] = end
+            if offload_any[vs]:
+                transfer = offload_transfer[vs]
+                mask = offload_mask[vs]
+                started = maximum(end, d2h_avail[rank])
+                started += transfer
+                d2h_avail[rank] = where(mask, started, d2h_avail[rank])
+                d2h_busy[rank] = where(mask, d2h_busy[rank] + transfer, d2h_busy[rank])
+            if send_key >= 0:
+                if cross and hop_any[vs]:
+                    forward_ready[send_key] = end + hop[vs]
+                else:
+                    forward_ready[send_key] = end
+        elif opcode == _OP_WEIGHT:
+            # The scalar submits W at ``max(now, avail)``; ``now`` is the max
+            # of dependency arrivals of previously executed ops on the rank,
+            # each of which already lower-bounds ``avail`` (every op ends at
+            # or after its own dependencies), so the submit time *is*
+            # ``avail`` -- no clock read needed.
+            duration = weight_dur[vs]
+            end = avail[rank] + duration
+            avail[rank] = end
+            busy_rows[rank] += duration
+        elif opcode == _OP_PREFETCH:
+            if prefetch_any[vs]:
+                forward_end = forward_done[key]
+                issue = maximum(now[rank], forward_end)
+                transfer = prefetch_transfer[vs]
+                started = maximum(issue, h2d_avail[rank])
+                started += transfer
+                mask = prefetch_mask[vs]
+                h2d_avail[rank] = where(mask, started, h2d_avail[rank])
+                h2d_busy[rank] = where(mask, h2d_busy[rank] + transfer, h2d_busy[rank])
+                # Rows that issue read their transfer end; rows that do not
+                # keep -inf, the identity of the ``max`` merging it below.
+                prefetch_end[key] = where(mask, started, neg_inf)
+        else:  # _OP_BACKWARD or _OP_BACKWARD_INPUT
+            forward_end = forward_done[key]
+            if is_last:
+                earliest = forward_end  # loss gradient follows the forward
+            else:
+                earliest = maximum(grad_ready[key], forward_end)
+            if track_now:
+                # The scalar folds forward_end and grad into the clock; their
+                # max is ``earliest`` before the prefetch merge.
+                now[rank] = maximum(now[rank], earliest)
+            fetched = prefetch_end[key]
+            if fetched is not None:
+                earliest = maximum(earliest, fetched)
+            duration = input_dur[vs] if opcode == _OP_BACKWARD_INPUT else fused_dur[vs]
+            end = maximum(earliest, avail[rank])
+            end += duration
+            avail[rank] = end
+            busy_rows[rank] += duration
+            if send_key >= 0:
+                if cross and hop_any[vs - 1]:
+                    grad_ready[send_key] = end + hop[vs - 1]
+                else:
+                    grad_ready[send_key] = end
+
+    total = avail[0].copy()
+    for rank in range(1, p):
+        maximum(total, avail[rank], out=total)
+    for stream in (d2h_avail, h2d_avail):
+        for rank in range(p):
+            maximum(total, stream[rank], out=total)
+
+    # Bubble fraction, mirroring PipelineTimeline.bubble_fraction: python
+    # ``sum`` over the rank list is sequential in rank order, as is this loop.
+    busy_sum = busy[0].copy()
+    for rank in range(1, p):
+        busy_sum += busy[rank]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bubble = where(
+            total > 0.0,
+            np.maximum(1.0 - busy_sum / (p * total), 0.0),
+            0.0,
+        )
+    return BatchTimeline(
+        schedule=schedule,
+        total_s=total,
+        rank_compute_busy_s=busy,
+        rank_d2h_busy_s=d2h_busy,
+        rank_h2d_busy_s=h2d_busy,
+        bubble_fraction=bubble,
+    )
+
+
 class FastPathMismatchError(AssertionError):
     """The fast evaluator and the event-engine oracle disagreed.
 
@@ -639,21 +1061,24 @@ def pipeline_lower_bound_for_shape(
 
 
 def fastpath_cache_info() -> Dict[str, object]:
-    """Hit/miss statistics of the schedule and timeline caches (CacheInfo tuples)."""
+    """Hit/miss statistics of the schedule, timeline and program caches."""
     return {
         "schedules": cached_build_schedule.cache_info(),
         "timelines": _cached_fast_timeline.cache_info(),
+        "programs": _cached_schedule_program.cache_info(),
     }
 
 
 def clear_fastpath_caches() -> None:
-    """Drop all memoized schedules and timelines (tests and benchmarks).
+    """Drop all memoized schedules, timelines and programs (tests, benches).
 
     Also advances the cache generation: schedules returned before the clear
     keep their ``_canonical`` marker but their generation stamp is retired,
     so :func:`evaluate_schedule` stops routing them through the (refilled)
-    timeline cache -- previously such survivors could alias instances from a
-    dead generation.
+    timeline cache and :func:`compile_schedule_program` stops routing them
+    through the (refilled) program cache -- previously such survivors could
+    alias instances from a dead generation.
     """
     cached_build_schedule.cache_clear()  # bumps the generation
     _cached_fast_timeline.cache_clear()
+    _cached_schedule_program.cache_clear()

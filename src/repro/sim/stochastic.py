@@ -49,13 +49,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.sim.fastpath import (
     _check_against_oracle,
+    compile_schedule_program,
     critical_path_timeline,
+    critical_path_timeline_batch,
     pipeline_lower_bound,
 )
 from repro.sim.pipeline import (
@@ -505,6 +507,7 @@ def monte_carlo_timeline(
     ci_halfwidth: Optional[float] = None,
     objective: str = "mean",
     min_replicas: int = MIN_SEQUENTIAL_REPLICAS,
+    batch: Optional[bool] = None,
 ) -> MakespanDistribution:
     """Evaluate a schedule under ``replicas`` seeded jitter draws.
 
@@ -533,6 +536,19 @@ def monte_carlo_timeline(
     ``validate=True`` additionally runs every draw through the discrete-event
     oracle and raises :class:`~repro.sim.fastpath.FastPathMismatchError` on
     any divergence -- the ``fast == event`` invariant, enforced per draw.
+
+    Batching: with ``batch=None`` (the default) all replicas of a candidate
+    are stacked into :func:`~repro.sim.fastpath.critical_path_timeline_batch`
+    calls over the schedule's compiled :class:`ScheduleProgram` whenever more
+    than one replica is requested and ``validate`` is off; ``batch=False``
+    forces the scalar per-replica loop and ``batch=True`` forces batching.
+    The two paths are bit-identical -- every batch row reproduces the
+    scalar sweep's float operations exactly, and under ``ci_halfwidth`` the
+    batched path evaluates chunks (``min_replicas`` first, then doubling)
+    but applies the stop test sample by sample in replica order, so it stops
+    at exactly the scalar loop's replica and discards any surplus draws of
+    the final chunk.  ``validate=True`` always takes the scalar loop: the
+    oracle cross-check is inherently per draw.
     """
     if replicas < 1:
         raise ValueError("replicas must be >= 1")
@@ -553,35 +569,75 @@ def monte_carlo_timeline(
         p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
         p2p_latency_s=p2p_latency_s,
     )
-    samples = []
-    bubbles = []
-    for replica in range(replicas):
-        drawn = perturb_stage_costs(
-            per_stage, spec, replica_rng(seed, replica), vs_rank=vs_rank,
-        )
-        timeline = critical_path_timeline(
-            schedule, drawn,
-            p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
-            p2p_latency_s=p2p_latency_s,
-            pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
-        )
-        if validate:
-            oracle = simulate_pipeline(
-                schedule, list(drawn),
-                p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
-                p2p_latency_s=p2p_latency_s,
-                pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
-            )
-            _check_against_oracle(timeline, oracle)
-        samples.append(timeline.total_s)
-        bubbles.append(timeline.bubble_fraction)
-        if (
+    use_batch = batch if batch is not None else (replicas > 1 and not validate)
+    if validate:
+        use_batch = False  # the oracle cross-check is per draw by nature
+    samples: List[float] = []
+    bubbles: List[float] = []
+
+    def _should_stop() -> bool:
+        return (
             ci_halfwidth is not None
             and len(samples) >= min_replicas
             and len(samples) < replicas
             and distribution_ci_halfwidth(samples, objective) <= ci_halfwidth
-        ):
-            break
+        )
+
+    if use_batch:
+        program = compile_schedule_program(schedule)
+        next_replica = 0
+        stopped = False
+        while next_replica < replicas and not stopped:
+            if ci_halfwidth is None:
+                chunk = replicas - next_replica
+            elif next_replica == 0:
+                chunk = min(min_replicas, replicas)
+            else:
+                chunk = min(next_replica, replicas - next_replica)
+            drawn_rows = [
+                perturb_stage_costs(
+                    per_stage, spec,
+                    replica_rng(seed, next_replica + offset),
+                    vs_rank=vs_rank,
+                )
+                for offset in range(chunk)
+            ]
+            result = critical_path_timeline_batch(
+                program, drawn_rows,
+                p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+                p2p_latency_s=p2p_latency_s,
+                pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+            )
+            for offset in range(chunk):
+                samples.append(float(result.total_s[offset]))
+                bubbles.append(float(result.bubble_fraction[offset]))
+                if _should_stop():
+                    stopped = True
+                    break
+            next_replica += chunk
+    else:
+        for replica in range(replicas):
+            drawn = perturb_stage_costs(
+                per_stage, spec, replica_rng(seed, replica), vs_rank=vs_rank,
+            )
+            timeline = critical_path_timeline(
+                schedule, drawn,
+                p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+                p2p_latency_s=p2p_latency_s,
+                pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+            )
+            if validate:
+                oracle = simulate_pipeline(
+                    schedule, list(drawn),
+                    p2p_bandwidth_bytes_per_s=p2p_bandwidth_bytes_per_s,
+                    p2p_latency_s=p2p_latency_s,
+                    pcie_bandwidth_bytes_per_s=pcie_bandwidth_bytes_per_s,
+                )
+                _check_against_oracle(timeline, oracle)
+            samples.append(timeline.total_s)
+            bubbles.append(timeline.bubble_fraction)
+            if _should_stop():
+                break
     return MakespanDistribution(
         samples=tuple(samples),
         bubble_samples=tuple(bubbles),

@@ -38,12 +38,15 @@ from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
 from repro.parallel.memory_model import MemoryBreakdown, estimate_memory
 from repro.parallel.search import (
     PIPELINE_SCHEDULE_CANDIDATES,
+    ParetoFrontier,
+    ParetoPoint,
     SearchStats,
     StrategySearchSpace,
     cannot_beat,
     deduplicated_degenerate_warnings,
     enumerate_strategies,
     find_best_strategy,
+    pareto_frontier,
     prune_evaluation_order,
     resolve_schedule_shape,
     viable_schedule_kind,
@@ -170,6 +173,11 @@ class TrainingReport:
     #: Cross-seed stability of the selected strategy -- populated when the
     #: system was constructed with ``stability_replicas > 0``.
     selection_stability: Optional["SelectionStability"] = None
+    #: Non-dominated feasible strategies over (iteration time, peak memory,
+    #: host-offload traffic).  The time-optimal corner is always ``parallel``
+    #: (the argmax winner); the rest are the slower-but-leaner alternatives a
+    #: fleet planner can fall back to.  ``None`` when no strategy is feasible.
+    pareto_frontier: Optional[ParetoFrontier] = None
 
     @property
     def wall_clock(self) -> str:
@@ -608,6 +616,22 @@ class TrainingSystem(ABC):
                 strategies_pruned=stats.strategies_pruned,
             )
         evaluation = evaluations[best.parallel]
+        frontier_points = [
+            ParetoPoint(
+                parallel=parallel,
+                iteration_time_s=candidate.iteration_time_s,
+                peak_memory_bytes=float(candidate.memory.total_bytes),
+                host_offload_bytes=float(candidate.memory.host_offload_bytes),
+                schedule_kind=(
+                    candidate.pipeline.schedule.kind
+                    if candidate.pipeline is not None else None
+                ),
+            )
+            for parallel, candidate in evaluations.items()
+            if candidate.feasible and candidate.memory is not None
+        ]
+        frontier = pareto_frontier(frontier_points, winner=best.parallel)
+        stats.pareto_frontier = frontier
         mfu = compute_mfu(
             model, workload.sequence_length, workload.global_batch_samples,
             workload.num_gpus, cluster.gpu, evaluation.iteration_time_s,
@@ -641,6 +665,12 @@ class TrainingSystem(ABC):
             )
         if pruned:
             notes.append(f"schedule sweep: {simulated} simulated, {pruned} pruned")
+        if len(frontier) > 1:
+            notes.append(
+                f"pareto frontier: {len(frontier)} of {len(frontier_points)} "
+                f"feasible strategies non-dominated "
+                f"(time x memory x host traffic)"
+            )
         if stats.strategies_pruned:
             notes.append(
                 f"strategy search: {stats.strategies_evaluated} evaluated, "
@@ -677,6 +707,7 @@ class TrainingSystem(ABC):
             makespan_distribution=evaluation.distribution,
             time_to_train=evaluation.time_to_train,
             selection_stability=stability,
+            pareto_frontier=frontier,
         )
 
     def strategy_selection_stability(

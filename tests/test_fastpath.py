@@ -17,7 +17,9 @@ from repro.sim.fastpath import (
     _check_against_oracle,
     cached_build_schedule,
     clear_fastpath_caches,
+    compile_schedule_program,
     critical_path_timeline,
+    critical_path_timeline_batch,
     evaluate_schedule,
     fastpath_cache_info,
     pipeline_lower_bound,
@@ -285,3 +287,99 @@ class TestCliEngineFlag:
     def test_validate_flag_runs_clean(self, capsys):
         assert main(self.BASE + ["--validate"]) == 0
         assert "1f1b" in capsys.readouterr().out
+
+
+class TestScheduleProgramCache:
+    """PR 9: the compiled batch program rides the same structure key and
+    generation discipline as the schedule cache."""
+
+    def setup_method(self):
+        clear_fastpath_caches()
+
+    def test_compile_returns_shared_program(self):
+        schedule = cached_build_schedule(ScheduleKind.ZB_H1, 3, 6, 1)
+        first = compile_schedule_program(schedule)
+        second = compile_schedule_program(schedule)
+        assert first is second
+        info = fastpath_cache_info()
+        assert info["programs"].misses == 1
+        assert info["programs"].hits == 1
+
+    def test_clear_retires_the_program_generation(self):
+        """Mirrors the PR 6 generation-retirement tests: a schedule surviving
+        a cache clear keeps its canonical marker but must bypass the program
+        cache -- its stamp belongs to a dead generation."""
+        stale = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2)
+        compile_schedule_program(stale)
+        clear_fastpath_caches()
+        bypass = compile_schedule_program(stale)
+        info = fastpath_cache_info()
+        # The stale compile must not touch the refilled cache at all.
+        assert info["programs"].hits == 0
+        assert info["programs"].misses == 0
+        fresh = cached_build_schedule(ScheduleKind.ZB_V, 4, 8, 2)
+        cached = compile_schedule_program(fresh)
+        assert cached is not bypass
+        assert cached.instructions == bypass.instructions
+
+    def test_hand_built_schedule_never_hits_the_program_cache(self):
+        hand_built = build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8)
+        assert not getattr(hand_built, "_canonical", False)
+        program = compile_schedule_program(hand_built)
+        info = fastpath_cache_info()
+        assert info["programs"].hits == 0
+        assert info["programs"].misses == 0
+        batch = critical_path_timeline_batch(program, [(COSTS,) * 4])
+        assert batch.total_s[0] == critical_path_timeline(hand_built, COSTS).total_s
+
+    def test_clear_fastpath_caches_drops_programs(self):
+        compile_schedule_program(cached_build_schedule(ScheduleKind.GPIPE, 2, 4, 1))
+        assert fastpath_cache_info()["programs"].currsize == 1
+        clear_fastpath_caches()
+        assert fastpath_cache_info()["programs"].currsize == 0
+
+
+class TestTimelineCacheReusePin:
+    """Satellite (PR 9): why the timeline cache's hit rate is structurally low.
+
+    ``BENCH_search.json`` shows the schedule cache reusing 216 times while
+    timelines manage 23 hits / 31 misses.  Instrumenting the reference search
+    shows why, and these tests pin it: the timeline key must include the full
+    per-stage cost vector (the makespan depends on every float in it), and
+    distinct strategies sharing a schedule *structure* virtually never
+    produce byte-identical cost vectors -- each embeds its own TP/CP/offload
+    dependent durations.  Timeline hits only come from cost-equivalent
+    strategy aliases (e.g. candidates whose knob change does not move the
+    stage costs) and exact re-evaluations.  The structural reuse the
+    timeline cache cannot express is exactly what the program cache
+    captures: one compile per structure, one cheap execute per cost vector.
+    """
+
+    def setup_method(self):
+        clear_fastpath_caches()
+
+    def test_same_structure_different_costs_cannot_share_a_timeline(self):
+        schedule = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8, 1)
+        other_costs = StageCosts(forward_s=1.0, backward_s=2.0 + 1e-12)
+        evaluate_schedule(schedule, COSTS)
+        evaluate_schedule(schedule, other_costs)
+        info = fastpath_cache_info()
+        # Two distinct cost vectors are two timeline entries -- even a 1 ulp
+        # cost change must miss, the makespan is a function of the costs.
+        assert info["timelines"].misses == 2
+        assert info["timelines"].hits == 0
+        # ... while the structure-keyed program cache shares one compile.
+        compile_schedule_program(schedule)
+        compile_schedule_program(schedule)
+        assert fastpath_cache_info()["programs"].misses == 1
+        assert fastpath_cache_info()["programs"].hits == 1
+
+    def test_identical_costs_do_share_a_timeline(self):
+        schedule = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8, 1)
+        first = evaluate_schedule(schedule, COSTS)
+        # A cost-equivalent alias: a fresh but equal cost object must hit.
+        second = evaluate_schedule(
+            schedule, StageCosts(forward_s=1.0, backward_s=2.0),
+        )
+        assert first is second
+        assert fastpath_cache_info()["timelines"].hits == 1

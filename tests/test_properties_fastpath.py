@@ -15,8 +15,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.parallel.strategy import ParallelismConfig
 from repro.parallel.search import SearchStats, best_pipeline_schedule, find_best_strategy
+from repro.sim.failures import FailureSpec, RecoveryModel, simulate_time_to_train
 from repro.sim.fastpath import (
+    compile_schedule_program,
     critical_path_timeline,
+    critical_path_timeline_batch,
     evaluate_schedule,
     pipeline_lower_bound,
 )
@@ -24,7 +27,9 @@ from repro.sim.pipeline import StageCosts, simulate_pipeline
 from repro.sim.schedules import (
     ScheduleKind, WAVE_RATIO_BUCKETS, WaveRatio, build_schedule,
 )
-from repro.sim.stochastic import JitterSpec, perturb_stage_costs, replica_rng
+from repro.sim.stochastic import (
+    JitterSpec, monte_carlo_timeline, perturb_stage_costs, replica_rng,
+)
 
 
 @st.composite
@@ -230,6 +235,143 @@ class TestStochasticComposesWithFastPath:
         )
         assert perturbed.total_s >= deterministic.total_s
         assert perturbed.total_s >= bound
+
+
+class TestBatchFastPathBitIdentity:
+    """The batched evaluator replays a compiled ScheduleProgram over a stack
+    of cost rows with elementwise numpy arithmetic that mirrors the scalar
+    sweep operation for operation, so every row of a batch must equal --
+    ``==`` on floats, not approx -- the scalar ``critical_path_timeline`` of
+    that row alone, across all five schedule kinds, random wave ratios and
+    perturbed heterogeneous costs."""
+
+    @given(
+        simulation_cases(), jitter_specs(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_batch_row_matches_the_scalar_sweep(self, case, spec, seed, draws):
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
+        # Row 0 is the unperturbed base; the rest are independent jitter
+        # draws, exactly how monte_carlo_timeline builds its chunks.
+        rows = [costs] + [
+            perturb_stage_costs(
+                costs, spec, replica_rng(seed, replica),
+                vs_rank=schedule.virtual_stage_ranks,
+            )
+            for replica in range(draws)
+        ]
+        program = compile_schedule_program(schedule)
+        batch = critical_path_timeline_batch(
+            program, rows,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        assert batch.batch_size == len(rows)
+        for index, row in enumerate(rows):
+            scalar = critical_path_timeline(
+                schedule, row,
+                p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+                pcie_bandwidth_bytes_per_s=pcie,
+            )
+            assert float(batch.total_s[index]) == scalar.total_s
+            assert float(batch.bubble_fraction[index]) == scalar.bubble_fraction
+            for rank in range(p):
+                assert float(batch.rank_compute_busy_s[rank][index]) == \
+                    scalar.rank_compute_busy_s[rank]
+                assert float(batch.rank_d2h_busy_s[rank][index]) == \
+                    scalar.rank_d2h_busy_s[rank]
+                assert float(batch.rank_h2d_busy_s[rank][index]) == \
+                    scalar.rank_h2d_busy_s[rank]
+
+
+class TestMonteCarloBatchingInvariance:
+    """monte_carlo_timeline with ``batch=True`` stacks all replicas into one
+    critical_path_timeline_batch call; the resulting MakespanDistribution --
+    and anything derived from it downstream, like TimeToTrainDistribution --
+    must be bit-identical to the per-draw scalar loop, including under
+    variance-aware sequential stopping (adaptive samples stay an exact
+    prefix of the fixed-cap run's)."""
+
+    FAILURES = FailureSpec(mtbf_s=5000.0, correlated_prob=0.3,
+                           preempt_every_s=20000.0, preempt_notice_s=60.0)
+    RECOVERY = RecoveryModel(checkpoint_write_s=20.0, restart_overhead_s=100.0)
+
+    @given(
+        simulation_cases(), jitter_specs(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched_distribution_equals_scalar(self, case, spec, seed):
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
+        kwargs = dict(
+            replicas=5, seed=seed,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        scalar = monte_carlo_timeline(schedule, costs, spec, batch=False, **kwargs)
+        batched = monte_carlo_timeline(schedule, costs, spec, batch=True, **kwargs)
+        # Frozen dataclasses of float tuples: == is exact, field for field.
+        assert batched == scalar
+        # The auto default (replicas > 1, no validation) takes the batch
+        # path and must land on the same distribution.
+        assert monte_carlo_timeline(schedule, costs, spec, **kwargs) == scalar
+
+    @given(
+        simulation_cases(), jitter_specs(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from([1e9, 1e-9]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sequential_stopping_is_an_exact_prefix(self, case, spec, seed, halfwidth):
+        """A huge CI bound stops right at min_replicas, a tiny one runs to
+        the cap -- either way the batched adaptive run equals the scalar
+        adaptive run, and its samples are a prefix of the fixed-cap run's
+        (stopping early changes how many draws are kept, never which)."""
+        (kind, p, m, v, ratio), costs, bandwidth, latency, pcie = case
+        schedule = build_schedule(kind, p, m, num_chunks=v, wave_ratio=ratio)
+        kwargs = dict(
+            replicas=6, seed=seed, min_replicas=2,
+            p2p_bandwidth_bytes_per_s=bandwidth, p2p_latency_s=latency,
+            pcie_bandwidth_bytes_per_s=pcie,
+        )
+        full = monte_carlo_timeline(schedule, costs, spec, batch=True, **kwargs)
+        adaptive_scalar = monte_carlo_timeline(
+            schedule, costs, spec, batch=False, ci_halfwidth=halfwidth, **kwargs,
+        )
+        adaptive_batched = monte_carlo_timeline(
+            schedule, costs, spec, batch=True, ci_halfwidth=halfwidth, **kwargs,
+        )
+        assert adaptive_batched == adaptive_scalar
+        kept = len(adaptive_batched.samples)
+        assert 2 <= kept <= 6
+        assert adaptive_batched.samples == full.samples[:kept]
+        assert adaptive_batched.bubble_samples == full.bubble_samples[:kept]
+
+    @given(jitter_specs(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_time_to_train_is_identical_from_batched_samples(self, spec, seed):
+        """The failure walk consumes the jitter-composed iteration-time
+        sequence sample by sample, so feeding it the batched distribution
+        must reproduce the scalar-fed TimeToTrainDistribution exactly."""
+        schedule = build_schedule(ScheduleKind.ZB_V, 4, 8, num_chunks=2)
+        costs = StageCosts(forward_s=1.0, backward_s=2.0, p2p_bytes=1e6,
+                           backward_weight_s=0.8)
+        kwargs = dict(replicas=6, seed=seed,
+                      p2p_bandwidth_bytes_per_s=25e9, p2p_latency_s=5e-6)
+        scalar = monte_carlo_timeline(schedule, costs, spec, batch=False, **kwargs)
+        batched = monte_carlo_timeline(schedule, costs, spec, batch=True, **kwargs)
+        walks = [
+            simulate_time_to_train(
+                distribution.samples, 64, self.FAILURES, recovery=self.RECOVERY,
+                num_ranks=8, replicas=4, seed=seed, gpus_per_node=4,
+            )
+            for distribution in (scalar, batched)
+        ]
+        assert walks[0] == walks[1]
 
 
 class TestLowerBoundProperties:
