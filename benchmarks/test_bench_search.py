@@ -133,3 +133,85 @@ def test_smoke_search_fastpath_scales_with_batch(benchmark):
     # The gap must not shrink as the schedules grow (0.8 tolerance: both
     # ratios are wall-clock measurements and CI runners are noisy).
     assert rows[-1][1] / rows[-1][2] > 0.8 * (rows[0][1] / rows[0][2])
+
+
+FLEET_GLOBAL_BATCHES = (256, 512, 1024, 2048)
+FLEET_WARM_FLOOR = 2.0
+FLEET_REPEATS = 2
+
+
+def test_smoke_fleet_parallel_warm_speedup(benchmark):
+    """Fleet planning: parallel-warm >= 2x serial-cold, answers bit-identical.
+
+    The floor must hold even on a single-core runner: the win comes from the
+    persisted fast-path caches (schedule structures, timelines, stage
+    profiles reused across runs), not from process parallelism -- which is
+    also why parallel-cold is only required to beat serial-cold when the
+    machine actually has more than one core.
+    """
+    import os
+    import tempfile
+    from pathlib import Path
+
+    from repro.fleet import WorkloadGrid, plan_fleet
+
+    grid = WorkloadGrid.from_spec({
+        "axes": {"model": [MODEL], "seqlen_k": [SEQLEN_K], "gpus": [16],
+                 "global_batch": list(FLEET_GLOBAL_BATCHES)},
+    })
+
+    def drive():
+        with tempfile.TemporaryDirectory(prefix="bench-fleet-") as root:
+            warm_dir = Path(root) / "warm"
+            serial_s = cold_s = warm_s = float("inf")
+            serial = warm = None
+            for repeat in range(FLEET_REPEATS):
+                clear_fastpath_caches()
+                started = time.perf_counter()
+                report = plan_fleet(grid, workers=1,
+                                    cache_dir=warm_dir if repeat == 0
+                                    else Path(root) / f"serial-{repeat}")
+                if time.perf_counter() - started < serial_s:
+                    serial_s = time.perf_counter() - started
+                    serial = report
+                clear_fastpath_caches()
+                started = time.perf_counter()
+                report = plan_fleet(grid, workers=2,
+                                    cache_dir=Path(root) / f"cold-{repeat}")
+                cold_s = min(cold_s, time.perf_counter() - started)
+            for _ in range(FLEET_REPEATS):
+                clear_fastpath_caches()
+                started = time.perf_counter()
+                report = plan_fleet(grid, workers=2, cache_dir=warm_dir)
+                if time.perf_counter() - started < warm_s:
+                    warm_s = time.perf_counter() - started
+                    warm = report
+            clear_fastpath_caches()
+            standalone = [
+                grid.search.build_system().run(point.workload())
+                for point in grid.points
+            ]
+        return serial_s, cold_s, warm_s, serial, warm, standalone
+
+    serial_s, cold_s, warm_s, serial, warm, standalone = run_once(benchmark, drive)
+
+    print(f"\n=== fleet planning: {len(grid.points)} points "
+          f"({MODEL}, {SEQLEN_K}K, 16 GPUs) ===")
+    print(f"serial-cold {serial_s:.2f}s, parallel-cold {cold_s:.2f}s, "
+          f"parallel-warm {warm_s:.2f}s ({serial_s / warm_s:.1f}x warm, "
+          f"{warm.loaded_entries} cache entries loaded)")
+
+    # Every driver reproduces the standalone single-workload answers exactly.
+    for index, reference in enumerate(standalone):
+        for report in (serial, warm):
+            outcome = report.outcomes[index]
+            assert outcome.ok
+            assert outcome.report.parallel == reference.parallel
+            assert outcome.report.iteration_time_s == reference.iteration_time_s
+    # The disk cache actually primed the warm run, and the warmth pays: the
+    # CI-enforced floor of the PR.
+    assert warm.loaded_entries > 0
+    assert serial_s / warm_s >= FLEET_WARM_FLOOR
+    # Parallelism itself must help wherever it can.
+    if (os.cpu_count() or 1) > 1:
+        assert cold_s <= serial_s

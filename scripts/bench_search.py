@@ -19,6 +19,17 @@ Runs the same reference workload through four search configurations:
   which collapses to deterministic scoring when the process is null); the
   same bit-for-bit guard as the stochastic arm.
 
+A sixth arm benchmarks the **fleet planner** (``repro plan-fleet``): the same
+small workload grid through three drivers -- serial with cold caches,
+parallel (2 workers) with cold caches, and parallel against the disk cache a
+previous run persisted.  Every per-point strategy and iteration time must be
+bit-identical across the three drivers *and* to a standalone single-workload
+search; parallel-warm must be at least 2x serial-cold (the warmth wins even
+on a single core, where parallelism itself cannot), and parallel-cold must
+beat serial-cold when the machine has more than one core.  The arm runs
+last, alongside the Monte-Carlo arm, so its cache traffic never perturbs the
+deterministic arms' counter guards.
+
 A fifth arm benchmarks the **Monte-Carlo replica throughput** of the
 stochastic layer on a fixed representative pipeline schedule (ZB-V, 4 stages,
 64 micro-batches -- the search winner itself runs PP=1 and has no pipeline
@@ -51,6 +62,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -81,6 +93,95 @@ SMOKE = {"model": "7B", "seqlen_k": 256, "gpus": 16, "global_batch": 128}
 MC_REPLICAS = 64
 MC_STAGES = 4
 MC_MICRO_BATCHES = 64
+
+#: The fleet arm's grid: one production-sized workload swept over global
+#: batches, so each point's schedule sweep is heavy enough that cache warmth
+#: (not process parallelism) decides the parallel-warm floor -- the floor
+#: must hold on single-core CI runners too.
+FLEET_GLOBAL_BATCHES = (256, 512, 1024, 2048)
+FLEET_WARM_FLOOR = 2.0
+
+
+def run_fleet_arm(spec: dict, repeats: int) -> dict:
+    """Serial-cold vs parallel-cold vs parallel-warm fleet planning.
+
+    Cold sub-arms get a fresh cache directory per run; the warm sub-arm
+    replans against the payload the first serial-cold run persisted.  All
+    three must agree bit-for-bit with standalone single-workload searches.
+    """
+    import tempfile
+
+    from repro.fleet import WorkloadGrid, plan_fleet
+
+    grid = WorkloadGrid.from_spec({
+        "axes": {
+            "model": [spec["model"]],
+            "seqlen_k": [spec["seqlen_k"]],
+            "gpus": [spec["gpus"]],
+            "global_batch": list(FLEET_GLOBAL_BATCHES),
+        },
+    })
+
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as root:
+        serial_seconds = parallel_cold_seconds = parallel_warm_seconds = float("inf")
+        serial = parallel_cold = parallel_warm = None
+        warm_dir = Path(root) / "warm"
+        for repeat in range(repeats):
+            clear_fastpath_caches()
+            started = time.perf_counter()
+            report = plan_fleet(grid, workers=1,
+                                cache_dir=warm_dir if repeat == 0
+                                else Path(root) / f"cold-serial-{repeat}")
+            if time.perf_counter() - started < serial_seconds:
+                serial_seconds = time.perf_counter() - started
+                serial = report
+
+            clear_fastpath_caches()
+            started = time.perf_counter()
+            report = plan_fleet(grid, workers=2,
+                                cache_dir=Path(root) / f"cold-parallel-{repeat}")
+            if time.perf_counter() - started < parallel_cold_seconds:
+                parallel_cold_seconds = time.perf_counter() - started
+                parallel_cold = report
+
+        for _ in range(repeats):
+            clear_fastpath_caches()
+            started = time.perf_counter()
+            report = plan_fleet(grid, workers=2, cache_dir=warm_dir)
+            if time.perf_counter() - started < parallel_warm_seconds:
+                parallel_warm_seconds = time.perf_counter() - started
+                parallel_warm = report
+
+        # Ground truth: standalone single-workload searches, cold caches.
+        clear_fastpath_caches()
+        bit_identical = True
+        for index, point in enumerate(grid.points):
+            standalone = grid.search.build_system().run(point.workload())
+            for report in (serial, parallel_cold, parallel_warm):
+                outcome = report.outcomes[index]
+                if (not outcome.ok
+                        or outcome.report.parallel != standalone.parallel
+                        or outcome.report.iteration_time_s
+                        != standalone.iteration_time_s):
+                    bit_identical = False
+
+    warm_speedup = (serial_seconds / parallel_warm_seconds
+                    if parallel_warm_seconds > 0 else float("inf"))
+    return {
+        "grid": {"model": spec["model"], "seqlen_k": spec["seqlen_k"],
+                 "gpus": spec["gpus"],
+                 "global_batches": list(FLEET_GLOBAL_BATCHES)},
+        "points": len(grid.points),
+        "serial_cold_seconds": round(serial_seconds, 4),
+        "parallel_cold_seconds": round(parallel_cold_seconds, 4),
+        "parallel_warm_seconds": round(parallel_warm_seconds, 4),
+        "parallel_warm_speedup": round(warm_speedup, 2),
+        "cache_entries_saved": serial.saved_entries,
+        "cache_entries_loaded_warm": parallel_warm.loaded_entries,
+        "bit_identical": bit_identical,
+        "warnings_collated": len(serial.warnings),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def run_monte_carlo_arm(repeats: int) -> dict:
@@ -191,9 +292,10 @@ def main(argv=None) -> int:
     failures_seconds, failures_off = run_search(
         workload, args.repeats, failures="0", risk_objective="ttrain_p99")
     failures_caches = fastpath_cache_info()
-    # Fifth arm last: its program-cache traffic must not leak into the
+    # Fifth and sixth arms last: their cache traffic must not leak into the
     # deterministic arms' bit-for-bit counter guards above.
     monte_carlo = run_monte_carlo_arm(args.repeats)
+    fleet = run_fleet_arm(spec, args.repeats)
 
     speedup = legacy_seconds / fast_seconds if fast_seconds > 0 else float("inf")
     unchanged = (
@@ -231,6 +333,7 @@ def main(argv=None) -> int:
         "stochastic_disabled": arm_payload(disabled_seconds, disabled),
         "failures_disabled": arm_payload(failures_seconds, failures_off),
         "monte_carlo": monte_carlo,
+        "fleet": fleet,
         "speedup": round(speedup, 2),
         "selected_strategy_unchanged": unchanged,
         "stochastic_layer_inert_when_disabled": stochastic_inert,
@@ -267,6 +370,13 @@ def main(argv=None) -> int:
           f"{monte_carlo['batched_replicas_per_s']}/s, speedup "
           f"{monte_carlo['speedup']}x, bit-identical: "
           f"{monte_carlo['bit_identical']}")
+    print(f"  fleet ({fleet['points']} points): serial-cold "
+          f"{fleet['serial_cold_seconds']:.2f}s, parallel-cold "
+          f"{fleet['parallel_cold_seconds']:.2f}s, parallel-warm "
+          f"{fleet['parallel_warm_seconds']:.2f}s "
+          f"({fleet['parallel_warm_speedup']}x warm speedup, "
+          f"{fleet['cache_entries_loaded_warm']} cache entries loaded), "
+          f"bit-identical: {fleet['bit_identical']}")
     print(f"  wrote {args.output}")
 
     if not unchanged:
@@ -303,6 +413,21 @@ def main(argv=None) -> int:
     if monte_carlo["speedup"] < 3.0:
         print("FAIL: batched stochastic path is below 3x the scalar one "
               f"(got {monte_carlo['speedup']}x)", file=sys.stderr)
+        return 1
+    if not fleet["bit_identical"]:
+        print("FAIL: a fleet driver (serial-cold, parallel-cold or "
+              "parallel-warm) diverged from the standalone single-workload "
+              "search", file=sys.stderr)
+        return 1
+    if fleet["parallel_warm_speedup"] < FLEET_WARM_FLOOR:
+        print("FAIL: parallel-warm fleet planning is below "
+              f"{FLEET_WARM_FLOOR}x serial-cold "
+              f"(got {fleet['parallel_warm_speedup']}x)", file=sys.stderr)
+        return 1
+    if (fleet["cpu_count"] or 1) > 1 and (
+            fleet["parallel_cold_seconds"] > fleet["serial_cold_seconds"]):
+        print("FAIL: parallel-cold fleet planning slower than serial-cold "
+              "on a multi-core machine", file=sys.stderr)
         return 1
     return 0
 

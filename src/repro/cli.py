@@ -13,9 +13,10 @@ Usage::
     python -m repro.cli figure6
     python -m repro.cli figure11a
     python -m repro.cli convergence
+    python -m repro.cli plan-fleet --grid examples/fleet_grid.json --workers 4
 
 Each experiment subcommand prints the regenerated table or an ASCII rendering
-of the figure's series.
+of the figure's series; ``plan-fleet`` emits a machine-readable JSON report.
 """
 
 from __future__ import annotations
@@ -238,6 +239,23 @@ def build_parser() -> argparse.ArgumentParser:
         "convergence", help="regenerate Figure 11(d) (loss-curve equivalence)",
     )
     convergence.add_argument("--iterations", type=int, default=25)
+
+    plan_fleet = subparsers.add_parser(
+        "plan-fleet",
+        help="batch strategy search over a workload grid (parallel, disk-cached)",
+    )
+    plan_fleet.add_argument("--grid", required=True, metavar="FILE",
+                            help="grid spec file (.json, or .yaml with PyYAML); "
+                                 "see docs/fleet-planner.md for the grammar")
+    plan_fleet.add_argument("--workers", type=int, default=1,
+                            help="worker processes (<=1 runs in-process)")
+    plan_fleet.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="cross-run cache directory "
+                                 "(default ~/.cache/repro-planner)")
+    plan_fleet.add_argument("--no-cache", action="store_true",
+                            help="neither load nor save the disk cache")
+    plan_fleet.add_argument("--output", default=None, metavar="FILE",
+                            help="write the JSON report here instead of stdout")
     return parser
 
 
@@ -766,6 +784,46 @@ def _command_convergence(args) -> int:
     return 0
 
 
+def _command_plan_fleet(args) -> int:
+    from repro.fleet import GridSpecError, WorkloadGrid, plan_fleet
+
+    if args.workers < 0:
+        print(f"error: --workers must be >= 0 (got {args.workers})", file=sys.stderr)
+        return 2
+    try:
+        grid = WorkloadGrid.from_file(args.grid)
+    except FileNotFoundError:
+        print(f"error: --grid: no such file: {args.grid}", file=sys.stderr)
+        return 2
+    except GridSpecError as error:
+        print(f"error: --grid: {error}", file=sys.stderr)
+        return 2
+
+    def progress(outcome):
+        status = "ok" if outcome.ok else "FAILED"
+        print(f"[{status}] {outcome.point.label()} ({outcome.duration_s:.2f}s)",
+              file=sys.stderr)
+
+    report = plan_fleet(
+        grid,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_disk_cache=not args.no_cache,
+        progress=progress,
+    )
+    text = report.to_json()
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output} ({len(report.outcomes)} points, "
+              f"{len(report.failed)} failed; cache loaded "
+              f"{report.loaded_entries}, saved {report.saved_entries})",
+              file=sys.stderr)
+    else:
+        print(text)
+    return 1 if report.failed else 0
+
+
 COMMANDS = {
     "estimate": _command_estimate,
     "plan": _command_plan,
@@ -777,6 +835,7 @@ COMMANDS = {
     "figure6": _command_figure6,
     "figure11a": _command_figure11a,
     "convergence": _command_convergence,
+    "plan-fleet": _command_plan_fleet,
 }
 
 

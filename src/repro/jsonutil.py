@@ -1,0 +1,55 @@
+"""Stable JSON serialization helpers for report round-trips.
+
+The fleet planner emits machine-readable reports that must (a) be *stable* --
+two serializations of equal objects are byte-identical, so reports diff and
+dedupe cleanly -- and (b) round-trip *exactly*: a simulated iteration time is
+the search's argmax evidence, and re-parsing it must reproduce the float bit
+for bit, not to 15 significant digits.  Both follow from two rules applied
+everywhere:
+
+* every mapping is dumped with ``sort_keys=True`` (:func:`dumps_stable`);
+* every float travels as its ``float.hex()`` spelling (:func:`hex_float` /
+  :func:`from_hex_float`), which is exact for every finite value and spells
+  the infinities (``'inf'``/``'-inf'``, e.g. a disabled MTBF) and ``'nan'``
+  unambiguously -- plain JSON numbers can do neither.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Tuple
+
+
+def hex_float(value: float) -> str:
+    """The exact, round-trippable spelling of a float (handles inf/nan)."""
+    return float(value).hex()
+
+
+def from_hex_float(text: str) -> float:
+    """Inverse of :func:`hex_float`."""
+    return float.fromhex(text)
+
+
+def opt_hex_float(value: Optional[float]) -> Optional[str]:
+    """:func:`hex_float` that passes ``None`` through."""
+    return None if value is None else hex_float(value)
+
+
+def opt_from_hex_float(text: Optional[str]) -> Optional[float]:
+    """:func:`from_hex_float` that passes ``None`` through."""
+    return None if text is None else from_hex_float(text)
+
+
+def hex_floats(values: Iterable[float]) -> List[str]:
+    """Hex spellings of a float sequence (sample vectors)."""
+    return [hex_float(value) for value in values]
+
+
+def from_hex_floats(texts: Iterable[str]) -> Tuple[float, ...]:
+    """Inverse of :func:`hex_floats`."""
+    return tuple(from_hex_float(text) for text in texts)
+
+
+def dumps_stable(payload: object) -> str:
+    """Serialize with sorted keys -- equal payloads give identical bytes."""
+    return json.dumps(payload, sort_keys=True)

@@ -10,8 +10,10 @@ strategy search uses to decide whether a configuration runs or OOMs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional
+
+from repro.jsonutil import from_hex_float, hex_float
 
 from repro.config import (
     CalibrationConstants,
@@ -67,6 +69,15 @@ class MemoryBreakdown:
     def host_fits(self, host_memory_bytes: float) -> bool:
         """Whether the offloaded activations fit in the per-GPU host budget."""
         return self.host_offload_bytes <= host_memory_bytes
+
+    def to_json_dict(self) -> dict:
+        """Hex-float mapping of every contributor; exact round-trip."""
+        return {f.name: hex_float(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "MemoryBreakdown":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(**{f.name: from_hex_float(data[f.name]) for f in fields(cls)})
 
 
 def _sharded_model_states(

@@ -48,9 +48,12 @@ Invariants of the pipeline-schedule scoring helpers:
 from __future__ import annotations
 
 import contextlib
+import json
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.jsonutil import from_hex_float, hex_float
 
 from repro.model.specs import ModelConfig
 from repro.parallel.strategy import (
@@ -223,6 +226,32 @@ class ParetoPoint:
             or self.host_offload_bytes < other.host_offload_bytes
         )
 
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping with exact hex-float coordinates."""
+        return {
+            "parallel": self.parallel.to_json_dict(),
+            "iteration_time_s": hex_float(self.iteration_time_s),
+            "peak_memory_bytes": hex_float(self.peak_memory_bytes),
+            "host_offload_bytes": hex_float(self.host_offload_bytes),
+            "schedule_kind": (
+                self.schedule_kind.value if self.schedule_kind is not None else None
+            ),
+            "is_winner": self.is_winner,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ParetoPoint":
+        """Inverse of :meth:`to_json_dict`."""
+        kind = data["schedule_kind"]
+        return cls(
+            parallel=ParallelismConfig.from_json_dict(data["parallel"]),
+            iteration_time_s=from_hex_float(data["iteration_time_s"]),
+            peak_memory_bytes=from_hex_float(data["peak_memory_bytes"]),
+            host_offload_bytes=from_hex_float(data["host_offload_bytes"]),
+            schedule_kind=None if kind is None else ScheduleKind.from_name(kind),
+            is_winner=data["is_winner"],
+        )
+
 
 @dataclass(frozen=True)
 class ParetoFrontier:
@@ -249,6 +278,26 @@ class ParetoFrontier:
 
     def __iter__(self) -> Iterator[ParetoPoint]:
         return iter(self.points)
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping preserving frontier order."""
+        return {"points": [point.to_json_dict() for point in self.points]}
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ParetoFrontier":
+        """Inverse of :meth:`to_json_dict` -- compares ``==`` to the original."""
+        return cls(points=tuple(
+            ParetoPoint.from_json_dict(point) for point in data["points"]
+        ))
+
+    def to_json(self) -> str:
+        """Stable (sorted-keys) JSON string of :meth:`to_json_dict`."""
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ParetoFrontier":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(text))
 
 
 def pareto_frontier(

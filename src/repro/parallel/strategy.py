@@ -158,6 +158,41 @@ class ParallelismConfig:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping; inverse of :meth:`from_json_dict`."""
+        return {
+            "tensor_parallel": self.tensor_parallel,
+            "context_parallel": self.context_parallel,
+            "ulysses_parallel": self.ulysses_parallel,
+            "pipeline_parallel": self.pipeline_parallel,
+            "data_parallel": self.data_parallel,
+            "zero_stage": self.zero_stage,
+            "recompute": self.recompute.value,
+            "offload": self.offload.value,
+            "micro_batches": self.micro_batches,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ParallelismConfig":
+        """Rebuild a config serialized by :meth:`to_json_dict`.
+
+        A degenerate PP point re-raises its :class:`DegenerateScheduleWarning`
+        on reconstruction -- parsing a report warns exactly like building the
+        config did (``strict_micro_batching`` is presentation-independent
+        behaviour, not identity, and is deliberately not serialized).
+        """
+        return cls(
+            tensor_parallel=data["tensor_parallel"],
+            context_parallel=data["context_parallel"],
+            ulysses_parallel=data["ulysses_parallel"],
+            pipeline_parallel=data["pipeline_parallel"],
+            data_parallel=data["data_parallel"],
+            zero_stage=data["zero_stage"],
+            recompute=RecomputeMode(data["recompute"]),
+            offload=OffloadMode(data["offload"]),
+            micro_batches=data["micro_batches"],
+        )
+
     def describe(self) -> str:
         """Short human-readable description (used in experiment reports)."""
         parts = []

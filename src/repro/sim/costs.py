@@ -9,6 +9,7 @@ analysis.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -182,6 +183,66 @@ def uneven_layer_partition(
         lightest = min(range(num_stages), key=lambda s: (loads[s], s))
         counts[lightest] += 1
     return tuple(counts)
+
+
+#: Process-wide stage-profile store shared by every :class:`CostModel`
+#: instance.  The per-instance ``_stage_profile_cache`` dies with its model
+#: (one model per strategy candidate), so the auto sweep recomputed identical
+#: partitions across candidates and -- worse -- across fleet-planner runs.
+#: The store keys on the *full* cost-model identity plus the profile
+#: arguments, so two models with equal fields share one profile; entries are
+#: pure functions of their key, which is what makes priming the store from a
+#: persisted cache answer-preserving.  LRU-bounded like the fast-path caches.
+_STAGE_PROFILE_STORE: "OrderedDict[tuple, StageCostProfile]" = OrderedDict()
+_STAGE_PROFILE_STORE_MAXSIZE = 8192
+_stage_profile_hits = 0
+_stage_profile_misses = 0
+
+
+def _stage_profile_store_get(key: tuple) -> Optional[StageCostProfile]:
+    global _stage_profile_hits, _stage_profile_misses
+    profile = _STAGE_PROFILE_STORE.get(key)
+    if profile is None:
+        _stage_profile_misses += 1
+        return None
+    _STAGE_PROFILE_STORE.move_to_end(key)
+    _stage_profile_hits += 1
+    return profile
+
+
+def _stage_profile_store_put(key: tuple, profile: StageCostProfile) -> None:
+    _STAGE_PROFILE_STORE[key] = profile
+    if len(_STAGE_PROFILE_STORE) > _STAGE_PROFILE_STORE_MAXSIZE:
+        _STAGE_PROFILE_STORE.popitem(last=False)
+
+
+def stage_profile_store_info() -> Tuple[int, int, int]:
+    """``(hits, misses, currsize)`` of the shared stage-profile store."""
+    return (_stage_profile_hits, _stage_profile_misses, len(_STAGE_PROFILE_STORE))
+
+
+def stage_profile_store_entries() -> Dict[tuple, StageCostProfile]:
+    """A shallow copy of the shared store (for cache persistence)."""
+    return dict(_STAGE_PROFILE_STORE)
+
+
+def prime_stage_profile_store(entries: Dict[tuple, StageCostProfile]) -> int:
+    """Inject precomputed profiles; counters untouched, existing keys win."""
+    primed = 0
+    for key, profile in entries.items():
+        if key in _STAGE_PROFILE_STORE:
+            continue
+        _stage_profile_store_put(key, profile)
+        primed += 1
+    return primed
+
+
+def clear_stage_profile_store() -> None:
+    """Drop the shared store and reset its counters (tests, benches)."""
+    global _stage_profile_hits, _stage_profile_misses
+    _STAGE_PROFILE_STORE.clear()
+    _stage_profile_hits = 0
+    _stage_profile_misses = 0
 
 
 @dataclass
@@ -386,6 +447,19 @@ class CostModel:
         cached = self._stage_profile_cache.get(cache_key)
         if cached is not None:
             return cached
+        # Fall back to the process-wide store: the profile is a pure function
+        # of the cost-model identity plus the arguments, so a hit -- whether
+        # computed by a sibling model or primed from a persisted fleet cache
+        # -- is bit-identical to what this model would compute.
+        store_key = (
+            self.model, self.cluster, self.parallel, self.batch_size,
+            self.calibration, self.precision,
+            sequence_length, num_virtual_stages, layer_costs,
+        )
+        shared = _stage_profile_store_get(store_key)
+        if shared is not None:
+            self._stage_profile_cache[cache_key] = shared
+            return shared
         costs = layer_costs if layer_costs is not None else self.layer_costs(sequence_length)
         layer_time = costs.forward_total_s + costs.backward_total_s
         embedding = (
@@ -412,6 +486,7 @@ class CostModel:
             backward_weight_fraction=costs.backward_weight_share,
         )
         self._stage_profile_cache[cache_key] = profile
+        _stage_profile_store_put(store_key, profile)
         return profile
 
     def optimizer_step_time(self, parameters_per_gpu: float) -> float:

@@ -57,11 +57,21 @@ Invariants (property-tested like PR 7's):
 from __future__ import annotations
 
 import heapq
+import json
 import math
 from dataclasses import dataclass
 from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.jsonutil import (
+    from_hex_float,
+    from_hex_floats,
+    hex_float,
+    hex_floats,
+    opt_from_hex_float,
+    opt_hex_float,
+)
 
 from repro.sim.fastpath import critical_path_timeline
 from repro.sim.pipeline import StageCosts, _normalise_costs
@@ -213,6 +223,31 @@ class FailureSpec:
             else:
                 parts.append(f"preempt={self.preempt_every_s:g}")
         return ",".join(parts)
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping (hex floats spell the ``inf`` sentinels exactly)."""
+        return {
+            "mtbf_s": hex_float(self.mtbf_s),
+            "process": self.process,
+            "weibull_shape": hex_float(self.weibull_shape),
+            "correlated_prob": hex_float(self.correlated_prob),
+            "gpus_per_node": self.gpus_per_node,
+            "preempt_every_s": hex_float(self.preempt_every_s),
+            "preempt_notice_s": hex_float(self.preempt_notice_s),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FailureSpec":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            mtbf_s=from_hex_float(data["mtbf_s"]),
+            process=data["process"],
+            weibull_shape=from_hex_float(data["weibull_shape"]),
+            correlated_prob=from_hex_float(data["correlated_prob"]),
+            gpus_per_node=data["gpus_per_node"],
+            preempt_every_s=from_hex_float(data["preempt_every_s"]),
+            preempt_notice_s=from_hex_float(data["preempt_notice_s"]),
+        )
 
 
 #: The null failure process: no random failures, no preemptions.  Everything
@@ -502,6 +537,27 @@ class RecoveryModel:
             parts.append("elastic")
         return ",".join(parts)
 
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping; exact inverse of :meth:`from_json_dict`."""
+        return {
+            "checkpoint_write_s": hex_float(self.checkpoint_write_s),
+            "restart_overhead_s": hex_float(self.restart_overhead_s),
+            "checkpoint_interval_s": opt_hex_float(self.checkpoint_interval_s),
+            "elastic": self.elastic,
+            "min_rank_fraction": hex_float(self.min_rank_fraction),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RecoveryModel":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            checkpoint_write_s=from_hex_float(data["checkpoint_write_s"]),
+            restart_overhead_s=from_hex_float(data["restart_overhead_s"]),
+            checkpoint_interval_s=opt_from_hex_float(data["checkpoint_interval_s"]),
+            elastic=data["elastic"],
+            min_rank_fraction=from_hex_float(data["min_rank_fraction"]),
+        )
+
 
 #: Default recovery model of the failure-adjusted search paths: a 30 s
 #: checkpoint write, a 5-minute restart, Young/Daly interval.
@@ -655,6 +711,42 @@ class TimeToTrainDistribution:
     def score(self, objective: str) -> float:
         """:meth:`effective_iteration_s` of a ``ttrain_*`` objective."""
         return self.effective_iteration_s(ttrain_objective_base(objective))
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping; samples in draw order as exact hex floats."""
+        return {
+            "samples": hex_floats(self.samples),
+            "failure_counts": list(self.failure_counts),
+            "ideal_s": hex_float(self.ideal_s),
+            "target_iterations": self.target_iterations,
+            "checkpoint_interval_s": hex_float(self.checkpoint_interval_s),
+            "seed": self.seed,
+            "spec": self.spec.to_json_dict(),
+            "recovery": self.recovery.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "TimeToTrainDistribution":
+        """Inverse of :meth:`to_json_dict` -- compares ``==`` to the original."""
+        return cls(
+            samples=from_hex_floats(data["samples"]),
+            failure_counts=tuple(data["failure_counts"]),
+            ideal_s=from_hex_float(data["ideal_s"]),
+            target_iterations=data["target_iterations"],
+            checkpoint_interval_s=from_hex_float(data["checkpoint_interval_s"]),
+            seed=data["seed"],
+            spec=FailureSpec.from_json_dict(data["spec"]),
+            recovery=RecoveryModel.from_json_dict(data["recovery"]),
+        )
+
+    def to_json(self) -> str:
+        """Stable (sorted-keys) JSON string of :meth:`to_json_dict`."""
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimeToTrainDistribution":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(text))
 
 
 class _LazyTrace:

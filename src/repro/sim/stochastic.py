@@ -47,11 +47,22 @@ cache counters are untouched by the stochastic layer).
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass
+from dataclasses import fields as dataclass_fields
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.jsonutil import (
+    from_hex_float,
+    from_hex_floats,
+    hex_float,
+    hex_floats,
+    opt_from_hex_float,
+    opt_hex_float,
+)
 
 from repro.sim.fastpath import (
     _check_against_oracle,
@@ -169,6 +180,17 @@ class JitterSpec:
         if self.straggler_prob:
             parts.append(f"straggler={self.straggler_prob:g}:{self.straggler_alpha:g}")
         return ",".join(parts)
+
+    def to_json_dict(self) -> dict:
+        """Hex-float mapping; exact inverse of :meth:`from_json_dict`."""
+        return {
+            f.name: hex_float(getattr(self, f.name)) for f in dataclass_fields(self)
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "JitterSpec":
+        """Rebuild a spec serialized by :meth:`to_json_dict`."""
+        return cls(**{f.name: from_hex_float(data[f.name]) for f in dataclass_fields(cls)})
 
 
 #: The zero-jitter spec: perturbation is the identity, every Monte-Carlo draw
@@ -423,6 +445,42 @@ class MakespanDistribution:
     def ci_halfwidth_s(self, objective: str = "mean") -> float:
         """Achieved 95% CI half-width of one objective's estimator."""
         return distribution_ci_halfwidth(self.samples, objective)
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping; samples in draw order as exact hex floats."""
+        return {
+            "samples": hex_floats(self.samples),
+            "bubble_samples": hex_floats(self.bubble_samples),
+            "deterministic_total_s": hex_float(self.deterministic_total_s),
+            "lower_bound_s": hex_float(self.lower_bound_s),
+            "seed": self.seed,
+            "spec": self.spec.to_json_dict(),
+            "target_ci_halfwidth": opt_hex_float(self.target_ci_halfwidth),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "MakespanDistribution":
+        """Inverse of :meth:`to_json_dict` -- compares ``==`` to the original
+        (sample equality is bit-identity, so every percentile and score
+        reproduces exactly)."""
+        return cls(
+            samples=from_hex_floats(data["samples"]),
+            bubble_samples=from_hex_floats(data["bubble_samples"]),
+            deterministic_total_s=from_hex_float(data["deterministic_total_s"]),
+            lower_bound_s=from_hex_float(data["lower_bound_s"]),
+            seed=data["seed"],
+            spec=JitterSpec.from_json_dict(data["spec"]),
+            target_ci_halfwidth=opt_from_hex_float(data["target_ci_halfwidth"]),
+        )
+
+    def to_json(self) -> str:
+        """Stable (sorted-keys) JSON string of :meth:`to_json_dict`."""
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MakespanDistribution":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(text))
 
 
 def distribution_ci_halfwidth(samples: Sequence[float], objective: str = "mean") -> float:

@@ -27,11 +27,13 @@ Scoring invariants:
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
 from repro.config import CalibrationConstants, DEFAULT_CALIBRATION, DEFAULT_PRECISION, PrecisionConfig
+from repro.jsonutil import from_hex_float, hex_float, opt_from_hex_float, opt_hex_float
 from repro.hardware.cluster import ClusterSpec, make_a800_cluster
 from repro.model.specs import ModelConfig, get_model_config
 from repro.parallel.comm_model import pipeline_p2p_bytes_per_micro_batch
@@ -124,6 +126,27 @@ class Workload:
     def model(self) -> ModelConfig:
         return get_model_config(self.model_name)
 
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping; inverse of :meth:`from_json_dict`."""
+        return {
+            "model_name": self.model_name,
+            "sequence_length": self.sequence_length,
+            "num_gpus": self.num_gpus,
+            "global_batch_samples": self.global_batch_samples,
+            "micro_batch_size": self.micro_batch_size,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "Workload":
+        """Rebuild a workload serialized by :meth:`to_json_dict`."""
+        return cls(
+            model_name=data["model_name"],
+            sequence_length=data["sequence_length"],
+            num_gpus=data["num_gpus"],
+            global_batch_samples=data["global_batch_samples"],
+            micro_batch_size=data["micro_batch_size"],
+        )
+
     def cluster(self) -> ClusterSpec:
         return make_a800_cluster(self.num_gpus)
 
@@ -178,6 +201,11 @@ class TrainingReport:
     #: (the argmax winner); the rest are the slower-but-leaner alternatives a
     #: fleet planner can fall back to.  ``None`` when no strategy is feasible.
     pareto_frontier: Optional[ParetoFrontier] = None
+    #: Pipeline schedule the winning strategy runs (``None`` for PP=1 or an
+    #: infeasible workload).  Duplicates ``pipeline_timeline.schedule.kind``
+    #: so a serialized report keeps the selected schedule without dragging
+    #: the full timeline along.
+    schedule_kind: Optional[ScheduleKind] = None
 
     @property
     def wall_clock(self) -> str:
@@ -197,6 +225,121 @@ class TrainingReport:
         if metric == "wall_clock":
             return self.wall_clock
         raise ValueError(f"unknown metric {metric!r}")
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping of everything machine-readable in the report.
+
+        Exact times travel as hex floats, nested distributions/frontiers use
+        their own ``to_json_dict``.  The two timeline fields are exempt from
+        the round-trip (they are pipeline *visualisations*, arbitrarily deep
+        object graphs; the schedule identity they add is preserved as
+        ``schedule_kind``) -- :meth:`from_json_dict` leaves them ``None``.
+        """
+        return {
+            "system": self.system,
+            "workload": self.workload.to_json_dict(),
+            "feasible": self.feasible,
+            "failure_reason": self.failure_reason,
+            "mfu": hex_float(self.mfu),
+            "tgs": hex_float(self.tgs),
+            "iteration_time_s": hex_float(self.iteration_time_s),
+            "parallel": (
+                self.parallel.to_json_dict() if self.parallel is not None else None
+            ),
+            "alpha": opt_hex_float(self.alpha),
+            "memory": (
+                self.memory.to_json_dict() if self.memory is not None else None
+            ),
+            "notes": list(self.notes),
+            "schedules_simulated": self.schedules_simulated,
+            "schedules_pruned": self.schedules_pruned,
+            "strategies_evaluated": self.strategies_evaluated,
+            "strategies_pruned": self.strategies_pruned,
+            "makespan_distribution": (
+                self.makespan_distribution.to_json_dict()
+                if self.makespan_distribution is not None else None
+            ),
+            "time_to_train": (
+                self.time_to_train.to_json_dict()
+                if self.time_to_train is not None else None
+            ),
+            "selection_stability": (
+                self.selection_stability.to_json_dict()
+                if self.selection_stability is not None else None
+            ),
+            "pareto_frontier": (
+                self.pareto_frontier.to_json_dict()
+                if self.pareto_frontier is not None else None
+            ),
+            "schedule_kind": (
+                self.schedule_kind.value if self.schedule_kind is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "TrainingReport":
+        """Inverse of :meth:`to_json_dict` (timeline fields stay ``None``).
+
+        Every scalar, strategy, distribution and frontier compares ``==`` to
+        the original's, and re-serializing the result reproduces the input
+        byte for byte.
+        """
+        parallel = data["parallel"]
+        memory = data["memory"]
+        makespan = data["makespan_distribution"]
+        ttrain = data["time_to_train"]
+        stability = data["selection_stability"]
+        frontier = data["pareto_frontier"]
+        kind = data["schedule_kind"]
+        return cls(
+            system=data["system"],
+            workload=Workload.from_json_dict(data["workload"]),
+            feasible=data["feasible"],
+            failure_reason=data["failure_reason"],
+            mfu=from_hex_float(data["mfu"]),
+            tgs=from_hex_float(data["tgs"]),
+            iteration_time_s=from_hex_float(data["iteration_time_s"]),
+            parallel=(
+                ParallelismConfig.from_json_dict(parallel)
+                if parallel is not None else None
+            ),
+            alpha=opt_from_hex_float(data["alpha"]),
+            memory=(
+                MemoryBreakdown.from_json_dict(memory)
+                if memory is not None else None
+            ),
+            notes=list(data["notes"]),
+            schedules_simulated=data["schedules_simulated"],
+            schedules_pruned=data["schedules_pruned"],
+            strategies_evaluated=data["strategies_evaluated"],
+            strategies_pruned=data["strategies_pruned"],
+            makespan_distribution=(
+                MakespanDistribution.from_json_dict(makespan)
+                if makespan is not None else None
+            ),
+            time_to_train=(
+                TimeToTrainDistribution.from_json_dict(ttrain)
+                if ttrain is not None else None
+            ),
+            selection_stability=(
+                SelectionStability.from_json_dict(stability)
+                if stability is not None else None
+            ),
+            pareto_frontier=(
+                ParetoFrontier.from_json_dict(frontier)
+                if frontier is not None else None
+            ),
+            schedule_kind=None if kind is None else ScheduleKind.from_name(kind),
+        )
+
+    def to_json(self) -> str:
+        """Stable (sorted-keys) JSON string of :meth:`to_json_dict`."""
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrainingReport":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(text))
 
 
 @dataclass(frozen=True)
@@ -222,6 +365,43 @@ class SelectionStability:
             return 1.0
         agreeing = sum(1 for choice in self.selections if choice == self.baseline)
         return agreeing / len(self.selections)
+
+    def to_json_dict(self) -> dict:
+        """Plain-JSON mapping preserving per-seed selection order."""
+        return {
+            "baseline": (
+                self.baseline.to_json_dict() if self.baseline is not None else None
+            ),
+            "selections": [
+                choice.to_json_dict() if choice is not None else None
+                for choice in self.selections
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "SelectionStability":
+        """Inverse of :meth:`to_json_dict` -- compares ``==`` to the original."""
+        baseline = data["baseline"]
+        return cls(
+            baseline=(
+                ParallelismConfig.from_json_dict(baseline)
+                if baseline is not None else None
+            ),
+            selections=tuple(
+                ParallelismConfig.from_json_dict(choice)
+                if choice is not None else None
+                for choice in data["selections"]
+            ),
+        )
+
+    def to_json(self) -> str:
+        """Stable (sorted-keys) JSON string of :meth:`to_json_dict`."""
+        return json.dumps(self.to_json_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SelectionStability":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(text))
 
 
 @dataclass
@@ -708,6 +888,7 @@ class TrainingSystem(ABC):
             time_to_train=evaluation.time_to_train,
             selection_stability=stability,
             pareto_frontier=frontier,
+            schedule_kind=evaluation.schedule_kind,
         )
 
     def strategy_selection_stability(

@@ -1,0 +1,181 @@
+"""Stable JSON round-trips of the report types.
+
+``to_json()`` is the machine-readable interchange format of the fleet layer:
+keys are sorted (byte-stable output for identical values) and every time or
+ratio travels as ``float.hex()`` so a parsed report reproduces the original
+*exactly* -- no decimal rounding, including ``inf`` sentinels.  The tests
+assert the strong form: ``parse(serialize(x))`` re-serializes to the same
+bytes, and the reconstructed objects compare equal field-for-field.
+
+``TrainingReport`` round-trips everything except the simulation timelines
+(``timeline``/``pipeline_timeline`` stay ``None`` on parse -- they are bulky
+simulation internals, and the schedule identity survives via
+``schedule_kind``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.config import tokens
+from repro.jsonutil import dumps_stable, from_hex_float, hex_float
+from repro.parallel.search import ParetoFrontier
+from repro.parallel.strategy import ParallelismConfig, RecomputeMode
+from repro.sim.failures import (
+    FailureSpec,
+    RecoveryModel,
+    TimeToTrainDistribution,
+    simulate_time_to_train,
+)
+from repro.sim.fastpath import clear_fastpath_caches
+from repro.sim.stochastic import JitterSpec, MakespanDistribution
+from repro.systems.base import SelectionStability, TrainingReport, Workload
+from repro.systems.megatron import MegatronSystem
+
+WORKLOAD = Workload("7B", tokens(16), 8, global_batch_samples=16)
+
+
+@pytest.fixture(scope="module")
+def rich_report() -> TrainingReport:
+    """One report with every optional layer populated: jitter distribution,
+    time-to-train distribution, selection stability and a Pareto frontier."""
+    clear_fastpath_caches()
+    system = MegatronSystem(
+        pipeline_schedule="auto",
+        jitter="compute=0.05",
+        failures="mtbf=50000",
+        risk_objective="p99",
+        monte_carlo_replicas=4,
+        stability_replicas=2,
+    )
+    return system.run(WORKLOAD)
+
+
+@pytest.fixture(scope="module")
+def infeasible_report() -> TrainingReport:
+    clear_fastpath_caches()
+    report = MegatronSystem(pipeline_schedule="auto").run(
+        Workload("65B", tokens(1024), 8, global_batch_samples=16),
+    )
+    assert not report.feasible
+    return report
+
+
+def assert_stable_round_trip(obj, parse):
+    """serialize -> parse -> serialize must be byte-identical and stable."""
+    text = obj.to_json()
+    rebuilt = parse(text)
+    assert rebuilt.to_json() == text
+    # Sorted keys: re-serializing the parsed dict with sorted keys is a
+    # no-op, i.e. the output already is in canonical form.
+    assert text == dumps_stable(json.loads(text))
+    return rebuilt
+
+
+def test_hex_floats_are_exact():
+    for value in (0.1, 1e300, -0.0, math.inf, -math.inf, 16527.7052239508):
+        assert from_hex_float(hex_float(value)) == value
+    assert math.isnan(from_hex_float(hex_float(math.nan)))
+
+
+def test_training_report_round_trip(rich_report):
+    rebuilt = assert_stable_round_trip(rich_report, TrainingReport.from_json)
+    assert rebuilt.parallel == rich_report.parallel
+    assert rebuilt.iteration_time_s == rich_report.iteration_time_s
+    assert rebuilt.mfu == rich_report.mfu
+    assert rebuilt.schedule_kind == rich_report.schedule_kind
+    assert rebuilt.workload == rich_report.workload
+    # Timelines are deliberately not serialized.
+    assert rebuilt.timeline is None and rebuilt.pipeline_timeline is None
+
+
+def test_training_report_infeasible_round_trip(infeasible_report):
+    rebuilt = assert_stable_round_trip(
+        infeasible_report, TrainingReport.from_json)
+    assert not rebuilt.feasible
+    assert rebuilt.failure_reason == infeasible_report.failure_reason
+
+
+def test_makespan_distribution_round_trip():
+    # The small workload's winner runs PP=1 (no pipeline schedule to
+    # replicate), so build the distribution directly on a fixed schedule.
+    from repro.sim.fastpath import cached_build_schedule
+    from repro.sim.pipeline import StageCosts
+    from repro.sim.schedules import ScheduleKind
+    from repro.sim.stochastic import monte_carlo_timeline
+
+    schedule = cached_build_schedule(ScheduleKind.ONE_F_ONE_B, 4, 8, 1, None)
+    costs = StageCosts(forward_s=0.01, backward_s=0.02, p2p_bytes=1e6)
+    distribution = monte_carlo_timeline(
+        schedule, costs, JitterSpec(compute_sigma=0.05, straggler_prob=0.1),
+        replicas=5, seed=3,
+        p2p_bandwidth_bytes_per_s=25e9, p2p_latency_s=5e-6,
+        pcie_bandwidth_bytes_per_s=16e9,
+    )
+    rebuilt = assert_stable_round_trip(
+        distribution, MakespanDistribution.from_json)
+    assert rebuilt.samples == distribution.samples
+    assert rebuilt.spec == distribution.spec
+
+
+def test_time_to_train_distribution_round_trip(rich_report):
+    distribution = rich_report.time_to_train
+    assert distribution is not None
+    rebuilt = assert_stable_round_trip(
+        distribution, TimeToTrainDistribution.from_json)
+    assert rebuilt.samples == distribution.samples
+    assert rebuilt.failure_counts == distribution.failure_counts
+    assert rebuilt.spec == distribution.spec
+    assert rebuilt.recovery == distribution.recovery
+
+
+def test_time_to_train_round_trip_with_inf_sentinels():
+    # A null process carries inf MTBFs -- hex floats must survive them.
+    distribution = simulate_time_to_train(
+        iteration_time_s=1.0, target_iterations=10,
+        spec=FailureSpec(), recovery=RecoveryModel(), replicas=2, seed=0,
+    )
+    rebuilt = TimeToTrainDistribution.from_json(distribution.to_json())
+    assert rebuilt.to_json() == distribution.to_json()
+    assert math.isinf(rebuilt.spec.mtbf_s)
+
+
+def test_selection_stability_round_trip(rich_report):
+    stability = rich_report.selection_stability
+    assert stability is not None
+    rebuilt = assert_stable_round_trip(stability, SelectionStability.from_json)
+    assert rebuilt.baseline == stability.baseline
+    assert rebuilt.selections == stability.selections
+    assert rebuilt.stability == stability.stability
+
+
+def test_selection_stability_none_entries():
+    stability = SelectionStability(baseline=None, selections=(None, None))
+    rebuilt = SelectionStability.from_json(stability.to_json())
+    assert rebuilt.baseline is None and rebuilt.selections == (None, None)
+
+
+def test_pareto_frontier_round_trip(rich_report):
+    frontier = rich_report.pareto_frontier
+    assert frontier is not None and len(frontier) > 0
+    rebuilt = assert_stable_round_trip(frontier, ParetoFrontier.from_json)
+    assert rebuilt.points == frontier.points
+    assert any(point.is_winner for point in rebuilt.points)
+
+
+def test_parallelism_config_degenerate_rewarns():
+    with pytest.warns(UserWarning, match="degenerate"):
+        degenerate = ParallelismConfig(
+            pipeline_parallel=4, micro_batches=2, recompute=RecomputeMode.FULL,
+        )
+    with pytest.warns(UserWarning, match="degenerate"):
+        rebuilt = ParallelismConfig.from_json_dict(degenerate.to_json_dict())
+    assert rebuilt == degenerate
+
+
+def test_jitter_spec_round_trip():
+    spec = JitterSpec(compute_sigma=0.1, straggler_prob=0.03)
+    assert JitterSpec.from_json_dict(spec.to_json_dict()) == spec
